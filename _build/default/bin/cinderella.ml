@@ -1,0 +1,371 @@
+(* cinderella — the command-line timing analyzer of the paper, re-created:
+   reads an MC source file and an annotation file, prints the annotated
+   listing with x_i labels, the derived constraints, and the estimated
+   execution-time bound.
+
+     cinderella analyze prog.mc -a prog.ann   (also accepts .s listings)
+     cinderella listing prog.mc [-f func]
+     cinderella cfg prog.mc -f func           (Graphviz to stdout)
+     cinderella asm prog.mc                   (E32 assembly listing)
+     cinderella sim prog.mc -r func --set g=1 --profile
+*)
+
+module P = Ipet_isa.Prog
+module Frontend = Ipet_lang.Frontend
+module Compile = Ipet_lang.Compile
+module Icache = Ipet_machine.Icache
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  content
+
+let has_suffix ~suffix path =
+  let np = String.length path and ns = String.length suffix in
+  np >= ns && String.sub path (np - ns) ns = suffix
+
+(* MC source is compiled; an .s file is parsed as an E32 listing (the
+   paper's cinderella likewise started from object code, not source) *)
+let load_program path =
+  if has_suffix ~suffix:".s" path then begin
+    let text = read_file path in
+    match Ipet_isa.Asm_parser.parse text with
+    | prog ->
+      (text, { Compile.prog; Compile.init_data = [] })
+    | exception Ipet_isa.Asm_parser.Error (message, line) ->
+      Printf.eprintf "%s:%d: %s\n" path line message;
+      exit 1
+  end
+  else begin
+    let src = read_file path in
+    match Frontend.compile_string src with
+    | Ok compiled -> (src, compiled)
+    | Error { Frontend.message; line } ->
+      Printf.eprintf "%s:%d: %s\n" path line message;
+      exit 1
+  end
+
+(* --- analyze ------------------------------------------------------------- *)
+
+let analyze_cmd source_path annot_path root_flag cache_size line_size
+    miss_penalty verbose auto_bounds dump_lp sensitivity =
+  let src, compiled = load_program source_path in
+  let annotations =
+    match annot_path with
+    | None -> { Ipet.Constraint_parser.root = None; loop_bounds = []; functional = [] }
+    | Some path ->
+      (try Ipet.Constraint_parser.parse_annotation_text (read_file path) with
+       | Ipet.Constraint_parser.Parse_error msg ->
+         Printf.eprintf "%s: %s\n" path msg;
+         exit 1)
+  in
+  let root =
+    match (root_flag, annotations.Ipet.Constraint_parser.root) with
+    | Some r, _ -> r
+    | None, Some r -> r
+    | None, None ->
+      Printf.eprintf
+        "no analysis root: pass --root or add a 'root' line to the annotations\n";
+      exit 1
+  in
+  let prog = compiled.Compile.prog in
+  (match P.find_func_opt prog root with
+   | Some _ -> ()
+   | None ->
+     Printf.eprintf "unknown function %s\n" root;
+     exit 1);
+  let cache = { Icache.size_bytes = cache_size; line_bytes = line_size; miss_penalty } in
+  let inferred =
+    if auto_bounds then begin
+      if has_suffix ~suffix:".s" source_path then begin
+        Printf.eprintf "--auto-bounds needs MC source, not an assembly listing\n";
+        exit 1
+      end;
+      let ast, _env = Frontend.parse_and_check src in
+      let bounds = Ipet.Autobound.infer ast in
+      if verbose then
+        List.iter
+          (fun (b : Ipet.Annotation.t) ->
+            match b.Ipet.Annotation.header with
+            | `Line l ->
+              Printf.printf "inferred: loop %s line %d bound [%d, %d]\n"
+                b.Ipet.Annotation.func l b.Ipet.Annotation.lo b.Ipet.Annotation.hi
+            | `Block _ -> ())
+          bounds;
+      bounds
+    end
+    else []
+  in
+  let spec =
+    Ipet.Analysis.spec ~cache
+      ~loop_bounds:(annotations.Ipet.Constraint_parser.loop_bounds @ inferred)
+      ~functional:annotations.Ipet.Constraint_parser.functional ~root prog
+  in
+  (match dump_lp with
+   | Some path ->
+     let oc = open_out path in
+     List.iteri
+       (fun i problem ->
+         output_string oc
+           (Ipet_lp.Lp_format.to_string ~name:(Printf.sprintf "%s set %d" root i)
+              problem))
+       (Ipet.Analysis.wcet_problems spec);
+     close_out oc;
+     Printf.printf "ILPs written to %s\n" path
+   | None -> ());
+  print_string (Ipet.Report.annotated_source ~source:src prog ~func:root);
+  if verbose then begin
+    print_endline "\nstructural constraints:";
+    print_string
+      (Ipet.Report.constraints_listing (Ipet.Analysis.structural_constraints spec))
+  end;
+  match Ipet.Analysis.analyze spec with
+  | result ->
+    print_newline ();
+    print_string (Ipet.Report.bound_summary result);
+    if sensitivity then begin
+      print_endline "\nWCET sensitivity to loop bounds (hi reduced by 1):";
+      List.iter
+        (fun (row : Ipet.Analysis.sensitivity_row) ->
+          let ann = row.Ipet.Analysis.annotation in
+          let where = match ann.Ipet.Annotation.header with
+            | `Line l -> Printf.sprintf "line %d" l
+            | `Block b -> Printf.sprintf "block %d" b
+          in
+          Printf.printf "  %s %s [%d,%d]: -%d cycles\n" ann.Ipet.Annotation.func
+            where ann.Ipet.Annotation.lo ann.Ipet.Annotation.hi
+            (row.Ipet.Analysis.base_wcet - row.Ipet.Analysis.tightened_wcet))
+        (Ipet.Analysis.wcet_sensitivity spec)
+    end
+  | exception Ipet.Analysis.Analysis_error msg ->
+    Printf.eprintf "analysis error: %s\n" msg;
+    exit 1
+  | exception Ipet.Functional.Resolution_error msg ->
+    Printf.eprintf "constraint error: %s\n" msg;
+    exit 1
+  | exception Ipet.Annotation.Bad_annotation msg ->
+    Printf.eprintf "annotation error: %s\n" msg;
+    exit 1
+
+(* --- listing / cfg / asm -------------------------------------------------- *)
+
+let listing_cmd source_path func =
+  let src, compiled = load_program source_path in
+  let prog = compiled.Compile.prog in
+  let funcs =
+    match func with
+    | Some f -> [ f ]
+    | None -> Array.to_list (Array.map (fun (f : P.func) -> f.P.name) prog.P.funcs)
+  in
+  List.iter
+    (fun f ->
+      Printf.printf "--- %s\n" f;
+      print_string (Ipet.Report.annotated_source ~source:src prog ~func:f))
+    funcs
+
+let cfg_cmd source_path func =
+  let _, compiled = load_program source_path in
+  let prog = compiled.Compile.prog in
+  match P.find_func_opt prog func with
+  | None ->
+    Printf.eprintf "unknown function %s\n" func;
+    exit 1
+  | Some f ->
+    let cfg = Ipet_cfg.Cfg.of_func f in
+    let dom = Ipet_cfg.Dominators.compute cfg in
+    let loops = Ipet_cfg.Loops.detect cfg dom in
+    print_string (Ipet_cfg.Dot.cfg_to_dot ~highlight_loops:loops cfg)
+
+let asm_cmd source_path =
+  let _, compiled = load_program source_path in
+  Format.printf "%a@." P.pp compiled.Compile.prog
+
+(* --- sim -------------------------------------------------------------------- *)
+
+(* "name=3", "name[4]=-2" or "name=2.5" *)
+let parse_set spec =
+  match String.index_opt spec '=' with
+  | None -> Error (`Msg (spec ^ ": expected name=value"))
+  | Some eq ->
+    let lhs = String.sub spec 0 eq in
+    let rhs = String.sub spec (eq + 1) (String.length spec - eq - 1) in
+    let name, index =
+      match String.index_opt lhs '[' with
+      | Some lb when lhs.[String.length lhs - 1] = ']' ->
+        (String.sub lhs 0 lb,
+         int_of_string (String.sub lhs (lb + 1) (String.length lhs - lb - 2)))
+      | Some _ | None -> (lhs, 0)
+    in
+    (match int_of_string_opt rhs with
+     | Some i -> Ok (name, index, Ipet_isa.Value.Vint i)
+     | None ->
+       (match float_of_string_opt rhs with
+        | Some f -> Ok (name, index, Ipet_isa.Value.Vfloat f)
+        | None -> Error (`Msg (rhs ^ ": expected a number"))))
+
+let sim_cmd source_path root args sets flush profile =
+  let _, compiled = load_program source_path in
+  let prog = compiled.Compile.prog in
+  let m = Ipet_sim.Interp.create prog ~init:compiled.Compile.init_data in
+  List.iter
+    (fun spec ->
+      match parse_set spec with
+      | Ok (name, index, v) ->
+        (try Ipet_sim.Interp.write_global m name index v with
+         | Ipet_sim.Interp.Runtime_error msg ->
+           Printf.eprintf "%s\n" msg;
+           exit 1)
+      | Error (`Msg msg) ->
+        Printf.eprintf "--set %s\n" msg;
+        exit 1)
+    sets;
+  if flush then Ipet_sim.Interp.flush_cache m;
+  let arg_values = List.map (fun i -> Ipet_isa.Value.Vint i) args in
+  let call () = Ipet_sim.Interp.call m root arg_values in
+  let outcome =
+    try
+      if profile then begin
+        let result, rows = Ipet_sim.Trace.profile m call in
+        Format.printf "%a@." Ipet_sim.Trace.pp_profile rows;
+        Ok result
+      end
+      else Ok (call ())
+    with
+    | Ipet_sim.Interp.Runtime_error msg -> Error ("runtime error: " ^ msg)
+    | Ipet_sim.Interp.Out_of_fuel ->
+      Error "out of fuel: the program does not seem to terminate"
+  in
+  (match outcome with
+   | Ok (Some v) -> Format.printf "result: %a@." Ipet_isa.Value.pp v
+   | Ok None -> print_endline "result: (void)"
+   | Error msg ->
+     Printf.eprintf "%s\n" msg;
+     exit 1);
+  Printf.printf "cycles:       %d\n" (Ipet_sim.Interp.cycles m);
+  Printf.printf "instructions: %d\n" (Ipet_sim.Interp.instructions m);
+  Printf.printf "cache:        %d hits, %d misses\n"
+    (Ipet_sim.Interp.cache_hits m) (Ipet_sim.Interp.cache_misses m);
+  print_endline "hottest blocks:";
+  Ipet_sim.Interp.block_counts m
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.filteri (fun i _ -> i < 10)
+  |> List.iter (fun ((func, block), count) ->
+    Printf.printf "  %s B%d: %d\n" func block count)
+
+(* --- cmdliner wiring ------------------------------------------------------ *)
+
+open Cmdliner
+
+let source_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE.mc")
+
+let annot_arg =
+  Arg.(value & opt (some file) None
+       & info [ "a"; "annotations" ] ~docv:"FILE.ann"
+           ~doc:"Annotation file (root, loop bounds, constraints).")
+
+let root_arg =
+  Arg.(value & opt (some string) None
+       & info [ "r"; "root" ] ~docv:"FUNC" ~doc:"Function to analyze.")
+
+let func_opt_arg =
+  Arg.(value & opt (some string) None
+       & info [ "f"; "function" ] ~docv:"FUNC" ~doc:"Restrict to one function.")
+
+let func_req_arg =
+  Arg.(required & opt (some string) None
+       & info [ "f"; "function" ] ~docv:"FUNC" ~doc:"Function to dump.")
+
+let cache_size_arg =
+  Arg.(value & opt int Icache.i960kb.Icache.size_bytes
+       & info [ "cache-size" ] ~docv:"BYTES" ~doc:"Instruction cache capacity.")
+
+let line_size_arg =
+  Arg.(value & opt int Icache.i960kb.Icache.line_bytes
+       & info [ "line-size" ] ~docv:"BYTES" ~doc:"Cache line size.")
+
+let miss_penalty_arg =
+  Arg.(value & opt int Icache.i960kb.Icache.miss_penalty
+       & info [ "miss-penalty" ] ~docv:"CYCLES" ~doc:"Cache line fill penalty.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print derived constraints.")
+
+let auto_bounds_arg =
+  Arg.(value & flag
+       & info [ "auto-bounds" ]
+           ~doc:"Infer bounds for counted for-loops automatically.")
+
+let dump_lp_arg =
+  Arg.(value & opt (some string) None
+       & info [ "dump-lp" ] ~docv:"FILE"
+           ~doc:"Write the WCET ILPs in CPLEX LP format.")
+
+let sensitivity_arg =
+  Arg.(value & flag
+       & info [ "sensitivity" ]
+           ~doc:"Report how much each loop bound contributes to the WCET.")
+
+let analyze_term =
+  Term.(const analyze_cmd $ source_arg $ annot_arg $ root_arg $ cache_size_arg
+        $ line_size_arg $ miss_penalty_arg $ verbose_arg $ auto_bounds_arg
+        $ dump_lp_arg $ sensitivity_arg)
+
+let analyze =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Estimate the execution-time bound of a function (IPET).")
+    analyze_term
+
+let args_arg =
+  Arg.(value & opt (list int) []
+       & info [ "args" ] ~docv:"INTS" ~doc:"Integer arguments of the root call.")
+
+let set_arg =
+  Arg.(value & opt_all string []
+       & info [ "set" ] ~docv:"NAME[=INDEX]=VALUE"
+           ~doc:"Initialize a global before the run (repeatable).")
+
+let flush_arg =
+  Arg.(value & flag
+       & info [ "cold" ] ~doc:"Flush the instruction cache before the run.")
+
+let root_req_arg =
+  Arg.(required & opt (some string) None
+       & info [ "r"; "root" ] ~docv:"FUNC" ~doc:"Function to execute.")
+
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ] ~doc:"Print a per-block cycle profile of the run.")
+
+let sim =
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:"Execute a function on the cycle-accurate simulator.")
+    Term.(const sim_cmd $ source_arg $ root_req_arg $ args_arg $ set_arg
+          $ flush_arg $ profile_arg)
+
+let listing =
+  Cmd.v
+    (Cmd.info "listing" ~doc:"Print the annotated source with x_i labels.")
+    Term.(const listing_cmd $ source_arg $ func_opt_arg)
+
+let cfg =
+  Cmd.v
+    (Cmd.info "cfg" ~doc:"Dump a function's CFG in Graphviz format.")
+    Term.(const cfg_cmd $ source_arg $ func_req_arg)
+
+let asm =
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Print the compiled E32 assembly.")
+    Term.(const asm_cmd $ source_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "cinderella" ~version:"1.0"
+       ~doc:"Static execution-time analysis by implicit path enumeration.")
+    [ analyze; listing; cfg; asm; sim ]
+
+let () = exit (Cmd.eval main)

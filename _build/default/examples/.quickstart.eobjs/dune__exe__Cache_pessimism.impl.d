@@ -1,0 +1,1 @@
+examples/cache_pessimism.ml: Ipet Ipet_isa Ipet_lang Ipet_sim Ipet_suite Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ipet Ipet_isa Ipet_lang Ipet_sim List Printf

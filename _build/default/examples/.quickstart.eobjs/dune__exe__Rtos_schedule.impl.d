@@ -1,0 +1,1 @@
+examples/rtos_schedule.ml: Ipet Ipet_lang List Printf

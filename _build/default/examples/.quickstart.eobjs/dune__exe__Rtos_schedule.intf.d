@@ -1,0 +1,1 @@
+examples/rtos_schedule.mli:

@@ -1,0 +1,1 @@
+examples/tighten.ml: Ipet Ipet_lang Ipet_suite List Printf

@@ -1,0 +1,1 @@
+examples/tighten.mli:

@@ -1,0 +1,59 @@
+(* Section IV observes that assuming a cache miss on every execution "can be
+   very pessimistic" for loops, and proposes treating the first iteration
+   separately. This example quantifies that: a tight loop over an array is
+   analyzed with the baseline all-miss model and with the first-miss
+   refinement (Analysis.first_miss_refinement), and both bounds are compared
+   against cycle-accurate simulation.
+
+     dune exec examples/cache_pessimism.exe *)
+
+module Frontend = Ipet_lang.Frontend
+module Compile = Ipet_lang.Compile
+module Interp = Ipet_sim.Interp
+module V = Ipet_isa.Value
+
+let source = {|int signal[256];
+
+int energy() {
+  int i; int acc;
+  acc = 0;
+  for (i = 0; i < 256; i = i + 1)
+    acc = acc + signal[i] * signal[i];
+  return acc;
+}
+|}
+
+let () =
+  let compiled = Frontend.compile_string_exn source in
+  let prog = compiled.Compile.prog in
+  let line = Ipet_suite.Bspec.line_containing ~source "for (i = 0" in
+  let loop_bounds =
+    [ Ipet.Annotation.loop ~func:"energy" ~line ~lo:256 ~hi:256 ]
+  in
+  let analyze ~refined =
+    Ipet.Analysis.analyze
+      (Ipet.Analysis.spec prog ~root:"energy" ~loop_bounds
+         ~first_miss_refinement:refined)
+  in
+  let baseline = analyze ~refined:false in
+  let refined = analyze ~refined:true in
+  (* ground truth: cold-cache simulation of the worst case *)
+  let m = Interp.create prog ~init:compiled.Compile.init_data in
+  for i = 0 to 255 do
+    Interp.write_global m "signal" i (V.Vint (i - 128))
+  done;
+  Interp.flush_cache m;
+  ignore (Interp.call m "energy" []);
+  let measured = Interp.cycles m in
+  let w r = r.Ipet.Analysis.wcet.Ipet.Analysis.cycles in
+  Printf.printf "measured worst case (cold cache):   %7d cycles\n" measured;
+  Printf.printf "WCET, all-miss model (paper SecIV): %7d cycles (%.2fx)\n"
+    (w baseline)
+    (float_of_int (w baseline) /. float_of_int measured);
+  Printf.printf "WCET, first-miss refinement:        %7d cycles (%.2fx)\n"
+    (w refined)
+    (float_of_int (w refined) /. float_of_int measured);
+  assert (measured <= w refined && w refined <= w baseline);
+  Printf.printf
+    "\nThe refinement charges the loop's cache misses once per loop entry\n\
+     instead of once per iteration, and stays a sound upper bound.\n"

@@ -1,0 +1,1 @@
+lib/cfg/callgraph.ml: Array Hashtbl Ipet_isa List String

@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Format Ipet_isa List Printf String

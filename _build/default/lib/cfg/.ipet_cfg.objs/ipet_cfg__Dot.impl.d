@@ -1,0 +1,1 @@
+lib/cfg/dot.ml: Array Buffer Callgraph Cfg Ipet_isa List Loops Printf

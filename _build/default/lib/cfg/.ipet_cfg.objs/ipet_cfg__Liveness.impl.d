@@ -1,0 +1,1 @@
+lib/cfg/liveness.ml: Array Cfg Int Ipet_isa List Set

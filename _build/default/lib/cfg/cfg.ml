@@ -1,0 +1,75 @@
+module Prog = Ipet_isa.Prog
+module Instr = Ipet_isa.Instr
+
+type edge = { src : int; dst : int }
+
+type t = {
+  func : Prog.func;
+  succs : int list array;
+  preds : int list array;
+}
+
+let term_targets = function
+  | Instr.Jump b -> [ b ]
+  | Instr.Branch (_, t, f) -> if t = f then [ t ] else [ t; f ]
+  | Instr.Return _ -> []
+
+let of_func (func : Prog.func) =
+  let n = Array.length func.Prog.blocks in
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  Array.iter
+    (fun (b : Prog.block) -> succs.(b.Prog.id) <- term_targets b.Prog.term)
+    func.Prog.blocks;
+  for src = n - 1 downto 0 do
+    List.iter (fun dst -> preds.(dst) <- src :: preds.(dst)) succs.(src)
+  done;
+  { func; succs; preds }
+
+let func t = t.func
+let nblocks t = Array.length t.func.Prog.blocks
+let entry _ = 0
+let succs t b = t.succs.(b)
+let preds t b = t.preds.(b)
+
+let edges t =
+  let acc = ref [] in
+  for src = nblocks t - 1 downto 0 do
+    List.iter (fun dst -> acc := { src; dst } :: !acc) (List.rev t.succs.(src))
+  done;
+  List.rev !acc
+
+let exit_blocks t =
+  Array.to_list t.func.Prog.blocks
+  |> List.filter_map (fun (b : Prog.block) ->
+    match b.Prog.term with
+    | Instr.Return _ -> Some b.Prog.id
+    | Instr.Jump _ | Instr.Branch _ -> None)
+
+let reverse_postorder t =
+  let n = nblocks t in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs t.succs.(b);
+      order := b :: !order
+    end
+  in
+  dfs (entry t);
+  Array.of_list !order
+
+let reachable t =
+  let n = nblocks t in
+  let seen = Array.make n false in
+  Array.iter (fun b -> seen.(b) <- true) (reverse_postorder t);
+  seen
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>cfg %s:@," t.func.Prog.name;
+  for b = 0 to nblocks t - 1 do
+    Format.fprintf fmt "  B%d -> %s@," b
+      (String.concat ", " (List.map (Printf.sprintf "B%d") t.succs.(b)))
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,36 @@
+(** Control-flow-graph view of an E32 function.
+
+    Nodes are the function's basic blocks; edges are the paper's
+    [d]-variables. Every CFG also carries one virtual {e entry edge} into
+    block 0 and one virtual {e exit edge} out of each returning block —
+    these become [d_1] and the outgoing sink edges of the structural
+    constraints. *)
+
+type edge = { src : int; dst : int }
+(** A d-edge from block [src] to block [dst]. *)
+
+type t
+
+val of_func : Ipet_isa.Prog.func -> t
+
+val func : t -> Ipet_isa.Prog.func
+val nblocks : t -> int
+val entry : t -> int
+
+val succs : t -> int -> int list
+(** Successor blocks, in terminator order, duplicates removed. *)
+
+val preds : t -> int -> int list
+
+val edges : t -> edge list
+(** All intra-function edges, deterministically ordered. *)
+
+val exit_blocks : t -> int list
+(** Blocks whose terminator is a return. *)
+
+val reverse_postorder : t -> int array
+(** Blocks reachable from the entry, in reverse postorder (entry first). *)
+
+val reachable : t -> bool array
+
+val pp : Format.formatter -> t -> unit

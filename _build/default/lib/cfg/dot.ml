@@ -1,0 +1,45 @@
+module Prog = Ipet_isa.Prog
+
+let cfg_to_dot ?(highlight_loops = []) cfg =
+  let buf = Buffer.create 256 in
+  let func = Cfg.func cfg in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" func.Prog.name);
+  Buffer.add_string buf "  node [shape=box fontname=monospace];\n";
+  for b = 0 to Cfg.nblocks cfg - 1 do
+    let in_header =
+      List.exists (fun (l : Loops.loop) -> l.Loops.header = b) highlight_loops
+    in
+    let line = func.Prog.blocks.(b).Prog.src_line in
+    let label =
+      if line > 0 then Printf.sprintf "B%d\\nline %d" b line
+      else Printf.sprintf "B%d" b
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  B%d [label=\"%s\"%s];\n" b label
+         (if in_header then " style=filled fillcolor=lightblue" else ""))
+  done;
+  List.iter
+    (fun { Cfg.src; dst } ->
+      let back =
+        List.exists
+          (fun (l : Loops.loop) -> List.mem (src, dst) l.Loops.back_edges)
+          highlight_loops
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  B%d -> B%d%s;\n" src dst
+           (if back then " [color=red]" else "")))
+    (Cfg.edges cfg);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let callgraph_to_dot cg =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph callgraph {\n";
+  List.iter
+    (fun (s : Callgraph.site) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\" [label=\"B%d.%d\"];\n" s.Callgraph.caller
+           s.Callgraph.callee s.Callgraph.block s.Callgraph.occurrence))
+    (Callgraph.sites cg);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

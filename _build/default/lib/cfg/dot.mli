@@ -1,0 +1,5 @@
+(** Graphviz export of CFGs, for documentation and debugging. *)
+
+val cfg_to_dot : ?highlight_loops:Loops.loop list -> Cfg.t -> string
+
+val callgraph_to_dot : Callgraph.t -> string

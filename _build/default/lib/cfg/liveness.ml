@@ -1,0 +1,63 @@
+module P = Ipet_isa.Prog
+module I = Ipet_isa.Instr
+module RSet = Set.Make (Int)
+
+type t = { ins : RSet.t array; outs : RSet.t array }
+
+let term_uses = function
+  | I.Jump _ -> []
+  | I.Branch (r, _, _) -> [ r ]
+  | I.Return (Some (I.Reg r)) -> [ r ]
+  | I.Return (Some (I.Imm _ | I.Fimm _)) | I.Return None -> []
+
+(* transfer one instruction backwards over a live set *)
+let transfer instr live =
+  let live = List.fold_left (fun s d -> RSet.remove d s) live (I.defs instr) in
+  List.fold_left (fun s u -> RSet.add u s) live (I.uses instr)
+
+let block_transfer (block : P.block) live_out =
+  let live = List.fold_left (fun s u -> RSet.add u s) live_out (term_uses block.P.term) in
+  let n = Array.length block.P.instrs in
+  let rec go i live = if i < 0 then live else go (i - 1) (transfer block.P.instrs.(i) live) in
+  go (n - 1) live
+
+let compute (func : P.func) =
+  let cfg = Cfg.of_func func in
+  let n = Array.length func.P.blocks in
+  let ins = Array.make n RSet.empty in
+  let outs = Array.make n RSet.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = n - 1 downto 0 do
+      let out =
+        List.fold_left (fun s succ -> RSet.union s ins.(succ)) RSet.empty
+          (Cfg.succs cfg b)
+      in
+      let inn = block_transfer func.P.blocks.(b) out in
+      if not (RSet.equal out outs.(b)) || not (RSet.equal inn ins.(b)) then begin
+        outs.(b) <- out;
+        ins.(b) <- inn;
+        changed := true
+      end
+    done
+  done;
+  { ins; outs }
+
+let live_in t ~block = RSet.elements t.ins.(block)
+let live_out t ~block = RSet.elements t.outs.(block)
+
+let live_sets_through_block t (block : P.block) =
+  let n = Array.length block.P.instrs in
+  let sets = Array.make (n + 1) [] in
+  let live =
+    List.fold_left (fun s u -> RSet.add u s) t.outs.(block.P.id)
+      (term_uses block.P.term)
+  in
+  sets.(n) <- RSet.elements live;
+  let live = ref live in
+  for i = n - 1 downto 0 do
+    live := transfer block.P.instrs.(i) !live;
+    sets.(i) <- RSet.elements !live
+  done;
+  sets

@@ -1,0 +1,23 @@
+(** Per-block register liveness (backward may-analysis over the CFG).
+
+    Used by the dead-code-elimination pass and the register allocator. A
+    register is live at a point if some path from there reads it before
+    writing it. Function parameters are live at entry by definition;
+    registers are function-local in E32, so calls neither read nor clobber
+    the caller's registers beyond their explicit operands. *)
+
+type t
+
+val compute : Ipet_isa.Prog.func -> t
+
+val live_in : t -> block:int -> Ipet_isa.Instr.reg list
+(** Registers live at the block's entry, sorted. *)
+
+val live_out : t -> block:int -> Ipet_isa.Instr.reg list
+(** Registers live after the block's terminator, sorted. *)
+
+val live_sets_through_block :
+  t -> Ipet_isa.Prog.block -> Ipet_isa.Instr.reg list array
+(** [sets.(i)] = registers live just {e before} instruction [i]; the last
+    entry (index [Array.length instrs]) is the set live just before the
+    terminator. *)

@@ -1,0 +1,55 @@
+type loop = {
+  header : int;
+  body : bool array;
+  back_edges : (int * int) list;
+  depth : int;
+}
+
+let in_loop loop b = loop.body.(b)
+
+let detect cfg dom =
+  let n = Cfg.nblocks cfg in
+  let reachable = Cfg.reachable cfg in
+  (* back edges grouped by header *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun { Cfg.src; dst } ->
+      if reachable.(src) && Dominators.dominates dom dst src then begin
+        let existing = Option.value ~default:[] (Hashtbl.find_opt by_header dst) in
+        Hashtbl.replace by_header dst ((src, dst) :: existing)
+      end)
+    (Cfg.edges cfg);
+  let natural_loop header back_edges =
+    let body = Array.make n false in
+    body.(header) <- true;
+    let rec mark b =
+      if not body.(b) then begin
+        body.(b) <- true;
+        List.iter mark (Cfg.preds cfg b)
+      end
+    in
+    List.iter (fun (src, _) -> mark src) back_edges;
+    { header; body; back_edges = List.rev back_edges; depth = 0 }
+  in
+  let loops =
+    Hashtbl.fold (fun header bes acc -> natural_loop header bes :: acc) by_header []
+    |> List.sort (fun a b -> compare a.header b.header)
+  in
+  (* nesting depth: number of loops whose body contains this header *)
+  List.map
+    (fun l ->
+      let depth =
+        List.length (List.filter (fun outer -> outer.body.(l.header)) loops)
+      in
+      { l with depth })
+    loops
+
+let entry_edges cfg loop =
+  List.filter_map
+    (fun p -> if loop.body.(p) then None else Some (p, loop.header))
+    (Cfg.preds cfg loop.header)
+
+let iteration_edges cfg loop =
+  List.filter_map
+    (fun s -> if loop.body.(s) then Some (loop.header, s) else None)
+    (Cfg.succs cfg loop.header)

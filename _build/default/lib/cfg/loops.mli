@@ -1,0 +1,26 @@
+(** Natural-loop detection.
+
+    The paper's tool detects and marks loops automatically, then asks the
+    user only for iteration bounds (Section III.B). A natural loop is the
+    set of blocks that can reach a back edge [u -> h] (where [h] dominates
+    [u]) without passing through [h]. Loops sharing a header are merged. *)
+
+type loop = {
+  header : int;
+  body : bool array;           (** membership per block, header included *)
+  back_edges : (int * int) list;
+  depth : int;                 (** nesting depth, outermost = 1 *)
+}
+
+val detect : Cfg.t -> Dominators.t -> loop list
+(** Loops ordered by header block id. *)
+
+val entry_edges : Cfg.t -> loop -> (int * int) list
+(** Edges into the header from outside the loop — the loop-entry count of
+    constraints (14)–(15). *)
+
+val iteration_edges : Cfg.t -> loop -> (int * int) list
+(** Edges from the header into the loop body (header self-loops included) —
+    each traversal is one loop iteration. *)
+
+val in_loop : loop -> int -> bool

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Annotation Array Flowvar Format Functional Hashtbl Ipet_cfg Ipet_isa Ipet_lp Ipet_machine Ipet_num List Option Printf String Structural

@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Annotation Functional Ipet_isa Ipet_lp Ipet_machine Structural

@@ -1,0 +1,1 @@
+lib/core/annotation.ml: Array Flowvar Format Ipet_cfg Ipet_isa Ipet_lp Ipet_num List Printf Structural

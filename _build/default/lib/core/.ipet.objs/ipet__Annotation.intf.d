@@ -1,0 +1,1 @@
+lib/core/annotation.mli: Ipet_isa Ipet_lp Structural

@@ -1,0 +1,1 @@
+lib/core/autobound.ml: Annotation Hashtbl Ipet_lang List

@@ -1,0 +1,1 @@
+lib/core/autobound.mli: Annotation Ipet_lang

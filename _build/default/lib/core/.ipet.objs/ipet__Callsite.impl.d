@@ -1,0 +1,1 @@
+lib/core/callsite.ml: Format

@@ -1,0 +1,1 @@
+lib/core/constraint_parser.ml: Annotation Array Char Format Functional List Printf String

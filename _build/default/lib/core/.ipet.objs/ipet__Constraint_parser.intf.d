@@ -1,0 +1,1 @@
+lib/core/constraint_parser.mli: Annotation Functional

@@ -1,0 +1,1 @@
+lib/core/flowvar.ml: Ipet_lp Printf

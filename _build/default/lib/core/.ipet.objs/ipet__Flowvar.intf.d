@@ -1,0 +1,1 @@
+lib/core/flowvar.mli: Ipet_lp

@@ -1,0 +1,1 @@
+lib/core/functional.ml: Array Callsite Flowvar Format Hashtbl Ipet_isa Ipet_lang Ipet_lp Ipet_num List Option String Structural

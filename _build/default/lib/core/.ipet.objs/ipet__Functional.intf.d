@@ -1,0 +1,1 @@
+lib/core/functional.mli: Callsite Format Ipet_isa Ipet_lp Structural

@@ -1,0 +1,1 @@
+lib/core/report.ml: Analysis Array Buffer Format Hashtbl Ipet_isa Ipet_lp List Option Printf String

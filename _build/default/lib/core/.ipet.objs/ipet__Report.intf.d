@@ -1,0 +1,1 @@
+lib/core/report.mli: Analysis Ipet_isa Ipet_lp

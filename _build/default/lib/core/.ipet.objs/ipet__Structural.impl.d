@@ -1,0 +1,1 @@
+lib/core/structural.ml: Array Callsite Flowvar Ipet_cfg Ipet_isa Ipet_lp List Printf String

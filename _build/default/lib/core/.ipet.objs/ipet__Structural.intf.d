@@ -1,0 +1,1 @@
+lib/core/structural.mli: Callsite Flowvar Ipet_isa Ipet_lp

@@ -1,0 +1,365 @@
+module P = Ipet_isa.Prog
+module Layout = Ipet_isa.Layout
+module Cost = Ipet_machine.Cost
+module Icache = Ipet_machine.Icache
+module L = Ipet_lp.Linexpr
+module Lp = Ipet_lp.Lp_problem
+module Ilp = Ipet_lp.Ilp
+module Rat = Ipet_num.Rat
+
+exception Analysis_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Analysis_error s)) fmt
+
+type spec = {
+  prog : P.t;
+  root : string;
+  cache : Icache.config;
+  dcache : Icache.config option;
+  loop_bounds : Annotation.t list;
+  functional : Functional.t list;
+  first_miss_refinement : bool;
+}
+
+let spec ?(cache = Icache.i960kb) ?dcache ?(loop_bounds = []) ?(functional = [])
+    ?(first_miss_refinement = false) ~root prog =
+  { prog; root; cache; dcache; loop_bounds; functional; first_miss_refinement }
+
+type solver_stats = {
+  sets_total : int;
+  sets_pruned : int;
+  sets_solved : int;
+  sets_infeasible : int;
+  lp_calls : int;
+  all_first_lp_integral : bool;
+}
+
+type extreme = {
+  cycles : int;
+  counts : ((string * int) * int) list;
+  binding : string list;
+}
+
+type result = {
+  wcet : extreme;
+  bcet : extreme;
+  wcet_stats : solver_stats;
+  bcet_stats : solver_stats;
+}
+
+let instances spec = Structural.instances spec.prog ~root:spec.root
+
+let structural_constraints spec =
+  Structural.constraints spec.prog (instances spec)
+
+let block_costs spec ~func =
+  let layout = Layout.make spec.prog in
+  Cost.func_bounds ?dcache:spec.dcache spec.cache layout (P.find_func spec.prog func)
+
+(* The Section IV refinement: inside a loop whose code provably stays
+   resident (region fits the cache, hence no self-conflicts, and the loop
+   makes no calls), a block's lines can miss at most once per loop entry.
+   The worst-case objective then charges the block's warm cost per
+   execution plus its full line-fill cost per entry of the outermost such
+   loop, expressed on the loop's entry-edge variables. *)
+let refinement_plan spec layout (func : P.func) =
+  let cfg = Ipet_cfg.Cfg.of_func func in
+  let dom = Ipet_cfg.Dominators.compute cfg in
+  let loops = Ipet_cfg.Loops.detect cfg dom in
+  let eligible (l : Ipet_cfg.Loops.loop) =
+    let no_calls = ref true in
+    let lo_addr = ref max_int and hi_addr = ref 0 in
+    Array.iteri
+      (fun b inside ->
+        if inside then begin
+          if P.calls_of_block func.P.blocks.(b) <> [] then no_calls := false;
+          let addr = Layout.block_addr layout ~func:func.P.name ~block:b in
+          let size = Layout.block_size_bytes layout ~func:func.P.name ~block:b in
+          if addr < !lo_addr then lo_addr := addr;
+          if addr + size > !hi_addr then hi_addr := addr + size
+        end)
+      l.Ipet_cfg.Loops.body;
+    !no_calls && !hi_addr - !lo_addr <= spec.cache.Icache.size_bytes
+  in
+  let eligible_loops = List.filter eligible loops in
+  (* for each block, the outermost (smallest depth) eligible loop holding it *)
+  let plan = Array.make (Array.length func.P.blocks) None in
+  List.iter
+    (fun (l : Ipet_cfg.Loops.loop) ->
+      Array.iteri
+        (fun b inside ->
+          if inside then
+            match plan.(b) with
+            | Some (outer : Ipet_cfg.Loops.loop)
+              when outer.Ipet_cfg.Loops.depth <= l.Ipet_cfg.Loops.depth -> ()
+            | Some _ | None -> plan.(b) <- Some l)
+        l.Ipet_cfg.Loops.body)
+    eligible_loops;
+  (cfg, plan)
+
+(* objective: sum of cost * x over all blocks of all instances *)
+let objective spec insts ~select =
+  let layout = Layout.make spec.prog in
+  let cost_table = Hashtbl.create 16 in
+  let costs_for fname =
+    match Hashtbl.find_opt cost_table fname with
+    | Some c -> c
+    | None ->
+      let c =
+        Cost.func_bounds ?dcache:spec.dcache spec.cache layout
+          (P.find_func spec.prog fname)
+      in
+      Hashtbl.replace cost_table fname c;
+      c
+  in
+  List.fold_left
+    (fun acc (inst : Structural.instance) ->
+      let fname = inst.Structural.func.P.name in
+      let costs = costs_for fname in
+      Array.fold_left
+        (fun acc (b : P.block) ->
+          let c = select costs.(b.P.id) in
+          if c = 0 then acc
+          else
+            L.add acc
+              (L.var ~coeff:(Rat.of_int c)
+                 (Flowvar.name
+                    (Flowvar.Block
+                       { ctx = inst.Structural.ctx; func = fname; block = b.P.id }))))
+        acc inst.Structural.func.P.blocks)
+    L.zero insts
+
+(* worst-case objective with the first-miss refinement enabled *)
+let refined_wcet_objective spec insts =
+  let layout = Layout.make spec.prog in
+  let table = Hashtbl.create 16 in
+  let for_func fname =
+    match Hashtbl.find_opt table fname with
+    | Some v -> v
+    | None ->
+      let func = P.find_func spec.prog fname in
+      let costs = Cost.func_bounds ?dcache:spec.dcache spec.cache layout func in
+      let cfg, plan = refinement_plan spec layout func in
+      let v = (func, costs, cfg, plan) in
+      Hashtbl.replace table fname v;
+      v
+  in
+  List.fold_left
+    (fun acc (inst : Structural.instance) ->
+      let fname = inst.Structural.func.P.name in
+      let ctx = inst.Structural.ctx in
+      let _, costs, cfg, plan = for_func fname in
+      Array.fold_left
+        (fun acc (b : P.block) ->
+          let x =
+            Flowvar.var (Flowvar.Block { ctx; func = fname; block = b.P.id })
+          in
+          match plan.(b.P.id) with
+          | None ->
+            L.add acc (L.scale (Rat.of_int costs.(b.P.id).Cost.worst) x)
+          | Some l ->
+            (* warm cost per execution, plus a full line fill per entry of
+               the resident loop *)
+            let warm =
+              L.scale (Rat.of_int costs.(b.P.id).Cost.worst_warm) x
+            in
+            let fill =
+              costs.(b.P.id).Cost.worst - costs.(b.P.id).Cost.worst_warm
+            in
+            let entries =
+              List.fold_left
+                (fun e (src, dst) ->
+                  L.add e
+                    (Flowvar.var (Flowvar.Edge { ctx; func = fname; src; dst })))
+                L.zero
+                (Ipet_cfg.Loops.entry_edges cfg l)
+            in
+            L.add acc (L.add warm (L.scale (Rat.of_int fill) entries)))
+        acc inst.Structural.func.P.blocks)
+    L.zero insts
+
+let wcet_objective spec =
+  objective spec (instances spec) ~select:(fun b -> b.Cost.worst)
+
+(* aggregate a solver assignment into per-(func, block) counts *)
+let counts_of_assignment insts assignment =
+  let table = Hashtbl.create 32 in
+  List.iter
+    (fun (inst : Structural.instance) ->
+      let fname = inst.Structural.func.P.name in
+      Array.iter
+        (fun (b : P.block) ->
+          let name =
+            Flowvar.name
+              (Flowvar.Block
+                 { ctx = inst.Structural.ctx; func = fname; block = b.P.id })
+          in
+          match List.assoc_opt name assignment with
+          | Some v when not (Rat.is_zero v) ->
+            let key = (fname, b.P.id) in
+            let cur = Option.value ~default:0 (Hashtbl.find_opt table key) in
+            Hashtbl.replace table key (cur + Rat.to_int v)
+          | Some _ | None -> ())
+        inst.Structural.func.P.blocks)
+    insts;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] |> List.sort compare
+
+(* constraints with zero slack at the optimum, excluding plain flow
+   equations: these are the loop bounds and path facts that actually
+   determine the reported extreme *)
+let binding_constraints constraints assignment =
+  let env = Ipet_lp.Simplex.assignment_env assignment in
+  List.filter_map
+    (fun (c : Lp.constr) ->
+      match c.Lp.rel with
+      | Lp.Eq -> None
+      | Lp.Le | Lp.Ge ->
+        if c.Lp.origin <> "" && Rat.is_zero (Ipet_lp.Linexpr.eval env c.Lp.expr)
+        then Some c.Lp.origin
+        else None)
+    constraints
+  |> List.sort_uniq compare
+
+let solve_extreme spec insts base_constraints sets ~direction ~select =
+  let obj =
+    if spec.first_miss_refinement && direction = Lp.Maximize then
+      refined_wcet_objective spec insts
+    else objective spec insts ~select
+  in
+  let better a b =
+    match direction with
+    | Lp.Maximize -> Rat.compare a b > 0
+    | Lp.Minimize -> Rat.compare a b < 0
+  in
+  let best = ref None in
+  let lp_calls = ref 0 in
+  let infeasible = ref 0 in
+  let all_first = ref true in
+  let solved = ref 0 in
+  List.iter
+    (fun set ->
+      let set_constraints =
+        List.map
+          (fun atom -> Functional.atom_to_constr spec.prog insts ~root:spec.root atom)
+          set
+      in
+      let all_constraints = set_constraints @ base_constraints in
+      let problem = Lp.make direction obj all_constraints in
+      incr solved;
+      match Ilp.solve problem with
+      | Ilp.Optimal { value; assignment; stats } ->
+        lp_calls := !lp_calls + stats.Ilp.lp_calls;
+        if not stats.Ilp.first_lp_integral then all_first := false;
+        (match !best with
+         | Some (v, _, _) when not (better value v) -> ()
+         | Some _ | None -> best := Some (value, assignment, all_constraints))
+      | Ilp.Infeasible stats ->
+        lp_calls := !lp_calls + stats.Ilp.lp_calls;
+        incr infeasible
+      | Ilp.Unbounded _ ->
+        fail
+          "ILP unbounded while computing %s: a loop bound or functionality \
+           constraint is missing"
+          (match direction with Lp.Maximize -> "WCET" | Lp.Minimize -> "BCET"))
+    sets;
+  match !best with
+  | None -> fail "every functionality constraint set is infeasible"
+  | Some (value, assignment, constraints) ->
+    let stats =
+      { sets_total = 0;  (* filled by caller *)
+        sets_pruned = 0;
+        sets_solved = !solved;
+        sets_infeasible = !infeasible;
+        lp_calls = !lp_calls;
+        all_first_lp_integral = !all_first }
+    in
+    ( { cycles = Rat.to_int value;
+        counts = counts_of_assignment insts assignment;
+        binding = binding_constraints constraints assignment },
+      stats )
+
+let prepare spec =
+  let insts = instances spec in
+  let structural = Structural.constraints spec.prog insts in
+  let loop_cs, unbounded = Annotation.constraints spec.prog insts spec.loop_bounds in
+  (match unbounded with
+   | [] -> ()
+   | us ->
+     let render (u : Annotation.unbounded) =
+       if u.Annotation.header_line > 0 then
+         Printf.sprintf "%s (header at line %d)" u.Annotation.ufunc
+           u.Annotation.header_line
+       else
+         Printf.sprintf "%s (header block %d)" u.Annotation.ufunc
+           u.Annotation.header_block
+     in
+     fail "missing loop bounds for: %s" (String.concat ", " (List.map render us)));
+  let sets = Functional.dnf spec.functional in
+  let total = List.length sets in
+  let sets, pruned = Functional.prune_null_sets sets in
+  if sets = [] then fail "all %d functionality constraint sets are null" total;
+  (insts, structural @ loop_cs, sets, total, pruned)
+
+let wcet_problems spec =
+  let insts, base, sets, _, _ = prepare spec in
+  let obj =
+    if spec.first_miss_refinement then refined_wcet_objective spec insts
+    else objective spec insts ~select:(fun b -> b.Cost.worst)
+  in
+  List.map
+    (fun set ->
+      let cs =
+        List.map
+          (fun atom -> Functional.atom_to_constr spec.prog insts ~root:spec.root atom)
+          set
+      in
+      Lp.make Lp.Maximize obj (cs @ base))
+    sets
+
+let analyze spec =
+  let insts, base, sets, total, pruned = prepare spec in
+  let wcet, wstats =
+    solve_extreme spec insts base sets ~direction:Lp.Maximize
+      ~select:(fun b -> b.Cost.worst)
+  in
+  let bcet, bstats =
+    solve_extreme spec insts base sets ~direction:Lp.Minimize
+      ~select:(fun b -> b.Cost.best)
+  in
+  { wcet;
+    bcet;
+    wcet_stats = { wstats with sets_total = total; sets_pruned = pruned };
+    bcet_stats = { bstats with sets_total = total; sets_pruned = pruned } }
+
+let estimated_bound spec =
+  let r = analyze spec in
+  (r.bcet.cycles, r.wcet.cycles)
+
+type sensitivity_row = {
+  annotation : Annotation.t;
+  base_wcet : int;
+  tightened_wcet : int;  (** WCET with this loop's [hi] reduced by one *)
+}
+
+(* how much each loop bound is worth: re-solve the WCET with hi-1 for one
+   annotation at a time (the exact discrete analogue of a shadow price) *)
+let wcet_sensitivity spec =
+  let base = (analyze spec).wcet.cycles in
+  List.filteri (fun _ _ -> true) spec.loop_bounds
+  |> List.map (fun (ann : Annotation.t) ->
+    let tightened_wcet =
+      if ann.Annotation.hi <= ann.Annotation.lo then base
+      else begin
+        let loop_bounds =
+          List.map
+            (fun (a : Annotation.t) ->
+              if a == ann then { a with Annotation.hi = a.Annotation.hi - 1 }
+              else a)
+            spec.loop_bounds
+        in
+        match analyze { spec with loop_bounds } with
+        | r -> r.wcet.cycles
+        | exception Analysis_error _ -> base
+      end
+    in
+    { annotation = ann; base_wcet = base; tightened_wcet })

@@ -1,0 +1,111 @@
+(** The IPET timing analysis — the paper's main algorithm.
+
+    For a program, a root function, a micro-architecture configuration,
+    loop-bound annotations and optional functionality constraints, the
+    analysis:
+
+    + expands per-call-site instances and derives structural constraints;
+    + computes per-block cost bounds [c_i] from the machine model;
+    + expands the functionality constraints to DNF and prunes null sets;
+    + for every surviving conjunctive set, solves one ILP maximizing (WCET)
+      or minimizing (BCET) [Σ c_i·x_i];
+    + reports the extreme bound over all sets, the witness block counts, and
+      the solver statistics of Section VI.
+
+    An estimated bound computed this way always encloses any simulated
+    execution of the program whose loop iterations respect the annotations
+    (soundness, Fig. 1). *)
+
+exception Analysis_error of string
+
+type spec = {
+  prog : Ipet_isa.Prog.t;
+  root : string;
+  cache : Ipet_machine.Icache.config;
+  dcache : Ipet_machine.Icache.config option;
+      (** when set, loads are bounded by data-cache hit/miss times instead
+          of the flat memory latency *)
+  loop_bounds : Annotation.t list;
+  functional : Functional.t list;
+  first_miss_refinement : bool;
+      (** Section IV's proposed refinement: inside a loop whose code
+          provably stays cache-resident (its address range fits the cache
+          and it makes no calls), charge each block its all-hit worst cost
+          per execution plus one full line fill per {e loop entry} instead
+          of per iteration. Off by default (the paper's baseline model). *)
+}
+
+val spec :
+  ?cache:Ipet_machine.Icache.config ->
+  ?dcache:Ipet_machine.Icache.config ->
+  ?loop_bounds:Annotation.t list ->
+  ?functional:Functional.t list ->
+  ?first_miss_refinement:bool ->
+  root:string ->
+  Ipet_isa.Prog.t ->
+  spec
+
+type solver_stats = {
+  sets_total : int;      (** conjunctive sets after DNF expansion *)
+  sets_pruned : int;     (** removed as trivially null *)
+  sets_solved : int;     (** ILPs actually handed to the solver *)
+  sets_infeasible : int; (** sets the simplex proved empty *)
+  lp_calls : int;        (** total LP relaxations over all ILPs *)
+  all_first_lp_integral : bool;
+      (** the paper's observation: every first relaxation was integral *)
+}
+
+type extreme = {
+  cycles : int;
+  counts : ((string * int) * int) list;
+      (** witness execution counts per (function, block), aggregated over
+          instances; zero counts omitted *)
+  binding : string list;
+      (** origins of the inequality constraints that are tight at the
+          optimum — the loop bounds and path facts that determine this
+          extreme (flow equations excluded) *)
+}
+
+type result = {
+  wcet : extreme;
+  bcet : extreme;
+  wcet_stats : solver_stats;
+  bcet_stats : solver_stats;
+}
+
+val analyze : spec -> result
+(** @raise Analysis_error when a loop lacks a bound annotation, a
+    functionality constraint does not resolve, every constraint set is
+    infeasible, or the ILP is unbounded. *)
+
+val estimated_bound : spec -> int * int
+(** [(bcet, wcet)] — the paper's estimated bound [[t_min, t_max]]. *)
+
+type sensitivity_row = {
+  annotation : Annotation.t;
+  base_wcet : int;
+  tightened_wcet : int;  (** WCET with this loop's [hi] reduced by one *)
+}
+
+val wcet_sensitivity : spec -> sensitivity_row list
+(** The discrete shadow price of each loop-bound annotation: how much the
+    WCET drops if the bound is tightened by one iteration. Zero-impact
+    bounds are off the critical path; the largest drop tells the user which
+    loop deserves a more precise annotation (or faster code). Re-solves one
+    ILP per annotation. *)
+
+(** {1 Introspection} (used by the figure regeneration and the CLI) *)
+
+val structural_constraints : spec -> Ipet_lp.Lp_problem.constr list
+val instances : spec -> Structural.instance list
+
+val wcet_objective : spec -> Ipet_lp.Linexpr.t
+(** The expression (1): [Σ c_i·x_i] with worst-case costs. *)
+
+val wcet_problems : spec -> Ipet_lp.Lp_problem.t list
+(** The complete ILPs the WCET computation solves, one per surviving
+    conjunctive constraint set — exportable with {!Ipet_lp.Lp_format}.
+    @raise Analysis_error under the same conditions as {!analyze}. *)
+
+val block_costs : spec -> func:string -> Ipet_machine.Cost.bounds array
+(** Per-block cost bounds used for the objective. *)

@@ -1,0 +1,102 @@
+module P = Ipet_isa.Prog
+module Cfg = Ipet_cfg.Cfg
+module Loops = Ipet_cfg.Loops
+module L = Ipet_lp.Linexpr
+module Lp = Ipet_lp.Lp_problem
+
+type t = {
+  func : string;
+  header : [ `Line of int | `Block of int ];
+  lo : int;
+  hi : int;
+}
+
+let loop ~func ~line ~lo ~hi = { func; header = `Line line; lo; hi }
+let loop_at_block ~func ~block ~lo ~hi = { func; header = `Block block; lo; hi }
+
+type unbounded = { ufunc : string; header_block : int; header_line : int }
+
+exception Bad_annotation of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Bad_annotation s)) fmt
+
+let check_sane ann =
+  if ann.lo < 0 || ann.hi < ann.lo then
+    fail "loop bound [%d, %d] on %s is malformed" ann.lo ann.hi ann.func
+
+let matches (func : P.func) (loop : Loops.loop) ann =
+  ann.func = func.P.name
+  && (match ann.header with
+      | `Block b -> b = loop.Loops.header
+      | `Line l -> func.P.blocks.(loop.Loops.header).P.src_line = l)
+
+let constraints _prog insts annotations =
+  List.iter check_sane annotations;
+  let used = Array.make (List.length annotations) false in
+  let acc = ref [] and unbounded = ref [] in
+  List.iter
+    (fun (inst : Structural.instance) ->
+      let func = inst.Structural.func in
+      let ctx = inst.Structural.ctx in
+      let cfg = Cfg.of_func func in
+      let dom = Ipet_cfg.Dominators.compute cfg in
+      let loops = Loops.detect cfg dom in
+      List.iter
+        (fun (l : Loops.loop) ->
+          let edge_sum edges =
+            List.fold_left
+              (fun e (src, dst) ->
+                L.add e
+                  (Flowvar.var
+                     (Flowvar.Edge { ctx; func = func.P.name; src; dst })))
+              L.zero edges
+          in
+          let entry = edge_sum (Loops.entry_edges cfg l) in
+          let iter = edge_sum (Loops.iteration_edges cfg l) in
+          (* apply every matching annotation: several sound bounds on the
+             same loop (e.g. manual + inferred) intersect *)
+          let matched = ref false in
+          List.iteri
+            (fun i ann ->
+              if matches func l ann then begin
+                matched := true;
+                used.(i) <- true;
+                let origin =
+                  Printf.sprintf "loop-bound:%s:B%d:[%d,%d]" func.P.name
+                    l.Loops.header ann.lo ann.hi
+                in
+                acc :=
+                  Lp.ge ~origin iter (L.scale (Ipet_num.Rat.of_int ann.lo) entry)
+                  :: Lp.le ~origin iter (L.scale (Ipet_num.Rat.of_int ann.hi) entry)
+                  :: !acc
+              end)
+            annotations;
+          if not !matched then begin
+            let u =
+              { ufunc = func.P.name;
+                header_block = l.Loops.header;
+                header_line = func.P.blocks.(l.Loops.header).P.src_line }
+            in
+            if not (List.mem u !unbounded) then unbounded := u :: !unbounded
+          end)
+        loops)
+    insts;
+  (* an unused annotation is an error only when its function is part of the
+     analyzed call tree: annotations for other roots are simply ignored *)
+  let analyzed =
+    List.map (fun (i : Structural.instance) -> i.Structural.func.P.name) insts
+  in
+  List.iteri
+    (fun i u ->
+      if not u then begin
+        let ann = List.nth annotations i in
+        if List.mem ann.func analyzed then begin
+          let where = match ann.header with
+            | `Line l -> Printf.sprintf "line %d" l
+            | `Block b -> Printf.sprintf "block %d" b
+          in
+          fail "annotation on %s at %s matches no loop" ann.func where
+        end
+      end)
+    (Array.to_list used);
+  (List.rev !acc, List.rev !unbounded)

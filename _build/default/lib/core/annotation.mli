@@ -1,0 +1,43 @@
+(** Loop-bound annotations — the minimum user information the paper requires
+    (Section III.C): for every loop, how many iterations per entry.
+
+    A bound [lo..hi] on a loop with header [h] becomes, in every instance of
+    the containing function (constraints (14)–(15) generalized):
+    {v  lo * (entries into h)  <=  (header->body traversals)  <=  hi * (entries into h)  v}
+
+    Caveat for compound conditions: [while (a && b)] compiles to two test
+    blocks and the header is the [a] test, so the bounded edge counts
+    {e a-true evaluations}. When the loop can exit through [b], that count
+    can exceed the body executions by one per entry — size [hi]
+    accordingly. *)
+
+type t = {
+  func : string;
+  header : [ `Line of int | `Block of int ];
+      (** loop identified by its header's source line (recommended — stable
+          across compiler changes) or raw block id *)
+  lo : int;
+  hi : int;
+}
+
+val loop : func:string -> line:int -> lo:int -> hi:int -> t
+val loop_at_block : func:string -> block:int -> lo:int -> hi:int -> t
+
+type unbounded = {
+  ufunc : string;
+  header_block : int;
+  header_line : int;  (** 0 when unknown *)
+}
+
+val constraints :
+  Ipet_isa.Prog.t ->
+  Structural.instance list ->
+  t list ->
+  Ipet_lp.Lp_problem.constr list * unbounded list
+(** Loop-bound constraints for every loop of every instance, plus the list
+    of loops that no annotation covers (the caller should refuse to analyze
+    if it is non-empty — otherwise the ILP is unbounded). *)
+
+exception Bad_annotation of string
+(** Raised for annotations that match no loop, or with [lo > hi] / negative
+    bounds. *)

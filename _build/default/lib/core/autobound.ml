@@ -1,0 +1,112 @@
+module Ast = Ipet_lang.Ast
+
+(* does any statement in the list (recursively) assign to [name]? *)
+let rec assigns_var name stmts = List.exists (assigns_in_stmt name) stmts
+
+and assigns_in_stmt name (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Assign (Ast.Lvar v, _) -> v = name
+  | Ast.Assign (Ast.Lindex _, _) -> false
+  | Ast.Decl (_, v, _) -> v = name  (* shadowing would confuse the count *)
+  | Ast.Decl_array (_, v, _) -> v = name
+  | Ast.Expr_stmt _ | Ast.Return _ | Ast.Break | Ast.Continue -> false
+  | Ast.If (_, then_b, else_b) -> assigns_var name then_b || assigns_var name else_b
+  | Ast.While (_, body) | Ast.Do_while (body, _) -> assigns_var name body
+  | Ast.For (init, _, step, body) ->
+    (match init with Some s -> assigns_in_stmt name s | None -> false)
+    || (match step with Some s -> assigns_in_stmt name s | None -> false)
+    || assigns_var name body
+  | Ast.Block stmts -> assigns_var name stmts
+
+(* can control leave the loop early, other than by the loop condition?
+   [break] and [return] directly in the body count; those inside a nested
+   loop count only for that nested loop (break) but return always escapes. *)
+let rec escapes stmts = List.exists escape_in_stmt stmts
+
+and escape_in_stmt (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Break | Ast.Return _ -> true
+  | Ast.Continue -> false
+  | Ast.If (_, then_b, else_b) -> escapes then_b || escapes else_b
+  | Ast.While (_, body) | Ast.Do_while (body, _) | Ast.For (_, _, _, body) ->
+    (* a nested loop swallows breaks but not returns *)
+    returns body
+  | Ast.Block stmts -> escapes stmts
+  | Ast.Assign _ | Ast.Decl _ | Ast.Decl_array _ | Ast.Expr_stmt _ -> false
+
+and returns stmts = List.exists return_in_stmt stmts
+
+and return_in_stmt (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Return _ -> true
+  | Ast.Break | Ast.Continue -> false
+  | Ast.If (_, then_b, else_b) -> returns then_b || returns else_b
+  | Ast.While (_, body) | Ast.Do_while (body, _) | Ast.For (_, _, _, body) ->
+    returns body
+  | Ast.Block stmts -> returns stmts
+  | Ast.Assign _ | Ast.Decl _ | Ast.Decl_array _ | Ast.Expr_stmt _ -> false
+
+let ceil_div a b = if a <= 0 then 0 else (a + b - 1) / b
+
+(* recognize [for (i = c0; i <(=) c1; i = i + c2)] and compute the trip
+   count; [None] when the shape does not match *)
+let counted_loop init cond step body =
+  match (init, cond, step) with
+  | ( Some { Ast.sdesc = Ast.Assign (Ast.Lvar i0, { Ast.desc = Ast.Int_lit c0; _ }); _ },
+      Some { Ast.desc = Ast.Binop ((Ast.Lt | Ast.Le) as rel,
+                                   { Ast.desc = Ast.Var i1; _ },
+                                   { Ast.desc = Ast.Int_lit c1; _ });
+             Ast.eline = cond_line },
+      Some { Ast.sdesc = Ast.Assign (Ast.Lvar i2,
+                                     { Ast.desc = Ast.Binop (Ast.Add,
+                                                             { Ast.desc = Ast.Var i3; _ },
+                                                             { Ast.desc = Ast.Int_lit c2; _ });
+                                       _ });
+             _ } )
+    when i0 = i1 && i1 = i2 && i2 = i3 && c2 > 0 && not (assigns_var i0 body) ->
+    let span = match rel with Ast.Lt -> c1 - c0 | _ -> c1 - c0 + 1 in
+    Some (cond_line, ceil_div span c2)
+  | _ -> None
+
+let rec infer_stmts fname stmts =
+  List.concat_map (infer_stmt fname) stmts
+
+and infer_stmt fname (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.For (init, cond, step, body) ->
+    let nested = infer_stmts fname body in
+    (match counted_loop init cond step body with
+     | Some (line, trips) ->
+       let lo = if escapes body then 0 else trips in
+       Annotation.loop ~func:fname ~line ~lo ~hi:trips :: nested
+     | None -> nested)
+  | Ast.While (_, body) | Ast.Do_while (body, _) -> infer_stmts fname body
+  | Ast.If (_, then_b, else_b) -> infer_stmts fname then_b @ infer_stmts fname else_b
+  | Ast.Block stmts -> infer_stmts fname stmts
+  | Ast.Assign _ | Ast.Decl _ | Ast.Decl_array _ | Ast.Expr_stmt _
+  | Ast.Return _ | Ast.Break | Ast.Continue -> []
+
+(* A line-based annotation applies to every loop whose header sits on that
+   line, so when two counted loops share a source line their inferred
+   bounds must be merged into the (sound) envelope [min lo, max hi]. *)
+let merge_same_line bounds =
+  let table = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (b : Annotation.t) ->
+      let key = (b.Annotation.func, b.Annotation.header) in
+      match Hashtbl.find_opt table key with
+      | None ->
+        Hashtbl.replace table key b;
+        order := key :: !order
+      | Some prev ->
+        Hashtbl.replace table key
+          { prev with
+            Annotation.lo = min prev.Annotation.lo b.Annotation.lo;
+            Annotation.hi = max prev.Annotation.hi b.Annotation.hi })
+    bounds;
+  List.rev_map (fun key -> Hashtbl.find table key) !order
+
+let infer_func (f : Ast.func) = merge_same_line (infer_stmts f.Ast.fname f.Ast.body)
+
+let infer (program : Ast.program) = List.concat_map infer_func program.Ast.funcs

@@ -1,0 +1,23 @@
+(** Automatic loop-bound inference — the paper's Section VII future work
+    ("using symbolic analysis techniques to automatically derive some of the
+    functionality constraints").
+
+    The analyzer recognizes counted [for] loops of the shape
+
+    {v for (i = c0; i < c1; i = i + c2) body      (also <=) v}
+
+    with integer-literal [c0], [c1], [c2 > 0] and an induction variable that
+    the body never reassigns (MC has no pointers, so a call cannot modify a
+    local either — the check is purely syntactic and sound). Such a loop
+    runs exactly [ceil((c1 - c0) / c2)] (resp. [+1] for [<=]) iterations per
+    entry, unless a [break] or [return] inside the body can leave early, in
+    which case only the upper bound is kept.
+
+    Bounds the user supplies explicitly always take precedence: pass the
+    inferred list {e after} the manual one to {!Analysis.spec} — annotation
+    matching picks the first match. *)
+
+val infer : Ipet_lang.Ast.program -> Annotation.t list
+(** Inferred bounds for every recognizable loop of every function. *)
+
+val infer_func : Ipet_lang.Ast.func -> Annotation.t list

@@ -1,0 +1,5 @@
+type t = { block : int; occurrence : int }
+
+let make ?(occurrence = 0) block = { block; occurrence }
+
+let pp fmt t = Format.fprintf fmt "B%d.%d" t.block t.occurrence

@@ -1,0 +1,11 @@
+(** A call site within a function: which block, and which call occurrence
+    inside that block (blocks may contain several calls). Paths of call
+    sites starting at the analysis root identify function instances — the
+    paper's [x8.f1] notation. *)
+
+type t = { block : int; occurrence : int }
+
+val make : ?occurrence:int -> int -> t
+(** [make block] is the first call in that block. *)
+
+val pp : Format.formatter -> t -> unit

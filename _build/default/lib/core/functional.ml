@@ -1,0 +1,271 @@
+module P = Ipet_isa.Prog
+module L = Ipet_lp.Linexpr
+module Lp = Ipet_lp.Lp_problem
+
+type count_ref =
+  | Block_ref of { func : string; block : int }
+  | Line_ref of { func : string; line : int }
+  | Scoped_ref of { path : Callsite.t list; func : string; block : int }
+  | Scoped_line_ref of { path : Callsite.t list; func : string; line : int }
+
+type lin = { terms : (int * count_ref) list; const : int }
+
+type rel = Le | Ge | Eq
+
+type atom = { lhs : lin; rel : rel; rhs : lin }
+
+type t = Rel of atom | And of t list | Or of t list
+
+let x ~func block = { terms = [ (1, Block_ref { func; block }) ]; const = 0 }
+let x_at ~func ~line = { terms = [ (1, Line_ref { func; line }) ]; const = 0 }
+
+let x_in ~path ~func block =
+  { terms = [ (1, Scoped_ref { path; func; block }) ]; const = 0 }
+
+let x_at_in ~path ~func ~line =
+  { terms = [ (1, Scoped_line_ref { path; func; line }) ]; const = 0 }
+
+let const c = { terms = []; const = c }
+
+let scale k lin =
+  { terms = List.map (fun (c, r) -> (k * c, r)) lin.terms; const = k * lin.const }
+
+let add a b = { terms = a.terms @ b.terms; const = a.const + b.const }
+let sub a b = add a (scale (-1) b)
+
+let ( =. ) lhs rhs = Rel { lhs; rel = Eq; rhs }
+let ( <=. ) lhs rhs = Rel { lhs; rel = Le; rhs }
+let ( >=. ) lhs rhs = Rel { lhs; rel = Ge; rhs }
+let ( &&. ) a b = And [ a; b ]
+let ( ||. ) a b = Or [ a; b ]
+let conj ts = And ts
+let disj ts = Or ts
+
+type conj_set = atom list
+
+(* DNF of one constraint: a list of alternative conjunctive sets *)
+let rec dnf_one = function
+  | Rel a -> [ [ a ] ]
+  | And ts ->
+    List.fold_left
+      (fun acc t ->
+        let alts = dnf_one t in
+        List.concat_map (fun set -> List.map (fun alt -> set @ alt) alts) acc)
+      [ [] ] ts
+  | Or ts -> List.concat_map dnf_one ts
+
+let dnf constraints = dnf_one (And constraints)
+
+(* --- null-set pruning --------------------------------------------------- *)
+
+(* normalize an atom into (terms, rel, bound): sum(terms) rel bound *)
+let normalize { lhs; rel; rhs } =
+  let d = sub lhs rhs in
+  (d.terms, rel, -d.const)
+
+(* merge duplicate refs so that [x - x <= -1] style contradictions and
+   single-variable bounds are recognized *)
+let merge_terms terms =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun (c, r) ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt table r) in
+      Hashtbl.replace table r (cur + c))
+    terms;
+  Hashtbl.fold (fun r c acc -> if c = 0 then acc else (c, r) :: acc) table []
+
+exception Contradiction
+
+let prune_null_sets sets =
+  let is_null set =
+    (* intervals per single-variable ref; execution counts are >= 0 *)
+    let lo = Hashtbl.create 8 and hi = Hashtbl.create 8 in
+    let tighten_lo r v =
+      let cur = Option.value ~default:0 (Hashtbl.find_opt lo r) in
+      if v > cur then Hashtbl.replace lo r v
+    in
+    let tighten_hi r v =
+      match Hashtbl.find_opt hi r with
+      | Some cur when cur <= v -> ()
+      | Some _ | None -> Hashtbl.replace hi r v
+    in
+    try
+      List.iter
+        (fun atom ->
+          let terms, rel, bound = normalize atom in
+          match merge_terms terms with
+          | [] ->
+            (* constant atom: 0 rel bound *)
+            let sat = match rel with
+              | Le -> 0 <= bound
+              | Ge -> 0 >= bound
+              | Eq -> bound = 0
+            in
+            if not sat then raise Contradiction
+          | [ (c, r) ] ->
+            (* c*x rel bound; only exact integer deductions *)
+            let le v = tighten_hi r v and ge v = tighten_lo r v in
+            (match rel with
+             | Eq ->
+               if bound mod c <> 0 then raise Contradiction
+               else begin
+                 le (bound / c);
+                 ge (bound / c)
+               end
+             | Le ->
+               if c > 0 then begin
+                 (* x <= floor(bound/c) *)
+                 let q = if bound >= 0 then bound / c else -(((-bound) + c - 1) / c) in
+                 le q
+               end
+               else begin
+                 let c = -c in
+                 (* x >= ceil(-bound'/...) : -c x <= bound => x >= -bound/c *)
+                 let v = -bound in
+                 let q = if v >= 0 then (v + c - 1) / c else -((-v) / c) in
+                 ge q
+               end
+             | Ge ->
+               if c > 0 then begin
+                 let q = if bound >= 0 then (bound + c - 1) / c else -((-bound) / c) in
+                 ge q
+               end
+               else begin
+                 let c = -c in
+                 let v = -bound in
+                 let q = if v >= 0 then v / c else -(((-v) + c - 1) / c) in
+                 le q
+               end)
+          | _ :: _ :: _ -> ())
+        set;
+      (* empty interval? (counts are naturally >= 0, so hi < 0 is null too) *)
+      Hashtbl.iter
+        (fun r h ->
+          if h < 0 then raise Contradiction;
+          let l = Option.value ~default:0 (Hashtbl.find_opt lo r) in
+          if l > h then raise Contradiction)
+        hi;
+      false
+    with Contradiction -> true
+  in
+  let survivors = List.filter (fun s -> not (is_null s)) sets in
+  (survivors, List.length sets - List.length survivors)
+
+(* --- resolution --------------------------------------------------------- *)
+
+exception Resolution_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Resolution_error s)) fmt
+
+let resolve_line prog ~func ~line =
+  let f =
+    match P.find_func_opt prog func with
+    | Some f -> f
+    | None -> fail "unknown function %s" func
+  in
+  match Ipet_lang.Frontend.block_at_line f line with
+  | Some b -> b
+  | None -> fail "no basic block of %s starts at line %d" func line
+
+let check_block prog ~func ~block =
+  match P.find_func_opt prog func with
+  | None -> fail "unknown function %s" func
+  | Some f ->
+    if block < 0 || block >= Array.length f.P.blocks then
+      fail "%s has no block %d" func block
+
+let ref_to_linexpr prog insts ~root r =
+  let scoped path func block =
+    match Structural.instance_at insts ~root ~path with
+    | Some inst when inst.Structural.func.P.name = func ->
+      Flowvar.var
+        (Flowvar.Block { ctx = inst.Structural.ctx; func; block })
+    | Some inst ->
+      fail "call path reaches %s, not %s" inst.Structural.func.P.name func
+    | None -> fail "no instance of %s on the given call path" func
+  in
+  match r with
+  | Block_ref { func; block } ->
+    check_block prog ~func ~block;
+    let sum = Structural.block_sum insts ~func ~block in
+    if L.equal sum L.zero then fail "function %s is never called from the root" func;
+    sum
+  | Line_ref { func; line } ->
+    let block = resolve_line prog ~func ~line in
+    let sum = Structural.block_sum insts ~func ~block in
+    if L.equal sum L.zero then fail "function %s is never called from the root" func;
+    sum
+  | Scoped_ref { path; func; block } ->
+    check_block prog ~func ~block;
+    scoped path func block
+  | Scoped_line_ref { path; func; line } ->
+    scoped path func (resolve_line prog ~func ~line)
+
+let lin_to_linexpr prog insts ~root lin =
+  List.fold_left
+    (fun acc (c, r) ->
+      L.add acc (L.scale (Ipet_num.Rat.of_int c) (ref_to_linexpr prog insts ~root r)))
+    (L.of_int lin.const) lin.terms
+
+let atom_to_constr prog insts ~root atom =
+  let lhs = lin_to_linexpr prog insts ~root atom.lhs in
+  let rhs = lin_to_linexpr prog insts ~root atom.rhs in
+  let origin = "functional" in
+  match atom.rel with
+  | Le -> Lp.le ~origin lhs rhs
+  | Ge -> Lp.ge ~origin lhs rhs
+  | Eq -> Lp.eq ~origin lhs rhs
+
+(* --- printing ----------------------------------------------------------- *)
+
+let pp_ref fmt = function
+  | Block_ref { func; block } -> Format.fprintf fmt "x_%s_%d" func block
+  | Line_ref { func; line } -> Format.fprintf fmt "x_%s@L%d" func line
+  | Scoped_ref { path; func; block } ->
+    Format.fprintf fmt "x_%s_%d.%s" func block
+      (String.concat "." (List.map (Format.asprintf "%a" Callsite.pp) path))
+  | Scoped_line_ref { path; func; line } ->
+    Format.fprintf fmt "x_%s@L%d.%s" func line
+      (String.concat "." (List.map (Format.asprintf "%a" Callsite.pp) path))
+
+let pp_lin fmt lin =
+  let first = ref true in
+  let sep sign =
+    if !first then begin
+      first := false;
+      if sign < 0 then Format.pp_print_string fmt "-"
+    end
+    else Format.pp_print_string fmt (if sign < 0 then " - " else " + ")
+  in
+  List.iter
+    (fun (c, r) ->
+      if c <> 0 then begin
+        sep c;
+        if abs c <> 1 then Format.fprintf fmt "%d " (abs c);
+        pp_ref fmt r
+      end)
+    lin.terms;
+  if lin.const <> 0 || !first then begin
+    sep lin.const;
+    Format.fprintf fmt "%d" (abs lin.const)
+  end
+
+let rel_string = function Le -> "<=" | Ge -> ">=" | Eq -> "="
+
+let pp_atom fmt a =
+  Format.fprintf fmt "%a %s %a" pp_lin a.lhs (rel_string a.rel) pp_lin a.rhs
+
+let rec pp fmt = function
+  | Rel a -> pp_atom fmt a
+  | And ts ->
+    Format.fprintf fmt "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " & ")
+         pp)
+      ts
+  | Or ts ->
+    Format.fprintf fmt "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " | ")
+         pp)
+      ts

@@ -1,0 +1,75 @@
+(** Program functionality constraints — Section III.C.
+
+    Users express path facts as linear (in)equalities over execution counts,
+    combined with conjunction ([&]) and disjunction ([|]). A disjunctive
+    constraint system expands into a {e set of conjunctive constraint sets}
+    (DNF); each set is combined with the structural constraints and solved
+    as a separate ILP, exactly as the paper describes. Trivially
+    contradictory sets (e.g. [x3 = 0 & x3 = 1]) are pruned before reaching
+    the solver — the mechanism that reduces dhry's 2³ sets to 3. *)
+
+type count_ref =
+  | Block_ref of { func : string; block : int }
+      (** [x_i]: count of a block, summed over every instance of the
+          function *)
+  | Line_ref of { func : string; line : int }
+      (** the block starting at a source line (as shown by {!Report}) *)
+  | Scoped_ref of { path : Callsite.t list; func : string; block : int }
+      (** [x8.f1]-style: the block's count within the instance reached by
+          the given call path from the analysis root *)
+  | Scoped_line_ref of { path : Callsite.t list; func : string; line : int }
+
+type lin = { terms : (int * count_ref) list; const : int }
+
+type rel = Le | Ge | Eq
+
+type atom = { lhs : lin; rel : rel; rhs : lin }
+
+type t = Rel of atom | And of t list | Or of t list
+
+(** {1 Construction} *)
+
+val x : func:string -> int -> lin
+val x_at : func:string -> line:int -> lin
+val x_in : path:Callsite.t list -> func:string -> int -> lin
+val x_at_in : path:Callsite.t list -> func:string -> line:int -> lin
+val const : int -> lin
+val scale : int -> lin -> lin
+val add : lin -> lin -> lin
+val sub : lin -> lin -> lin
+
+val ( =. ) : lin -> lin -> t
+val ( <=. ) : lin -> lin -> t
+val ( >=. ) : lin -> lin -> t
+val ( &&. ) : t -> t -> t
+val ( ||. ) : t -> t -> t
+val conj : t list -> t
+val disj : t list -> t
+
+(** {1 DNF expansion and pruning} *)
+
+type conj_set = atom list
+(** One conjunctive constraint set. *)
+
+val dnf : t list -> conj_set list
+(** Expand the conjunction of the given constraints into disjunctive normal
+    form. With no disjunctions the result is a single set. *)
+
+val prune_null_sets : conj_set list -> conj_set list * int
+(** Drop sets whose single-variable atoms are contradictory (interval
+    emptiness), returning survivors and the number pruned. *)
+
+(** {1 Resolution to LP constraints} *)
+
+exception Resolution_error of string
+
+val atom_to_constr :
+  Ipet_isa.Prog.t ->
+  Structural.instance list ->
+  root:string ->
+  atom ->
+  Ipet_lp.Lp_problem.constr
+(** @raise Resolution_error on dangling block/line/path references. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_atom : Format.formatter -> atom -> unit

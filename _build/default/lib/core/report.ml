@@ -1,0 +1,61 @@
+module P = Ipet_isa.Prog
+
+let annotated_source ~source prog ~func =
+  let f = P.find_func prog func in
+  let labels = Hashtbl.create 16 in
+  Array.iter
+    (fun (b : P.block) ->
+      if b.P.src_line > 0 then begin
+        let cur = Option.value ~default:[] (Hashtbl.find_opt labels b.P.src_line) in
+        Hashtbl.replace labels b.P.src_line (cur @ [ b.P.id ])
+      end)
+    f.P.blocks;
+  let buf = Buffer.create 256 in
+  let lines = String.split_on_char '\n' source in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let tag =
+        match Hashtbl.find_opt labels lineno with
+        | Some blocks ->
+          String.concat " " (List.map (Printf.sprintf "x%d") blocks)
+        | None -> ""
+      in
+      Buffer.add_string buf (Printf.sprintf "%8s |%4d| %s\n" tag lineno line))
+    lines;
+  Buffer.contents buf
+
+let constraints_listing constraints =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun c ->
+      Buffer.add_string buf (Format.asprintf "%a\n" Ipet_lp.Lp_problem.pp_constr c))
+    constraints;
+  Buffer.contents buf
+
+let bound_summary (r : Analysis.result) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "estimated bound: [%d, %d] cycles\n" r.Analysis.bcet.Analysis.cycles
+       r.Analysis.wcet.Analysis.cycles);
+  Buffer.add_string buf "worst-case block counts:\n";
+  List.iter
+    (fun ((func, block), count) ->
+      Buffer.add_string buf (Printf.sprintf "  %s B%d: %d\n" func block count))
+    r.Analysis.wcet.Analysis.counts;
+  if r.Analysis.wcet.Analysis.binding <> [] then begin
+    Buffer.add_string buf "binding constraints at the WCET:\n";
+    List.iter
+      (fun origin -> Buffer.add_string buf (Printf.sprintf "  %s\n" origin))
+      r.Analysis.wcet.Analysis.binding
+  end;
+  let s = r.Analysis.wcet_stats in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "constraint sets: %d total, %d pruned as null, %d solved (%d infeasible)\n"
+       s.Analysis.sets_total s.Analysis.sets_pruned s.Analysis.sets_solved
+       s.Analysis.sets_infeasible);
+  Buffer.add_string buf
+    (Printf.sprintf "LP calls: %d; first relaxation integral in every ILP: %b\n"
+       s.Analysis.lp_calls s.Analysis.all_first_lp_integral);
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Cinderella-style reporting: annotated source listings (Fig. 5) and
+    constraint dumps. *)
+
+val annotated_source :
+  source:string -> Ipet_isa.Prog.t -> func:string -> string
+(** The function's source lines prefixed with the [x_i] labels of the basic
+    blocks starting on each line, like the paper's Fig. 5. *)
+
+val constraints_listing : Ipet_lp.Lp_problem.constr list -> string
+(** One constraint per line, with provenance. *)
+
+val bound_summary :
+  Analysis.result -> string
+(** Human-readable estimated bound, witness counts and solver statistics. *)

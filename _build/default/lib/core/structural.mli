@@ -1,0 +1,33 @@
+(** Structural constraints — Section III.B.
+
+    Derived automatically from the CFG: at every basic block, the execution
+    count equals both the inflow and the outflow (constraints (2)–(9) of the
+    paper); the root's entry edge is pinned to 1 (constraint (13)); every
+    call site's f-edge count equals the count of the block containing it,
+    and feeds the entry edge of the callee's per-site instance (constraints
+    (10)–(12) via virtual inlining). *)
+
+type instance = {
+  ctx : Flowvar.ctx;
+  func : Ipet_isa.Prog.func;
+  sites : (Callsite.t * string * Flowvar.ctx) list;
+      (** call sites of this instance: site, callee name, and the callee
+          instance's context *)
+}
+
+val instances : Ipet_isa.Prog.t -> root:string -> instance list
+(** Every function instance reachable from the root, root first, one per
+    call path (virtual inlining).
+    @raise Invalid_argument on recursive programs or an unknown root. *)
+
+val constraints :
+  Ipet_isa.Prog.t -> instance list -> Ipet_lp.Lp_problem.constr list
+(** All structural constraints of the expanded program. *)
+
+val block_sum : instance list -> func:string -> block:int -> Ipet_lp.Linexpr.t
+(** Sum of the block's count variable across every instance of [func] —
+    what an unqualified [x_i] means in user constraints. *)
+
+val instance_at :
+  instance list -> root:string -> path:Callsite.t list -> instance option
+(** Follow a call-site path from the root instance. *)

@@ -1,0 +1,1 @@
+lib/isa/prog.ml: Array Format Instr List

@@ -1,0 +1,113 @@
+type reg = int
+
+type operand = Reg of reg | Imm of int | Fimm of float
+
+type base = Abs of int | Frame_base
+
+type addr = { base : base; offset : int; index : operand option }
+
+type alu_op = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+type fpu_op = Fadd | Fsub | Fmul | Fdiv
+type cmp_op = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type t =
+  | Alu of alu_op * reg * operand * operand
+  | Fpu of fpu_op * reg * operand * operand
+  | Icmp of cmp_op * reg * operand * operand
+  | Fcmp of cmp_op * reg * operand * operand
+  | Mov of reg * operand
+  | Itof of reg * operand
+  | Ftoi of reg * operand
+  | Load of reg * addr
+  | Store of operand * addr
+  | Call of reg option * string * operand list
+
+type terminator =
+  | Jump of int
+  | Branch of reg * int * int
+  | Return of operand option
+
+let bytes_per_instr = 4
+
+let operand_uses = function Reg r -> [ r ] | Imm _ | Fimm _ -> []
+
+let addr_uses a = match a.index with Some op -> operand_uses op | None -> []
+
+let defs = function
+  | Alu (_, d, _, _) | Fpu (_, d, _, _) | Icmp (_, d, _, _) | Fcmp (_, d, _, _)
+  | Mov (d, _) | Itof (d, _) | Ftoi (d, _) | Load (d, _) -> [ d ]
+  | Store (_, _) -> []
+  | Call (Some d, _, _) -> [ d ]
+  | Call (None, _, _) -> []
+
+let uses = function
+  | Alu (_, _, a, b) | Fpu (_, _, a, b) | Icmp (_, _, a, b) | Fcmp (_, _, a, b) ->
+    operand_uses a @ operand_uses b
+  | Mov (_, a) | Itof (_, a) | Ftoi (_, a) -> operand_uses a
+  | Load (_, addr) -> addr_uses addr
+  | Store (v, addr) -> operand_uses v @ addr_uses addr
+  | Call (_, _, args) -> List.concat_map operand_uses args
+
+let is_load = function Load _ -> true | _ -> false
+let is_store = function Store _ -> true | _ -> false
+let is_call = function Call _ -> true | _ -> false
+
+let alu_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+
+let fpu_name = function
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+
+let cmp_name = function
+  | Ceq -> "eq" | Cne -> "ne" | Clt -> "lt" | Cle -> "le" | Cgt -> "gt" | Cge -> "ge"
+
+let float_literal f =
+  (* keep float immediates distinguishable from ints in the listing *)
+  let s = Printf.sprintf "%.17g" f in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'n' || c = 'i') s then s
+  else s ^ "."
+
+let pp_operand fmt = function
+  | Reg r -> Format.fprintf fmt "r%d" r
+  | Imm i -> Format.fprintf fmt "#%d" i
+  | Fimm f -> Format.fprintf fmt "#%s" (float_literal f)
+
+let pp_addr fmt a =
+  (match a.base with
+   | Abs w -> Format.fprintf fmt "[%d" w
+   | Frame_base -> Format.fprintf fmt "[fp");
+  if a.offset <> 0 then Format.fprintf fmt "+%d" a.offset;
+  (match a.index with
+   | Some op -> Format.fprintf fmt "+%a" pp_operand op
+   | None -> ());
+  Format.fprintf fmt "]"
+
+let pp fmt = function
+  | Alu (op, d, a, b) ->
+    Format.fprintf fmt "%s r%d, %a, %a" (alu_name op) d pp_operand a pp_operand b
+  | Fpu (op, d, a, b) ->
+    Format.fprintf fmt "%s r%d, %a, %a" (fpu_name op) d pp_operand a pp_operand b
+  | Icmp (op, d, a, b) ->
+    Format.fprintf fmt "cmp.%s r%d, %a, %a" (cmp_name op) d pp_operand a pp_operand b
+  | Fcmp (op, d, a, b) ->
+    Format.fprintf fmt "fcmp.%s r%d, %a, %a" (cmp_name op) d pp_operand a pp_operand b
+  | Mov (d, a) -> Format.fprintf fmt "mov r%d, %a" d pp_operand a
+  | Itof (d, a) -> Format.fprintf fmt "itof r%d, %a" d pp_operand a
+  | Ftoi (d, a) -> Format.fprintf fmt "ftoi r%d, %a" d pp_operand a
+  | Load (d, a) -> Format.fprintf fmt "ld r%d, %a" d pp_addr a
+  | Store (v, a) -> Format.fprintf fmt "st %a, %a" pp_operand v pp_addr a
+  | Call (dst, f, args) ->
+    (match dst with
+     | Some d -> Format.fprintf fmt "call r%d, %s(" d f
+     | None -> Format.fprintf fmt "call %s(" f);
+    List.iteri
+      (fun i a -> Format.fprintf fmt "%s%a" (if i > 0 then ", " else "") pp_operand a)
+      args;
+    Format.fprintf fmt ")"
+
+let pp_terminator fmt = function
+  | Jump b -> Format.fprintf fmt "jmp B%d" b
+  | Branch (r, t, f) -> Format.fprintf fmt "br r%d ? B%d : B%d" r t f
+  | Return None -> Format.fprintf fmt "ret"
+  | Return (Some op) -> Format.fprintf fmt "ret %a" pp_operand op

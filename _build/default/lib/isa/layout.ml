@@ -1,0 +1,41 @@
+type t = {
+  block_addrs : (string * int, int) Hashtbl.t;
+  block_sizes : (string * int, int) Hashtbl.t;
+  func_addrs : (string, int) Hashtbl.t;
+  code_size : int;
+}
+
+let make (program : Prog.t) =
+  let block_addrs = Hashtbl.create 64 in
+  let block_sizes = Hashtbl.create 64 in
+  let func_addrs = Hashtbl.create 16 in
+  let cursor = ref 0 in
+  Array.iter
+    (fun (f : Prog.func) ->
+      Hashtbl.replace func_addrs f.Prog.name !cursor;
+      Array.iter
+        (fun (b : Prog.block) ->
+          let size = Prog.block_size_instrs b * Instr.bytes_per_instr in
+          Hashtbl.replace block_addrs (f.Prog.name, b.Prog.id) !cursor;
+          Hashtbl.replace block_sizes (f.Prog.name, b.Prog.id) size;
+          cursor := !cursor + size)
+        f.Prog.blocks)
+    program.Prog.funcs;
+  { block_addrs; block_sizes; func_addrs; code_size = !cursor }
+
+let block_addr t ~func ~block =
+  match Hashtbl.find_opt t.block_addrs (func, block) with
+  | Some a -> a
+  | None -> raise Not_found
+
+let block_size_bytes t ~func ~block =
+  match Hashtbl.find_opt t.block_sizes (func, block) with
+  | Some s -> s
+  | None -> raise Not_found
+
+let func_addr t name =
+  match Hashtbl.find_opt t.func_addrs name with
+  | Some a -> a
+  | None -> raise Not_found
+
+let code_size t = t.code_size

@@ -1,0 +1,23 @@
+(** Code-address layout.
+
+    Assigns every basic block a byte address in a flat code space (functions
+    laid out in program order, blocks in block order, fixed 4-byte
+    instructions). The instruction-cache model maps these addresses to cache
+    lines, so two blocks conflict in the cache exactly when their address
+    ranges collide modulo the cache size — as on the real i960KB. *)
+
+type t
+
+val make : Prog.t -> t
+
+val block_addr : t -> func:string -> block:int -> int
+(** Byte address of the block's first instruction.
+    @raise Not_found for an unknown function. *)
+
+val block_size_bytes : t -> func:string -> block:int -> int
+
+val func_addr : t -> string -> int
+(** @raise Not_found for an unknown function. *)
+
+val code_size : t -> int
+(** Total code size in bytes. *)

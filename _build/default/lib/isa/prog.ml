@@ -1,0 +1,115 @@
+type block = {
+  id : int;
+  instrs : Instr.t array;
+  term : Instr.terminator;
+  src_line : int;
+}
+
+type func = {
+  name : string;
+  nparams : int;
+  frame_words : int;
+  blocks : block array;
+}
+
+type global = { gname : string; addr : int; size_words : int }
+
+type t = { funcs : func array; globals : global list; globals_words : int }
+
+let find_func_opt program name =
+  Array.find_opt (fun f -> f.name = name) program.funcs
+
+let find_func program name =
+  match find_func_opt program name with
+  | Some f -> f
+  | None -> raise Not_found
+
+let find_global program name =
+  match List.find_opt (fun g -> g.gname = name) program.globals with
+  | Some g -> g
+  | None -> raise Not_found
+
+let block_size_instrs block = Array.length block.instrs + 1
+
+let calls_of_block block =
+  Array.to_list block.instrs
+  |> List.filter_map (function
+    | Instr.Call (_, callee, _) -> Some callee
+    | Instr.Alu _ | Instr.Fpu _ | Instr.Icmp _ | Instr.Fcmp _ | Instr.Mov _
+    | Instr.Itof _ | Instr.Ftoi _ | Instr.Load _ | Instr.Store _ -> None)
+
+let validate program =
+  let error fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let check_func f =
+    if Array.length f.blocks = 0 then error "function %s has no blocks" f.name
+    else begin
+      let n = Array.length f.blocks in
+      let check_block acc b =
+        match acc with
+        | Error _ as e -> e
+        | Ok () ->
+          if b.id < 0 || b.id >= n then
+            error "%s: block id %d out of range" f.name b.id
+          else begin
+            let target_ok t = t >= 0 && t < n in
+            let term_ok = match b.term with
+              | Instr.Jump t -> target_ok t
+              | Instr.Branch (_, t1, t2) -> target_ok t1 && target_ok t2
+              | Instr.Return _ -> true
+            in
+            if not term_ok then
+              error "%s: block %d has out-of-range branch target" f.name b.id
+            else begin
+              let bad_call =
+                List.find_opt
+                  (fun callee -> find_func_opt program callee = None)
+                  (calls_of_block b)
+              in
+              match bad_call with
+              | Some callee -> error "%s: call to unknown function %s" f.name callee
+              | None -> Ok ()
+            end
+          end
+      in
+      Array.fold_left check_block (Ok ()) f.blocks
+    end
+  in
+  let funcs_ok =
+    Array.fold_left
+      (fun acc f -> match acc with Error _ -> acc | Ok () -> check_func f)
+      (Ok ()) program.funcs
+  in
+  match funcs_ok with
+  | Error _ as e -> e
+  | Ok () ->
+    let bad_global =
+      List.find_opt
+        (fun g -> g.addr < 0 || g.addr + g.size_words > program.globals_words)
+        program.globals
+    in
+    (match bad_global with
+     | Some g -> error "global %s out of segment bounds" g.gname
+     | None -> Ok ())
+
+let pp_func fmt f =
+  Format.fprintf fmt "@[<v>%s(%d params, %d frame words):@," f.name f.nparams
+    f.frame_words;
+  Array.iter
+    (fun b ->
+      Format.fprintf fmt "B%d:" b.id;
+      if b.src_line > 0 then Format.fprintf fmt "   ; line %d" b.src_line;
+      Format.fprintf fmt "@,";
+      Array.iter (fun i -> Format.fprintf fmt "  %a@," Instr.pp i) b.instrs;
+      Format.fprintf fmt "  %a@," Instr.pp_terminator b.term)
+    f.blocks;
+  Format.fprintf fmt "@]"
+
+let pp fmt program =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun g ->
+      Format.fprintf fmt ".global %s @@ %d (%d words)@," g.gname g.addr
+        g.size_words)
+    program.globals;
+  Array.iter (fun f -> Format.fprintf fmt "%a@," pp_func f) program.funcs;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,55 @@
+(** E32 program containers: basic blocks, functions, whole programs.
+
+    A basic block is a maximal straight-line instruction sequence ended by a
+    single terminator, exactly the unit the paper attaches the [x_i]
+    variables and the [c_i] costs to. Function calls appear {e inside}
+    blocks (they do not end a block), mirroring the paper's f-edges. *)
+
+type block = {
+  id : int;                    (** index within the function *)
+  instrs : Instr.t array;
+  term : Instr.terminator;
+  src_line : int;              (** source line of the block's first statement; 0 if unknown *)
+}
+
+type func = {
+  name : string;
+  nparams : int;               (** parameters are registers [0 .. nparams-1] *)
+  frame_words : int;           (** words of per-activation storage (local arrays) *)
+  blocks : block array;        (** entry is [blocks.(0)] *)
+}
+
+type global = {
+  gname : string;
+  addr : int;                  (** word address in the global segment *)
+  size_words : int;
+}
+
+type t = {
+  funcs : func array;
+  globals : global list;
+  globals_words : int;         (** total size of the global segment *)
+}
+
+val find_func : t -> string -> func
+(** @raise Not_found if the program has no function of that name. *)
+
+val find_func_opt : t -> string -> func option
+
+val find_global : t -> string -> global
+(** @raise Not_found if absent. *)
+
+val block_size_instrs : block -> int
+(** Number of fetched instructions: the block's body plus its terminator. *)
+
+val calls_of_block : block -> string list
+(** Callee names, in order of the call sites within the block. *)
+
+val validate : t -> (unit, string) result
+(** Structural sanity: non-empty functions, in-range branch targets,
+    resolvable call targets, in-range global addresses. *)
+
+val pp : Format.formatter -> t -> unit
+(** Assembly-style listing of the whole program. *)
+
+val pp_func : Format.formatter -> func -> unit

@@ -1,0 +1,23 @@
+type t = Vint of int | Vfloat of float
+
+let zero = Vint 0
+
+let as_int = function
+  | Vint i -> i
+  | Vfloat _ -> invalid_arg "Value.as_int: float word"
+
+let as_float = function
+  | Vfloat f -> f
+  | Vint _ -> invalid_arg "Value.as_float: int word"
+
+let truthy = function Vint i -> i <> 0 | Vfloat f -> f <> 0.0
+
+let equal a b =
+  match (a, b) with
+  | Vint x, Vint y -> x = y
+  | Vfloat x, Vfloat y -> Float.equal x y
+  | Vint _, Vfloat _ | Vfloat _, Vint _ -> false
+
+let pp fmt = function
+  | Vint i -> Format.fprintf fmt "%d" i
+  | Vfloat f -> Format.fprintf fmt "%g" f

@@ -1,0 +1,20 @@
+(** Machine words: the contents of E32 registers and memory cells.
+
+    E32 keeps integers and floats in the same register file and memory; a
+    word is tagged so the simulator can detect type confusion (which would
+    be a compiler bug). *)
+
+type t = Vint of int | Vfloat of float
+
+val zero : t
+val as_int : t -> int
+(** @raise Invalid_argument on a float word. *)
+
+val as_float : t -> float
+(** @raise Invalid_argument on an int word. *)
+
+val truthy : t -> bool
+(** Non-zero test used by conditional branches. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/lang/compile.ml: Array Ast Format Hashtbl Ipet_isa List Option Typecheck

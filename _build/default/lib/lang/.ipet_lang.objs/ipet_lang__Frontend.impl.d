@@ -1,0 +1,1 @@
+lib/lang/frontend.ml: Array Compile Ipet_isa Lexer List Optimize Parser Printf Regalloc Typecheck

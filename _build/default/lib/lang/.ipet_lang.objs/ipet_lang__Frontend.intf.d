@@ -1,0 +1,1 @@
+lib/lang/frontend.mli: Ast Compile Ipet_isa Typecheck

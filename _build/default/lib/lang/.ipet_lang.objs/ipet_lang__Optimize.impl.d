@@ -1,0 +1,1 @@
+lib/lang/optimize.ml: Array Fun Hashtbl Ipet_cfg Ipet_isa List Option

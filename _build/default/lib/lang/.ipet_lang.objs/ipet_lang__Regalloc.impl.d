@@ -1,0 +1,1 @@
+lib/lang/regalloc.ml: Array Hashtbl Ipet_isa List Option Printf

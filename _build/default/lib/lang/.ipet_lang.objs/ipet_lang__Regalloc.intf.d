@@ -1,0 +1,1 @@
+lib/lang/regalloc.mli: Ipet_isa

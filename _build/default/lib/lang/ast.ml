@@ -1,0 +1,61 @@
+type typ = Tint | Tfloat | Tvoid
+
+type unop = Neg | Lnot
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Land | Lor
+  | Band | Bor | Bxor | Shl | Shr
+
+type expr = { desc : expr_desc; eline : int }
+
+and expr_desc =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+  | Cast of typ * expr
+
+type lvalue = Lvar of string | Lindex of string * expr
+
+type stmt = { sdesc : stmt_desc; sline : int }
+
+and stmt_desc =
+  | Decl of typ * string * expr option
+  | Decl_array of typ * string * int
+  | Assign of lvalue * expr
+  | Expr_stmt of expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do_while of stmt list * expr
+  | For of stmt option * expr option * stmt option * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | Block of stmt list
+
+type const = Cint of int | Cfloat of float
+
+type global = {
+  gtyp : typ;
+  gname : string;
+  gsize : int option;
+  ginit : const list option;
+  gline : int;
+}
+
+type func = {
+  ret : typ;
+  fname : string;
+  params : (typ * string) list;
+  body : stmt list;
+  fline : int;
+}
+
+type program = { globals : global list; funcs : func list }
+
+let typ_name = function Tint -> "int" | Tfloat -> "float" | Tvoid -> "void"

@@ -1,0 +1,461 @@
+module I = Ipet_isa.Instr
+module P = Ipet_isa.Prog
+module V = Ipet_isa.Value
+
+exception Error of string * int
+
+type t = { prog : P.t; init_data : (int * V.t) list }
+
+let err line fmt = Format.kasprintf (fun s -> raise (Error (s, line))) fmt
+
+(* --- global segment layout --------------------------------------------- *)
+
+type gslot = { gaddr : int; gsize : int }
+
+let layout_globals (globals : Ast.global list) =
+  let table = Hashtbl.create 16 in
+  let init = ref [] in
+  let cursor = ref 0 in
+  let plist = ref [] in
+  List.iter
+    (fun (g : Ast.global) ->
+      let size = match g.Ast.gsize with Some n -> n | None -> 1 in
+      Hashtbl.replace table g.Ast.gname { gaddr = !cursor; gsize = size };
+      plist := { P.gname = g.Ast.gname; P.addr = !cursor; P.size_words = size } :: !plist;
+      let default =
+        match g.Ast.gtyp with
+        | Ast.Tfloat -> V.Vfloat 0.0
+        | Ast.Tint | Ast.Tvoid -> V.Vint 0
+      in
+      let const_value c =
+        match (g.Ast.gtyp, c) with
+        | Ast.Tfloat, Ast.Cint i -> V.Vfloat (float_of_int i)
+        | Ast.Tfloat, Ast.Cfloat f -> V.Vfloat f
+        | _, Ast.Cint i -> V.Vint i
+        | _, Ast.Cfloat f -> V.Vint (int_of_float f)
+      in
+      let provided = match g.Ast.ginit with Some l -> l | None -> [] in
+      for k = 0 to size - 1 do
+        let v =
+          match List.nth_opt provided k with
+          | Some c -> const_value c
+          | None -> default
+        in
+        init := (!cursor + k, v) :: !init
+      done;
+      cursor := !cursor + size)
+    globals;
+  (table, List.rev !plist, List.rev !init, !cursor)
+
+(* --- per-function builder ---------------------------------------------- *)
+
+type builder = {
+  mutable binstrs : I.t list;  (* reversed *)
+  mutable bterm : I.terminator option;
+  mutable bline : int;
+}
+
+type slot =
+  | Reg_slot of I.reg
+  | Global_scalar of int               (* word address *)
+  | Global_array of int
+  | Frame_array of int                 (* frame offset *)
+
+type fstate = {
+  fname : string;
+  tenv : Typecheck.env;
+  gslots : (string, gslot) Hashtbl.t;
+  blocks : (int, builder) Hashtbl.t;
+  mutable nblocks : int;
+  mutable current : int;
+  mutable next_reg : int;
+  mutable frame_words : int;
+  slots : (string, slot) Hashtbl.t;
+}
+
+let new_block st line =
+  let id = st.nblocks in
+  st.nblocks <- id + 1;
+  Hashtbl.replace st.blocks id { binstrs = []; bterm = None; bline = line };
+  id
+
+let builder st id = Hashtbl.find st.blocks id
+
+let set_current st id = st.current <- id
+
+let current_terminated st = (builder st st.current).bterm <> None
+
+let emit ?(line = 0) st instr =
+  let b = builder st st.current in
+  match b.bterm with
+  | Some _ -> ()  (* unreachable code after return/break: drop *)
+  | None ->
+    if b.bline = 0 && line > 0 then b.bline <- line;
+    b.binstrs <- instr :: b.binstrs
+
+let terminate ?(line = 0) st term =
+  let b = builder st st.current in
+  if b.bterm = None then begin
+    if b.bline = 0 && line > 0 then b.bline <- line;
+    b.bterm <- Some term
+  end
+
+let fresh_reg st =
+  let r = st.next_reg in
+  st.next_reg <- r + 1;
+  r
+
+let reg_of st (op : I.operand) =
+  match op with
+  | I.Reg r -> r
+  | I.Imm _ | I.Fimm _ ->
+    let r = fresh_reg st in
+    emit st (I.Mov (r, op));
+    r
+
+let expr_type st (e : Ast.expr) = Typecheck.expr_type st.tenv ~func:st.fname e
+
+let var_slot st line name =
+  match Hashtbl.find_opt st.slots name with
+  | Some s -> s
+  | None ->
+    (* a global not yet touched by this function *)
+    (match Hashtbl.find_opt st.gslots name with
+     | Some { gaddr; gsize } ->
+       let info = Typecheck.lookup_var st.tenv ~func:st.fname name in
+       let s =
+         match info with
+         | Some { Typecheck.array_size = Some _; _ } -> Global_array gaddr
+         | Some { Typecheck.array_size = None; _ } ->
+           ignore gsize;
+           Global_scalar gaddr
+         | None -> err line "compile: unbound %s" name
+       in
+       Hashtbl.replace st.slots name s;
+       s
+     | None -> err line "compile: unbound %s" name)
+
+let array_addr st line name (index : I.operand) =
+  match var_slot st line name with
+  | Global_array addr -> { I.base = I.Abs addr; offset = 0; index = Some index }
+  | Frame_array off -> { I.base = I.Frame_base; offset = off; index = Some index }
+  | Global_scalar _ | Reg_slot _ -> err line "compile: %s is not an array" name
+
+let cmp_of_binop = function
+  | Ast.Lt -> I.Clt | Ast.Le -> I.Cle | Ast.Gt -> I.Cgt | Ast.Ge -> I.Cge
+  | Ast.Eq -> I.Ceq | Ast.Ne -> I.Cne
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.Land | Ast.Lor
+  | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr ->
+    invalid_arg "cmp_of_binop"
+
+let alu_of_binop = function
+  | Ast.Add -> I.Add | Ast.Sub -> I.Sub | Ast.Mul -> I.Mul | Ast.Div -> I.Div
+  | Ast.Mod -> I.Rem | Ast.Band -> I.And | Ast.Bor -> I.Or | Ast.Bxor -> I.Xor
+  | Ast.Shl -> I.Shl | Ast.Shr -> I.Shr
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne | Ast.Land | Ast.Lor ->
+    invalid_arg "alu_of_binop"
+
+let fpu_of_binop = function
+  | Ast.Add -> I.Fadd | Ast.Sub -> I.Fsub | Ast.Mul -> I.Fmul | Ast.Div -> I.Fdiv
+  | Ast.Mod | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr | Ast.Lt
+  | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne | Ast.Land | Ast.Lor ->
+    invalid_arg "fpu_of_binop"
+
+let rec compile_expr st (e : Ast.expr) : I.operand =
+  let line = e.Ast.eline in
+  match e.Ast.desc with
+  | Ast.Int_lit i -> I.Imm i
+  | Ast.Float_lit f -> I.Fimm f
+  | Ast.Var name ->
+    (match var_slot st line name with
+     | Reg_slot r -> I.Reg r
+     | Global_scalar addr ->
+       let r = fresh_reg st in
+       emit ~line st (I.Load (r, { I.base = I.Abs addr; offset = 0; index = None }));
+       I.Reg r
+     | Global_array _ | Frame_array _ -> err line "%s is an array" name)
+  | Ast.Index (name, idx) ->
+    let index = compile_expr st idx in
+    let r = fresh_reg st in
+    emit ~line st (I.Load (r, array_addr st line name index));
+    I.Reg r
+  | Ast.Unop (Ast.Neg, a) ->
+    let op = compile_expr st a in
+    let r = fresh_reg st in
+    (match expr_type st a with
+     | Ast.Tfloat -> emit ~line st (I.Fpu (I.Fsub, r, I.Fimm 0.0, op))
+     | Ast.Tint | Ast.Tvoid -> emit ~line st (I.Alu (I.Sub, r, I.Imm 0, op)));
+    I.Reg r
+  | Ast.Unop (Ast.Lnot, a) ->
+    let op = compile_expr st a in
+    let r = fresh_reg st in
+    emit ~line st (I.Icmp (I.Ceq, r, op, I.Imm 0));
+    I.Reg r
+  | Ast.Binop ((Ast.Land | Ast.Lor), _, _) ->
+    (* materialize a short-circuit boolean through control flow *)
+    let r = fresh_reg st in
+    let true_b = new_block st line in
+    let false_b = new_block st line in
+    let join = new_block st line in
+    compile_cond st e ~if_true:true_b ~if_false:false_b;
+    set_current st true_b;
+    emit ~line st (I.Mov (r, I.Imm 1));
+    terminate st (I.Jump join);
+    set_current st false_b;
+    emit ~line st (I.Mov (r, I.Imm 0));
+    terminate st (I.Jump join);
+    set_current st join;
+    I.Reg r
+  | Ast.Binop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne) as op, a, b) ->
+    let oa = compile_expr st a in
+    let ob = compile_expr st b in
+    let r = fresh_reg st in
+    (match expr_type st a with
+     | Ast.Tfloat -> emit ~line st (I.Fcmp (cmp_of_binop op, r, oa, ob))
+     | Ast.Tint | Ast.Tvoid -> emit ~line st (I.Icmp (cmp_of_binop op, r, oa, ob)));
+    I.Reg r
+  | Ast.Binop (op, a, b) ->
+    let oa = compile_expr st a in
+    let ob = compile_expr st b in
+    let r = fresh_reg st in
+    (match expr_type st e with
+     | Ast.Tfloat -> emit ~line st (I.Fpu (fpu_of_binop op, r, oa, ob))
+     | Ast.Tint | Ast.Tvoid -> emit ~line st (I.Alu (alu_of_binop op, r, oa, ob)));
+    I.Reg r
+  | Ast.Call (name, args) ->
+    let arg_ops = List.map (compile_expr st) args in
+    (match Typecheck.func_signature st.tenv name with
+     | Some (_, Ast.Tvoid) -> err line "void call %s used as a value" name
+     | Some (_, (Ast.Tint | Ast.Tfloat)) | None ->
+       let r = fresh_reg st in
+       emit ~line st (I.Call (Some r, name, arg_ops));
+       I.Reg r)
+  | Ast.Cast (to_t, a) ->
+    let op = compile_expr st a in
+    let from_t = expr_type st a in
+    if from_t = to_t then op
+    else begin
+      let r = fresh_reg st in
+      (match (from_t, to_t) with
+       | Ast.Tint, Ast.Tfloat -> emit ~line st (I.Itof (r, op))
+       | Ast.Tfloat, Ast.Tint -> emit ~line st (I.Ftoi (r, op))
+       | (Ast.Tvoid, _ | _, Ast.Tvoid | Ast.Tint, Ast.Tint | Ast.Tfloat, Ast.Tfloat) ->
+         err line "unsupported cast");
+      I.Reg r
+    end
+
+(* compile a condition into branches, short-circuiting && and || *)
+and compile_cond st (e : Ast.expr) ~if_true ~if_false =
+  match e.Ast.desc with
+  | Ast.Unop (Ast.Lnot, a) -> compile_cond st a ~if_true:if_false ~if_false:if_true
+  | Ast.Binop (Ast.Land, a, b) ->
+    let mid = new_block st b.Ast.eline in
+    compile_cond st a ~if_true:mid ~if_false;
+    set_current st mid;
+    compile_cond st b ~if_true ~if_false
+  | Ast.Binop (Ast.Lor, a, b) ->
+    let mid = new_block st b.Ast.eline in
+    compile_cond st a ~if_true ~if_false:mid;
+    set_current st mid;
+    compile_cond st b ~if_true ~if_false
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Var _ | Ast.Index _ | Ast.Unop _
+  | Ast.Binop _ | Ast.Call _ | Ast.Cast _ ->
+    let op = compile_expr st e in
+    let r = reg_of st op in
+    terminate st (I.Branch (r, if_true, if_false))
+
+type loop_ctx = { break_to : int; continue_to : int }
+
+let rec compile_stmt st ~loop (s : Ast.stmt) =
+  let line = s.Ast.sline in
+  match s.Ast.sdesc with
+  | Ast.Decl (_, name, init) ->
+    let r = fresh_reg st in
+    Hashtbl.replace st.slots name (Reg_slot r);
+    (match init with
+     | Some e ->
+       let op = compile_expr st e in
+       emit ~line st (I.Mov (r, op))
+     | None -> ())
+  | Ast.Decl_array (_, name, size) ->
+    Hashtbl.replace st.slots name (Frame_array st.frame_words);
+    st.frame_words <- st.frame_words + size
+  | Ast.Assign (Ast.Lvar name, e) ->
+    (match var_slot st line name with
+     | Reg_slot r ->
+       let op = compile_expr st e in
+       emit ~line st (I.Mov (r, op))
+     | Global_scalar addr ->
+       let op = compile_expr st e in
+       emit ~line st (I.Store (op, { I.base = I.Abs addr; offset = 0; index = None }))
+     | Global_array _ | Frame_array _ -> err line "cannot assign to array %s" name)
+  | Ast.Assign (Ast.Lindex (name, idx), e) ->
+    let index = compile_expr st idx in
+    let op = compile_expr st e in
+    emit ~line st (I.Store (op, array_addr st line name index))
+  | Ast.Expr_stmt e ->
+    (match e.Ast.desc with
+     | Ast.Call (name, args) ->
+       let arg_ops = List.map (compile_expr st) args in
+       (match Typecheck.func_signature st.tenv name with
+        | Some (_, Ast.Tvoid) -> emit ~line st (I.Call (None, name, arg_ops))
+        | Some (_, (Ast.Tint | Ast.Tfloat)) ->
+          let r = fresh_reg st in
+          emit ~line st (I.Call (Some r, name, arg_ops))
+        | None -> err line "call to undefined function %s" name)
+     | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Var _ | Ast.Index _ | Ast.Unop _
+     | Ast.Binop _ | Ast.Cast _ -> ignore (compile_expr st e))
+  | Ast.If (cond, then_b, else_b) ->
+    let then_blk = new_block st (match then_b with s :: _ -> s.Ast.sline | [] -> line) in
+    let join = new_block st 0 in
+    let else_blk =
+      match else_b with
+      | [] -> join
+      | s :: _ -> new_block st s.Ast.sline
+    in
+    compile_cond st cond ~if_true:then_blk ~if_false:else_blk;
+    set_current st then_blk;
+    List.iter (compile_stmt st ~loop) then_b;
+    if not (current_terminated st) then terminate st (I.Jump join);
+    if else_b <> [] then begin
+      set_current st else_blk;
+      List.iter (compile_stmt st ~loop) else_b;
+      if not (current_terminated st) then terminate st (I.Jump join)
+    end;
+    set_current st join
+  | Ast.While (cond, body) ->
+    let header = new_block st cond.Ast.eline in
+    let body_blk = new_block st (match body with s :: _ -> s.Ast.sline | [] -> line) in
+    let exit_blk = new_block st 0 in
+    terminate st (I.Jump header);
+    set_current st header;
+    compile_cond st cond ~if_true:body_blk ~if_false:exit_blk;
+    set_current st body_blk;
+    let ctx = Some { break_to = exit_blk; continue_to = header } in
+    List.iter (compile_stmt st ~loop:ctx) body;
+    if not (current_terminated st) then terminate st (I.Jump header);
+    set_current st exit_blk
+  | Ast.Do_while (body, cond) ->
+    (* header = body top: the back edge returns above the body, the
+       condition is evaluated at the bottom (continue jumps to it) *)
+    let body_blk = new_block st (match body with s :: _ -> s.Ast.sline | [] -> line) in
+    let cond_blk = new_block st cond.Ast.eline in
+    let exit_blk = new_block st 0 in
+    terminate st (I.Jump body_blk);
+    set_current st body_blk;
+    let ctx = Some { break_to = exit_blk; continue_to = cond_blk } in
+    List.iter (compile_stmt st ~loop:ctx) body;
+    if not (current_terminated st) then terminate st (I.Jump cond_blk);
+    set_current st cond_blk;
+    compile_cond st cond ~if_true:body_blk ~if_false:exit_blk;
+    set_current st exit_blk
+  | Ast.For (init, cond, step, body) ->
+    Option.iter (compile_stmt st ~loop) init;
+    let header =
+      new_block st
+        (match cond with Some c -> c.Ast.eline | None -> line)
+    in
+    let body_blk = new_block st (match body with s :: _ -> s.Ast.sline | [] -> line) in
+    let step_blk = new_block st (match step with Some s -> s.Ast.sline | None -> 0) in
+    let exit_blk = new_block st 0 in
+    terminate st (I.Jump header);
+    set_current st header;
+    (match cond with
+     | Some c -> compile_cond st c ~if_true:body_blk ~if_false:exit_blk
+     | None -> terminate st (I.Jump body_blk));
+    set_current st body_blk;
+    let ctx = Some { break_to = exit_blk; continue_to = step_blk } in
+    List.iter (compile_stmt st ~loop:ctx) body;
+    if not (current_terminated st) then terminate st (I.Jump step_blk);
+    set_current st step_blk;
+    Option.iter (compile_stmt st ~loop) step;
+    if not (current_terminated st) then terminate st (I.Jump header);
+    set_current st exit_blk
+  | Ast.Return None -> terminate ~line st (I.Return None)
+  | Ast.Return (Some e) ->
+    let op = compile_expr st e in
+    terminate ~line st (I.Return (Some op))
+  | Ast.Break ->
+    (match loop with
+     | Some ctx -> terminate st (I.Jump ctx.break_to)
+     | None -> err line "break outside of a loop")
+  | Ast.Continue ->
+    (match loop with
+     | Some ctx -> terminate st (I.Jump ctx.continue_to)
+     | None -> err line "continue outside of a loop")
+  | Ast.Block stmts -> List.iter (compile_stmt st ~loop) stmts
+
+(* drop unreachable blocks and renumber the rest in discovery order *)
+let prune_and_freeze st ~ret_void =
+  (* ensure every block is terminated (fall-off-the-end returns) *)
+  for id = 0 to st.nblocks - 1 do
+    let b = builder st id in
+    if b.bterm = None then
+      b.bterm <- Some (I.Return (if ret_void then None else Some (I.Imm 0)))
+  done;
+  let remap = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec dfs id =
+    if not (Hashtbl.mem remap id) then begin
+      Hashtbl.replace remap id (Hashtbl.length remap);
+      order := id :: !order;
+      match (builder st id).bterm with
+      | Some (I.Jump t) -> dfs t
+      | Some (I.Branch (_, t, f)) -> dfs t; dfs f
+      | Some (I.Return _) | None -> ()
+    end
+  in
+  dfs 0;
+  let ordered = List.rev !order in
+  let lookup id = Hashtbl.find remap id in
+  List.map
+    (fun old_id ->
+      let b = builder st old_id in
+      let term =
+        match b.bterm with
+        | Some (I.Jump t) -> I.Jump (lookup t)
+        | Some (I.Branch (r, t, f)) -> I.Branch (r, lookup t, lookup f)
+        | Some (I.Return _ as t) -> t
+        | None -> assert false
+      in
+      { P.id = lookup old_id;
+        P.instrs = Array.of_list (List.rev b.binstrs);
+        P.term = term;
+        P.src_line = b.bline })
+    ordered
+  |> Array.of_list
+
+let compile_func tenv gslots (f : Ast.func) =
+  let st =
+    { fname = f.Ast.fname;
+      tenv;
+      gslots;
+      blocks = Hashtbl.create 32;
+      nblocks = 0;
+      current = 0;
+      next_reg = List.length f.Ast.params;
+      frame_words = 0;
+      slots = Hashtbl.create 16 }
+  in
+  let entry = new_block st f.Ast.fline in
+  set_current st entry;
+  List.iteri
+    (fun i (_, name) -> Hashtbl.replace st.slots name (Reg_slot i))
+    f.Ast.params;
+  List.iter (compile_stmt st ~loop:None) f.Ast.body;
+  let blocks = prune_and_freeze st ~ret_void:(f.Ast.ret = Ast.Tvoid) in
+  { P.name = f.Ast.fname;
+    P.nparams = List.length f.Ast.params;
+    P.frame_words = st.frame_words;
+    P.blocks = blocks }
+
+let compile ((program, tenv) : Ast.program * Typecheck.env) =
+  let gslots, globals, init_data, globals_words = layout_globals program.Ast.globals in
+  let funcs =
+    Array.of_list (List.map (compile_func tenv gslots) program.Ast.funcs)
+  in
+  let prog = { P.funcs; P.globals; P.globals_words } in
+  (match P.validate prog with
+   | Ok () -> ()
+   | Error msg -> err 0 "internal: generated invalid program: %s" msg);
+  { prog; init_data }

@@ -1,0 +1,20 @@
+(** Compilation of checked MC programs to E32.
+
+    The code generator is deliberately simple but structurally faithful:
+    scalars live in virtual registers, arrays in memory (globals in the
+    global segment, locals in the frame), short-circuit booleans and all
+    control flow become real basic blocks and branches — the CFG that the
+    IPET structural constraints are derived from. *)
+
+exception Error of string * int
+
+type t = {
+  prog : Ipet_isa.Prog.t;
+  init_data : (int * Ipet_isa.Value.t) list;
+      (** initial contents of the global segment (word address, value);
+          unlisted words default to integer 0 *)
+}
+
+val compile : Ast.program * Typecheck.env -> t
+(** Compile an elaborated program (the result of {!Typecheck.check}).
+    @raise Error on constructs the backend cannot compile. *)

@@ -1,0 +1,36 @@
+module P = Ipet_isa.Prog
+
+type error = { message : string; line : int }
+
+let parse_and_check src = Typecheck.check (Parser.parse src)
+
+let compile_string ?(optimize = false) ?registers src =
+  try
+    let compiled = Compile.compile (parse_and_check src) in
+    let prog = compiled.Compile.prog in
+    let prog = if optimize then Optimize.program prog else prog in
+    let prog =
+      match registers with
+      | Some nregs -> Regalloc.program ~nregs prog
+      | None -> prog
+    in
+    Ok { compiled with Compile.prog }
+  with
+  | Lexer.Error (message, line) -> Error { message = "lex error: " ^ message; line }
+  | Parser.Error (message, line) -> Error { message = "parse error: " ^ message; line }
+  | Typecheck.Error (message, line) -> Error { message = "type error: " ^ message; line }
+  | Compile.Error (message, line) -> Error { message = "compile error: " ^ message; line }
+
+let compile_string_exn ?optimize ?registers src =
+  match compile_string ?optimize ?registers src with
+  | Ok compiled -> compiled
+  | Error { message; line } ->
+    failwith (Printf.sprintf "line %d: %s" line message)
+
+let blocks_at_line (func : P.func) line =
+  Array.to_list func.P.blocks
+  |> List.filter_map (fun (b : P.block) ->
+    if b.P.src_line = line then Some b.P.id else None)
+
+let block_at_line func line =
+  match blocks_at_line func line with b :: _ -> Some b | [] -> None

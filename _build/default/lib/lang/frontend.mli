@@ -1,0 +1,26 @@
+(** One-call frontend: source text to compiled E32 program, plus the
+    line-based lookups that the annotation layer and the cinderella CLI use
+    to let users talk about "the block at line 12" the way the paper's
+    annotated listings do (Fig. 5). *)
+
+type error = { message : string; line : int }
+
+val parse_and_check : string -> Ast.program * Typecheck.env
+(** Lex, parse, type-check and elaborate, exposing the AST (used e.g. by
+    automatic loop-bound inference).
+    @raise Lexer.Error / @raise Parser.Error / @raise Typecheck.Error *)
+
+val compile_string :
+  ?optimize:bool -> ?registers:int -> string -> (Compile.t, error) result
+(** Lex, parse, type-check, elaborate and compile a compilation unit.
+    [optimize] (default false) additionally runs the {!Optimize} passes —
+    the analysis then sees the optimized code, as the paper requires.
+    [registers] runs {!Regalloc} onto a file of that many registers. *)
+
+val compile_string_exn : ?optimize:bool -> ?registers:int -> string -> Compile.t
+(** @raise Failure with a rendered error message. *)
+
+val block_at_line : Ipet_isa.Prog.func -> int -> int option
+(** First block whose recorded source line matches, if any. *)
+
+val blocks_at_line : Ipet_isa.Prog.func -> int -> int list

@@ -1,0 +1,28 @@
+(** Hand-written lexer for MC source text. *)
+
+type token =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW_INT | KW_FLOAT | KW_VOID
+  | KW_IF | KW_ELSE | KW_WHILE | KW_DO | KW_FOR | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQ | NE
+  | AMPAMP | BARBAR | BANG
+  | AMP | BAR | CARET | SHL | SHR
+  | EOF
+
+type located = { tok : token; line : int }
+
+exception Error of string * int  (** message, line *)
+
+val tokenize : string -> located list
+(** Tokenize a whole compilation unit. Line numbers are 1-based. Supports
+    [//] and [/* */] comments, decimal and hexadecimal integers, and
+    decimal float literals.
+    @raise Error on an illegal character or malformed literal. *)
+
+val token_name : token -> string

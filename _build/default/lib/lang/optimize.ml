@@ -1,0 +1,267 @@
+module P = Ipet_isa.Prog
+module I = Ipet_isa.Instr
+
+(* --- constant folding / copy propagation (per block) --------------------- *)
+
+(* abstract register contents: a known immediate, a copy of another
+   register, or unknown *)
+type fact = Const of I.operand | Copy of I.reg
+
+let fold_alu op a b =
+  match op with
+  | I.Add -> Some (a + b)
+  | I.Sub -> Some (a - b)
+  | I.Mul -> Some (a * b)
+  | I.Div -> if b = 0 then None else Some (a / b)
+  | I.Rem -> if b = 0 then None else Some (a mod b)
+  | I.And -> Some (a land b)
+  | I.Or -> Some (a lor b)
+  | I.Xor -> Some (a lxor b)
+  | I.Shl -> Some (a lsl (b land 62))
+  | I.Shr -> Some (a asr (b land 62))
+
+let fold_icmp op a b =
+  let r = match op with
+    | I.Ceq -> a = b | I.Cne -> a <> b
+    | I.Clt -> a < b | I.Cle -> a <= b | I.Cgt -> a > b | I.Cge -> a >= b
+  in
+  if r then 1 else 0
+
+let fold_constants (func : P.func) =
+  let blocks =
+    Array.map
+      (fun (block : P.block) ->
+        let facts : (I.reg, fact) Hashtbl.t = Hashtbl.create 16 in
+        let kill d = Hashtbl.remove facts d in
+        (* forget any copy facts that mention a redefined register *)
+        let kill_copies_of d =
+          let stale =
+            Hashtbl.fold
+              (fun r f acc -> match f with Copy s when s = d -> r :: acc | Copy _ | Const _ -> acc)
+              facts []
+          in
+          List.iter (Hashtbl.remove facts) stale
+        in
+        let define d fact =
+          kill d;
+          kill_copies_of d;
+          (match fact with Some f -> Hashtbl.replace facts d f | None -> ())
+        in
+        let rec resolve op =
+          match op with
+          | I.Imm _ | I.Fimm _ -> op
+          | I.Reg r ->
+            (match Hashtbl.find_opt facts r with
+             | Some (Const c) -> c
+             | Some (Copy s) -> resolve (I.Reg s)
+             | None -> op)
+        in
+        let resolve_addr (a : I.addr) =
+          { a with I.index = Option.map resolve a.I.index }
+        in
+        let rewrite instr =
+          match instr with
+          | I.Alu (op, d, a, b) ->
+            let a = resolve a and b = resolve b in
+            (match (a, b) with
+             | I.Imm ia, I.Imm ib ->
+               (match fold_alu op ia ib with
+                | Some v ->
+                  define d (Some (Const (I.Imm v)));
+                  I.Mov (d, I.Imm v)
+                | None ->
+                  define d None;
+                  I.Alu (op, d, a, b))
+             | (I.Imm _ | I.Fimm _ | I.Reg _), (I.Imm _ | I.Fimm _ | I.Reg _) ->
+               define d None;
+               I.Alu (op, d, a, b))
+          | I.Icmp (op, d, a, b) ->
+            let a = resolve a and b = resolve b in
+            (match (a, b) with
+             | I.Imm ia, I.Imm ib ->
+               let v = fold_icmp op ia ib in
+               define d (Some (Const (I.Imm v)));
+               I.Mov (d, I.Imm v)
+             | (I.Imm _ | I.Fimm _ | I.Reg _), (I.Imm _ | I.Fimm _ | I.Reg _) ->
+               define d None;
+               I.Icmp (op, d, a, b))
+          | I.Fpu (op, d, a, b) ->
+            let a = resolve a and b = resolve b in
+            define d None;
+            I.Fpu (op, d, a, b)
+          | I.Fcmp (op, d, a, b) ->
+            let a = resolve a and b = resolve b in
+            define d None;
+            I.Fcmp (op, d, a, b)
+          | I.Mov (d, a) ->
+            let a = resolve a in
+            (match a with
+             | I.Imm _ | I.Fimm _ -> define d (Some (Const a))
+             | I.Reg s -> if s <> d then define d (Some (Copy s)) else define d None);
+            I.Mov (d, a)
+          | I.Itof (d, a) ->
+            let a = resolve a in
+            (match a with
+             | I.Imm i ->
+               let c = I.Fimm (float_of_int i) in
+               define d (Some (Const c));
+               I.Mov (d, c)
+             | I.Fimm _ | I.Reg _ ->
+               define d None;
+               I.Itof (d, a))
+          | I.Ftoi (d, a) ->
+            let a = resolve a in
+            define d None;
+            I.Ftoi (d, a)
+          | I.Load (d, addr) ->
+            let addr = resolve_addr addr in
+            define d None;
+            I.Load (d, addr)
+          | I.Store (v, addr) -> I.Store (resolve v, resolve_addr addr)
+          | I.Call (d, callee, args) ->
+            let args = List.map resolve args in
+            Option.iter (fun d -> define d None) d;
+            I.Call (d, callee, args)
+        in
+        let instrs = Array.map rewrite block.P.instrs in
+        let term =
+          match block.P.term with
+          | I.Branch (r, if_true, if_false) ->
+            (match resolve (I.Reg r) with
+             | I.Imm 0 -> I.Jump if_false
+             | I.Imm _ -> I.Jump if_true
+             | I.Fimm _ | I.Reg _ -> block.P.term)
+          | I.Jump _ | I.Return _ as t ->
+            (match t with
+             | I.Return (Some op) -> I.Return (Some (resolve op))
+             | I.Return None | I.Jump _ | I.Branch _ -> t)
+        in
+        { block with P.instrs; P.term })
+      func.P.blocks
+  in
+  { func with P.blocks = blocks }
+
+(* --- dead code elimination ------------------------------------------------ *)
+
+let has_side_effect = function
+  | I.Store _ | I.Call _ -> true
+  | I.Alu _ | I.Fpu _ | I.Icmp _ | I.Fcmp _ | I.Mov _ | I.Itof _ | I.Ftoi _
+  | I.Load _ -> false
+
+let eliminate_dead_code (func : P.func) =
+  let liveness = Ipet_cfg.Liveness.compute func in
+  let blocks =
+    Array.map
+      (fun (block : P.block) ->
+        let live_before = Ipet_cfg.Liveness.live_sets_through_block liveness block in
+        let n = Array.length block.P.instrs in
+        let keep = ref [] in
+        for i = n - 1 downto 0 do
+          let instr = block.P.instrs.(i) in
+          let needed =
+            has_side_effect instr
+            || List.exists
+              (fun d -> List.mem d live_before.(i + 1))
+              (I.defs instr)
+          in
+          (* a removed instruction makes live_before stale for earlier
+             indices only in ways that can delay removal to the next
+             fixpoint round, never cause a wrong removal *)
+          if needed then keep := instr :: !keep
+        done;
+        { block with P.instrs = Array.of_list !keep })
+      func.P.blocks
+  in
+  { func with P.blocks = blocks }
+
+(* --- unreachable block pruning -------------------------------------------- *)
+
+let prune_unreachable (func : P.func) =
+  let cfg = Ipet_cfg.Cfg.of_func func in
+  let reachable = Ipet_cfg.Cfg.reachable cfg in
+  if Array.for_all Fun.id reachable then func
+  else begin
+    let remap = Array.make (Array.length func.P.blocks) (-1) in
+    let next = ref 0 in
+    Array.iteri
+      (fun b r -> if r then begin remap.(b) <- !next; incr next end)
+      reachable;
+    let blocks =
+      Array.to_list func.P.blocks
+      |> List.filter (fun (b : P.block) -> reachable.(b.P.id))
+      |> List.map (fun (b : P.block) ->
+        let term =
+          match b.P.term with
+          | I.Jump t -> I.Jump remap.(t)
+          | I.Branch (r, t, f) -> I.Branch (r, remap.(t), remap.(f))
+          | I.Return _ as t -> t
+        in
+        { b with P.id = remap.(b.P.id); P.term })
+      |> Array.of_list
+    in
+    { func with P.blocks = blocks }
+  end
+
+(* --- straight-line block merging ------------------------------------------- *)
+
+(* merge [b -> jmp t] with [t] when t's only predecessor is b (and t is not
+   the entry, whose id must stay 0) *)
+let merge_blocks (func : P.func) =
+  let blocks = Array.map (fun b -> b) func.P.blocks in
+  let n = Array.length blocks in
+  if n <= 1 then func
+  else begin
+    let alive = Array.make n true in
+    let pred_count = Array.make n 0 in
+    let count_preds () =
+      Array.fill pred_count 0 n 0;
+      Array.iteri
+        (fun b (blk : P.block) ->
+          if alive.(b) then
+            match blk.P.term with
+            | I.Jump t -> pred_count.(t) <- pred_count.(t) + 1
+            | I.Branch (_, t, f) ->
+              pred_count.(t) <- pred_count.(t) + 1;
+              if f <> t then pred_count.(f) <- pred_count.(f) + 1
+            | I.Return _ -> ())
+        blocks
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      count_preds ();
+      for b = 0 to n - 1 do
+        if alive.(b) then
+          match blocks.(b).P.term with
+          | I.Jump t when t <> 0 && t <> b && alive.(t) && pred_count.(t) = 1 ->
+            blocks.(b) <-
+              { (blocks.(b)) with
+                P.instrs = Array.append blocks.(b).P.instrs blocks.(t).P.instrs;
+                P.term = blocks.(t).P.term };
+            alive.(t) <- false;
+            changed := true
+          | I.Jump _ | I.Branch _ | I.Return _ -> ()
+      done
+    done;
+    (* dead blocks are unreachable now; pruning renumbers *)
+    { func with P.blocks = blocks }
+  end
+
+(* --- fixpoint driver -------------------------------------------------------- *)
+
+let measure (func : P.func) =
+  Array.fold_left
+    (fun acc (b : P.block) -> acc + Array.length b.P.instrs + 1)
+    (Array.length func.P.blocks)
+    func.P.blocks
+
+let func f =
+  let rec iterate f budget =
+    let f' =
+      prune_unreachable (merge_blocks (eliminate_dead_code (fold_constants f)))
+    in
+    if budget = 0 || measure f' = measure f then f' else iterate f' (budget - 1)
+  in
+  iterate f 8
+
+let program (prog : P.t) = { prog with P.funcs = Array.map func prog.P.funcs }

@@ -1,0 +1,26 @@
+(** Local E32 optimizations: constant folding, copy propagation,
+    branch simplification and dead-code elimination.
+
+    The passes change the instruction stream (and hence the timing and the
+    CFG shape), so they run {e before} the IPET analysis — the analysis must
+    see exactly the code that executes, just like the paper insists on
+    analyzing the assembly after compiler optimization (Section II). *)
+
+val func : Ipet_isa.Prog.func -> Ipet_isa.Prog.func
+(** Optimize one function to a fixpoint of the passes. *)
+
+val program : Ipet_isa.Prog.t -> Ipet_isa.Prog.t
+
+(** Individual passes, exposed for testing. *)
+
+val fold_constants : Ipet_isa.Prog.func -> Ipet_isa.Prog.func
+(** Forward, per-block: propagate known constants and register copies into
+    operands, fold constant ALU/compare/select operations into moves, and
+    turn branches on known conditions into jumps. *)
+
+val eliminate_dead_code : Ipet_isa.Prog.func -> Ipet_isa.Prog.func
+(** Remove side-effect-free instructions whose results are never used
+    (stores and calls are always kept). *)
+
+val prune_unreachable : Ipet_isa.Prog.func -> Ipet_isa.Prog.func
+(** Drop blocks unreachable from the entry and renumber. *)

@@ -1,0 +1,320 @@
+open Ast
+
+exception Error of string * int
+
+type state = { toks : Lexer.located array; mutable pos : int }
+
+let peek st = st.toks.(st.pos).Lexer.tok
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1).Lexer.tok
+  else Lexer.EOF
+let line st = st.toks.(st.pos).Lexer.line
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg = raise (Error (msg, line st))
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected '%s' but found '%s'" (Lexer.token_name tok)
+         (Lexer.token_name (peek st)))
+
+let accept st tok = if peek st = tok then (advance st; true) else false
+
+let parse_type st =
+  match peek st with
+  | Lexer.KW_INT -> advance st; Tint
+  | Lexer.KW_FLOAT -> advance st; Tfloat
+  | Lexer.KW_VOID -> advance st; Tvoid
+  | t -> fail st (Printf.sprintf "expected a type, found '%s'" (Lexer.token_name t))
+
+let is_type_token = function
+  | Lexer.KW_INT | Lexer.KW_FLOAT | Lexer.KW_VOID -> true
+  | _ -> false
+
+let parse_ident st =
+  match peek st with
+  | Lexer.IDENT name -> advance st; name
+  | t -> fail st (Printf.sprintf "expected an identifier, found '%s'" (Lexer.token_name t))
+
+(* binary operator precedence: higher binds tighter *)
+let binop_of_token = function
+  | Lexer.BARBAR -> Some (Lor, 1)
+  | Lexer.AMPAMP -> Some (Land, 2)
+  | Lexer.BAR -> Some (Bor, 3)
+  | Lexer.CARET -> Some (Bxor, 4)
+  | Lexer.AMP -> Some (Band, 5)
+  | Lexer.EQ -> Some (Eq, 6)
+  | Lexer.NE -> Some (Ne, 6)
+  | Lexer.LT -> Some (Lt, 7)
+  | Lexer.LE -> Some (Le, 7)
+  | Lexer.GT -> Some (Gt, 7)
+  | Lexer.GE -> Some (Ge, 7)
+  | Lexer.SHL -> Some (Shl, 8)
+  | Lexer.SHR -> Some (Shr, 8)
+  | Lexer.PLUS -> Some (Add, 9)
+  | Lexer.MINUS -> Some (Sub, 9)
+  | Lexer.STAR -> Some (Mul, 10)
+  | Lexer.SLASH -> Some (Div, 10)
+  | Lexer.PERCENT -> Some (Mod, 10)
+  | _ -> None
+
+let rec parse_expr st = parse_binary st 0
+
+and parse_binary st min_prec =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match binop_of_token (peek st) with
+    | Some (op, prec) when prec >= min_prec ->
+      let ln = line st in
+      advance st;
+      let rhs = parse_binary st (prec + 1) in
+      loop { desc = Binop (op, lhs, rhs); eline = ln }
+    | Some _ | None -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  let ln = line st in
+  match peek st with
+  | Lexer.MINUS ->
+    advance st;
+    { desc = Unop (Neg, parse_unary st); eline = ln }
+  | Lexer.BANG ->
+    advance st;
+    { desc = Unop (Lnot, parse_unary st); eline = ln }
+  | Lexer.LPAREN when is_type_token (peek2 st) ->
+    advance st;
+    let typ = parse_type st in
+    expect st Lexer.RPAREN;
+    { desc = Cast (typ, parse_unary st); eline = ln }
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let ln = line st in
+  match peek st with
+  | Lexer.INT_LIT i -> advance st; { desc = Int_lit i; eline = ln }
+  | Lexer.FLOAT_LIT f -> advance st; { desc = Float_lit f; eline = ln }
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.IDENT name ->
+    advance st;
+    (match peek st with
+     | Lexer.LPAREN ->
+       advance st;
+       let args =
+         if peek st = Lexer.RPAREN then []
+         else begin
+           let rec more acc =
+             let acc = parse_expr st :: acc in
+             if accept st Lexer.COMMA then more acc else List.rev acc
+           in
+           more []
+         end
+       in
+       expect st Lexer.RPAREN;
+       { desc = Call (name, args); eline = ln }
+     | Lexer.LBRACKET ->
+       advance st;
+       let idx = parse_expr st in
+       expect st Lexer.RBRACKET;
+       { desc = Index (name, idx); eline = ln }
+     | _ -> { desc = Var name; eline = ln })
+  | t -> fail st (Printf.sprintf "expected an expression, found '%s'" (Lexer.token_name t))
+
+(* a "simple" statement usable as for-init / for-step: assignment or expr *)
+let parse_simple st =
+  let ln = line st in
+  let e = parse_expr st in
+  if peek st = Lexer.ASSIGN then begin
+    let lv = match e.desc with
+      | Var name -> Lvar name
+      | Index (name, idx) -> Lindex (name, idx)
+      | Int_lit _ | Float_lit _ | Unop _ | Binop _ | Call _ | Cast _ ->
+        fail st "left-hand side of '=' is not assignable"
+    in
+    advance st;
+    let rhs = parse_expr st in
+    { sdesc = Assign (lv, rhs); sline = ln }
+  end
+  else { sdesc = Expr_stmt e; sline = ln }
+
+let rec parse_stmt st =
+  let ln = line st in
+  match peek st with
+  | Lexer.LBRACE ->
+    advance st;
+    let stmts = parse_stmts_until st Lexer.RBRACE in
+    expect st Lexer.RBRACE;
+    { sdesc = Block stmts; sline = ln }
+  | Lexer.KW_INT | Lexer.KW_FLOAT ->
+    let typ = parse_type st in
+    let name = parse_ident st in
+    if accept st Lexer.LBRACKET then begin
+      let size =
+        match peek st with
+        | Lexer.INT_LIT i -> advance st; i
+        | _ -> fail st "array size must be an integer literal"
+      in
+      expect st Lexer.RBRACKET;
+      expect st Lexer.SEMI;
+      { sdesc = Decl_array (typ, name, size); sline = ln }
+    end
+    else begin
+      let init = if accept st Lexer.ASSIGN then Some (parse_expr st) else None in
+      expect st Lexer.SEMI;
+      { sdesc = Decl (typ, name, init); sline = ln }
+    end
+  | Lexer.KW_VOID -> fail st "void is only valid as a return type"
+  | Lexer.KW_IF ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let cond = parse_expr st in
+    expect st Lexer.RPAREN;
+    let then_branch = parse_branch st in
+    let else_branch =
+      if accept st Lexer.KW_ELSE then parse_branch st else []
+    in
+    { sdesc = If (cond, then_branch, else_branch); sline = ln }
+  | Lexer.KW_WHILE ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let cond = parse_expr st in
+    expect st Lexer.RPAREN;
+    { sdesc = While (cond, parse_branch st); sline = ln }
+  | Lexer.KW_DO ->
+    advance st;
+    let body = parse_branch st in
+    expect st Lexer.KW_WHILE;
+    expect st Lexer.LPAREN;
+    let cond = parse_expr st in
+    expect st Lexer.RPAREN;
+    expect st Lexer.SEMI;
+    { sdesc = Do_while (body, cond); sline = ln }
+  | Lexer.KW_FOR ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let init = if peek st = Lexer.SEMI then None else Some (parse_simple st) in
+    expect st Lexer.SEMI;
+    let cond = if peek st = Lexer.SEMI then None else Some (parse_expr st) in
+    expect st Lexer.SEMI;
+    let step = if peek st = Lexer.RPAREN then None else Some (parse_simple st) in
+    expect st Lexer.RPAREN;
+    { sdesc = For (init, cond, step, parse_branch st); sline = ln }
+  | Lexer.KW_RETURN ->
+    advance st;
+    let e = if peek st = Lexer.SEMI then None else Some (parse_expr st) in
+    expect st Lexer.SEMI;
+    { sdesc = Return e; sline = ln }
+  | Lexer.KW_BREAK ->
+    advance st; expect st Lexer.SEMI;
+    { sdesc = Break; sline = ln }
+  | Lexer.KW_CONTINUE ->
+    advance st; expect st Lexer.SEMI;
+    { sdesc = Continue; sline = ln }
+  | Lexer.IDENT _ | Lexer.INT_LIT _ | Lexer.FLOAT_LIT _ | Lexer.LPAREN
+  | Lexer.MINUS | Lexer.BANG ->
+    let s = parse_simple st in
+    expect st Lexer.SEMI;
+    s
+  | t -> fail st (Printf.sprintf "expected a statement, found '%s'" (Lexer.token_name t))
+
+(* body of if/while/for: either a braced block or a single statement *)
+and parse_branch st =
+  if peek st = Lexer.LBRACE then begin
+    advance st;
+    let stmts = parse_stmts_until st Lexer.RBRACE in
+    expect st Lexer.RBRACE;
+    stmts
+  end
+  else [ parse_stmt st ]
+
+and parse_stmts_until st stop =
+  let rec go acc =
+    if peek st = stop || peek st = Lexer.EOF then List.rev acc
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+let parse_const st =
+  let negative = accept st Lexer.MINUS in
+  match peek st with
+  | Lexer.INT_LIT i -> advance st; Cint (if negative then -i else i)
+  | Lexer.FLOAT_LIT f -> advance st; Cfloat (if negative then -.f else f)
+  | _ -> fail st "expected a numeric constant"
+
+let parse_initializer st =
+  if accept st Lexer.LBRACE then begin
+    let rec more acc =
+      let acc = parse_const st :: acc in
+      if accept st Lexer.COMMA then
+        (* tolerate a trailing comma before '}' *)
+        if peek st = Lexer.RBRACE then List.rev acc else more acc
+      else List.rev acc
+    in
+    let consts = more [] in
+    expect st Lexer.RBRACE;
+    consts
+  end
+  else [ parse_const st ]
+
+let parse_toplevel st program_globals program_funcs =
+  let ln = line st in
+  let typ = parse_type st in
+  let name = parse_ident st in
+  if peek st = Lexer.LPAREN then begin
+    advance st;
+    let params =
+      if peek st = Lexer.RPAREN then []
+      else begin
+        let rec more acc =
+          let ptyp = parse_type st in
+          let pname = parse_ident st in
+          let acc = (ptyp, pname) :: acc in
+          if accept st Lexer.COMMA then more acc else List.rev acc
+        in
+        more []
+      end
+    in
+    expect st Lexer.RPAREN;
+    expect st Lexer.LBRACE;
+    let body = parse_stmts_until st Lexer.RBRACE in
+    expect st Lexer.RBRACE;
+    program_funcs := { ret = typ; fname = name; params; body; fline = ln } :: !program_funcs
+  end
+  else begin
+    let size =
+      if accept st Lexer.LBRACKET then begin
+        match peek st with
+        | Lexer.INT_LIT i ->
+          advance st;
+          expect st Lexer.RBRACKET;
+          Some i
+        | _ -> fail st "array size must be an integer literal"
+      end
+      else None
+    in
+    let init = if accept st Lexer.ASSIGN then Some (parse_initializer st) else None in
+    expect st Lexer.SEMI;
+    program_globals :=
+      { gtyp = typ; gname = name; gsize = size; ginit = init; gline = ln }
+      :: !program_globals
+  end
+
+let parse src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let globals = ref [] and funcs = ref [] in
+  while peek st <> Lexer.EOF do
+    parse_toplevel st globals funcs
+  done;
+  { globals = List.rev !globals; funcs = List.rev !funcs }
+
+let parse_expr_string src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let e = parse_expr st in
+  expect st Lexer.EOF;
+  e

@@ -1,0 +1,29 @@
+(** Recursive-descent parser for MC.
+
+    Grammar (C-like, braces optional around single statements; EBNF with
+    [{..}] = repetition and [[..]] = option):
+    {v
+    program  ::= { global | func }
+    global   ::= type ident [ '[' int ']' ] [ '=' init ] ';'
+    func     ::= type ident '(' [ type ident { ',' type ident } ] ')' block
+    stmt     ::= type ident [ '[' int ']' ] [ '=' expr ] ';'
+               | lvalue '=' expr ';'  |  expr ';'
+               | 'if' '(' expr ')' stmt [ 'else' stmt ]
+               | 'while' '(' expr ')' stmt
+               | 'for' '(' [simple] ';' [expr] ';' [simple] ')' stmt
+               | 'return' [expr] ';'  |  'break' ';'  |  'continue' ';'
+               | '{' { stmt } '}'
+    v}
+    Expressions use C precedence ([||], [&&], [|], [^], [&], equality,
+    relational, shifts, additive, multiplicative, unary, postfix). *)
+
+exception Error of string * int  (** message, line *)
+
+val parse : string -> Ast.program
+(** Parse a complete compilation unit.
+    @raise Error on a syntax error.
+    @raise Lexer.Error on a lexical error. *)
+
+val parse_expr_string : string -> Ast.expr
+(** Parse a standalone expression (used by tests and tooling).
+    @raise Error / @raise Lexer.Error as for {!parse}. *)

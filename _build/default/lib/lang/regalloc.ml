@@ -1,0 +1,198 @@
+module P = Ipet_isa.Prog
+module I = Ipet_isa.Instr
+
+let term_uses = function
+  | I.Jump _ -> []
+  | I.Branch (r, _, _) -> [ r ]
+  | I.Return (Some (I.Reg r)) -> [ r ]
+  | I.Return (Some (I.Imm _ | I.Fimm _)) | I.Return None -> []
+
+let instr_regs instr = I.defs instr @ I.uses instr
+
+let max_reg (func : P.func) =
+  Array.fold_left
+    (fun acc (b : P.block) ->
+      let acc =
+        Array.fold_left
+          (fun acc instr -> List.fold_left max acc (instr_regs instr))
+          acc b.P.instrs
+      in
+      List.fold_left max acc (term_uses b.P.term))
+    (-1) func.P.blocks
+
+(* distinct registers one instruction touches, for scratch sizing *)
+let instr_width instr =
+  List.length (List.sort_uniq compare (instr_regs instr))
+
+let usage_counts (func : P.func) =
+  let counts = Hashtbl.create 64 in
+  let bump r =
+    Hashtbl.replace counts r (1 + Option.value ~default:0 (Hashtbl.find_opt counts r))
+  in
+  Array.iter
+    (fun (b : P.block) ->
+      Array.iter (fun instr -> List.iter bump (instr_regs instr)) b.P.instrs;
+      List.iter bump (term_uses b.P.term))
+    func.P.blocks;
+  counts
+
+let allocate ?(nregs = 16) (func : P.func) =
+  if max_reg func < nregs then func
+  else begin
+    let scratch_needed =
+      Array.fold_left
+        (fun acc (b : P.block) ->
+          Array.fold_left (fun acc instr -> max acc (instr_width instr)) acc b.P.instrs)
+        2 func.P.blocks
+    in
+    let resident_budget = nregs - scratch_needed in
+    if resident_budget < func.P.nparams then
+      invalid_arg
+        (Printf.sprintf
+           "Regalloc.allocate: %d registers cannot hold %d parameters plus %d scratch"
+           nregs func.P.nparams scratch_needed);
+    (* pick the hottest non-parameter registers to stay resident *)
+    let counts = usage_counts func in
+    let candidates =
+      Hashtbl.fold
+        (fun r c acc -> if r >= func.P.nparams then (c, r) :: acc else acc)
+        counts []
+      |> List.sort (fun (c1, r1) (c2, r2) -> compare (c2, r1) (c1, r2))
+    in
+    let resident = Hashtbl.create 32 in
+    for p = 0 to func.P.nparams - 1 do
+      Hashtbl.replace resident p p
+    done;
+    let next_resident = ref func.P.nparams in
+    List.iter
+      (fun (_, r) ->
+        if !next_resident < resident_budget then begin
+          Hashtbl.replace resident r !next_resident;
+          incr next_resident
+        end)
+      candidates;
+    (* frame slots for everything else *)
+    let slots = Hashtbl.create 32 in
+    let frame_words = ref func.P.frame_words in
+    let slot_of r =
+      match Hashtbl.find_opt slots r with
+      | Some s -> s
+      | None ->
+        let s = !frame_words in
+        incr frame_words;
+        Hashtbl.replace slots r s;
+        s
+    in
+    let scratch_base = nregs - scratch_needed in
+    let blocks =
+      Array.map
+        (fun (block : P.block) ->
+          let out = ref [] in
+          let emit i = out := i :: !out in
+          let rewrite_instr instr =
+            (* per-instruction scratch assignment: distinct demoted regs of
+               this instruction each get one scratch slot *)
+            let assignment = Hashtbl.create 4 in
+            let next = ref scratch_base in
+            let map_reg ~is_use r =
+              match Hashtbl.find_opt resident r with
+              | Some phys -> phys
+              | None ->
+                (match Hashtbl.find_opt assignment r with
+                 | Some s -> s
+                 | None ->
+                   let s = !next in
+                   incr next;
+                   assert (s < nregs);
+                   Hashtbl.replace assignment r s;
+                   if is_use then
+                     emit
+                       (I.Load
+                          (s, { I.base = I.Frame_base; offset = slot_of r; index = None }));
+                   s)
+            in
+            let map_operand op =
+              match op with
+              | I.Reg r -> I.Reg (map_reg ~is_use:true r)
+              | I.Imm _ | I.Fimm _ -> op
+            in
+            let map_addr (a : I.addr) =
+              { a with I.index = Option.map map_operand a.I.index }
+            in
+            (* loads for uses happen first, so map uses before defs *)
+            let rewritten =
+              match instr with
+              | I.Alu (op, d, a, b) ->
+                let a = map_operand a and b = map_operand b in
+                I.Alu (op, map_reg ~is_use:false d, a, b)
+              | I.Fpu (op, d, a, b) ->
+                let a = map_operand a and b = map_operand b in
+                I.Fpu (op, map_reg ~is_use:false d, a, b)
+              | I.Icmp (op, d, a, b) ->
+                let a = map_operand a and b = map_operand b in
+                I.Icmp (op, map_reg ~is_use:false d, a, b)
+              | I.Fcmp (op, d, a, b) ->
+                let a = map_operand a and b = map_operand b in
+                I.Fcmp (op, map_reg ~is_use:false d, a, b)
+              | I.Mov (d, a) ->
+                let a = map_operand a in
+                I.Mov (map_reg ~is_use:false d, a)
+              | I.Itof (d, a) ->
+                let a = map_operand a in
+                I.Itof (map_reg ~is_use:false d, a)
+              | I.Ftoi (d, a) ->
+                let a = map_operand a in
+                I.Ftoi (map_reg ~is_use:false d, a)
+              | I.Load (d, addr) ->
+                let addr = map_addr addr in
+                I.Load (map_reg ~is_use:false d, addr)
+              | I.Store (v, addr) -> I.Store (map_operand v, map_addr addr)
+              | I.Call (d, callee, args) ->
+                let args = List.map map_operand args in
+                I.Call (Option.map (map_reg ~is_use:false) d, callee, args)
+            in
+            emit rewritten;
+            (* spill stores for demoted definitions *)
+            List.iter
+              (fun d ->
+                match Hashtbl.find_opt resident d with
+                | Some _ -> ()
+                | None ->
+                  let s = Hashtbl.find assignment d in
+                  emit
+                    (I.Store
+                       (I.Reg s, { I.base = I.Frame_base; offset = slot_of d; index = None })))
+              (I.defs instr)
+          in
+          Array.iter rewrite_instr block.P.instrs;
+          (* terminator register uses need a reload too *)
+          let term =
+            match block.P.term with
+            | I.Branch (r, t, f) ->
+              (match Hashtbl.find_opt resident r with
+               | Some phys -> I.Branch (phys, t, f)
+               | None ->
+                 emit
+                   (I.Load
+                      (scratch_base,
+                       { I.base = I.Frame_base; offset = slot_of r; index = None }));
+                 I.Branch (scratch_base, t, f))
+            | I.Return (Some (I.Reg r)) ->
+              (match Hashtbl.find_opt resident r with
+               | Some phys -> I.Return (Some (I.Reg phys))
+               | None ->
+                 emit
+                   (I.Load
+                      (scratch_base,
+                       { I.base = I.Frame_base; offset = slot_of r; index = None }));
+                 I.Return (Some (I.Reg scratch_base)))
+            | I.Jump _ | I.Return _ as t -> t
+          in
+          { block with P.instrs = Array.of_list (List.rev !out); P.term = term })
+        func.P.blocks
+    in
+    { func with P.blocks = blocks; P.frame_words = !frame_words }
+  end
+
+let program ?nregs (prog : P.t) =
+  { prog with P.funcs = Array.map (allocate ?nregs) prog.P.funcs }

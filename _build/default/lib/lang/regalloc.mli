@@ -1,0 +1,22 @@
+(** Register allocation onto a finite register file.
+
+    The code generator uses unlimited virtual registers; real E32 hardware
+    (like the i960's local-register window) has a fixed file. [allocate]
+    rewrites a function so every register index is below [nregs]: the most
+    frequently used virtual registers stay {e resident} (parameters always
+    do — the calling convention pins them to [0 .. nparams-1]), the rest are
+    {e demoted} to frame slots with a load before each use and a store after
+    each definition. The added memory traffic is exactly what register
+    pressure costs on the real machine, which makes the allocator a useful
+    knob for timing-sensitivity experiments (see the bench's
+    ablation-regalloc target). *)
+
+val allocate : ?nregs:int -> Ipet_isa.Prog.func -> Ipet_isa.Prog.func
+(** Default [nregs] is 16.
+    @raise Invalid_argument when [nregs] is too small for the function's
+    parameters plus the scratch registers its widest instruction needs. *)
+
+val program : ?nregs:int -> Ipet_isa.Prog.t -> Ipet_isa.Prog.t
+
+val max_reg : Ipet_isa.Prog.func -> int
+(** Highest register index mentioned, [-1] for none. *)

@@ -1,0 +1,280 @@
+open Ast
+
+exception Error of string * int
+
+type var_info = { vtyp : typ; array_size : int option }
+
+type env = {
+  globals : (string, var_info) Hashtbl.t;
+  funcs : (string, typ list * typ) Hashtbl.t;
+  locals : (string, (string, var_info) Hashtbl.t) Hashtbl.t;
+      (* per-function symbol tables, including parameters *)
+}
+
+let err line fmt = Format.kasprintf (fun s -> raise (Error (s, line))) fmt
+
+let lookup_var env ~func name =
+  let local =
+    match Hashtbl.find_opt env.locals func with
+    | Some table -> Hashtbl.find_opt table name
+    | None -> None
+  in
+  match local with
+  | Some _ as v -> v
+  | None -> Hashtbl.find_opt env.globals name
+
+let func_signature env name = Hashtbl.find_opt env.funcs name
+
+let scalar_or_err line name = function
+  | { array_size = None; vtyp } -> vtyp
+  | { array_size = Some _; _ } ->
+    err line "%s is an array and cannot be used as a scalar" name
+
+let rec expr_type env ~func (e : expr) =
+  match e.desc with
+  | Int_lit _ -> Tint
+  | Float_lit _ -> Tfloat
+  | Var name ->
+    (match lookup_var env ~func name with
+     | Some info -> scalar_or_err e.eline name info
+     | None -> err e.eline "unbound variable %s" name)
+  | Index (name, _) ->
+    (match lookup_var env ~func name with
+     | Some { array_size = Some _; vtyp } -> vtyp
+     | Some { array_size = None; _ } -> err e.eline "%s is not an array" name
+     | None -> err e.eline "unbound array %s" name)
+  | Unop (Neg, a) -> expr_type env ~func a
+  | Unop (Lnot, _) -> Tint
+  | Binop ((Lt | Le | Gt | Ge | Eq | Ne | Land | Lor), _, _) -> Tint
+  | Binop ((Mod | Band | Bor | Bxor | Shl | Shr), _, _) -> Tint
+  | Binop ((Add | Sub | Mul | Div), a, _) -> expr_type env ~func a
+  | Call (name, _) ->
+    (match func_signature env name with
+     | Some (_, ret) -> ret
+     | None -> err e.eline "call to undefined function %s" name)
+  | Cast (typ, _) -> typ
+
+(* --- checking + elaboration ------------------------------------------- *)
+
+let cast_to typ (e : expr) = { desc = Cast (typ, e); eline = e.eline }
+
+(* promote [e] of type [from_t] to [to_t], or fail *)
+let coerce line ~what ~from_t ~to_t e =
+  if from_t = to_t then e
+  else
+    match (from_t, to_t) with
+    | Tint, Tfloat -> cast_to Tfloat e
+    | Tfloat, Tint ->
+      err line "%s: implicit float->int conversion; use an explicit (int) cast" what
+    | (Tvoid, _ | _, Tvoid) -> err line "%s: void value used" what
+    | (Tint, Tint | Tfloat, Tfloat) -> e
+
+let rec check_expr env ~func (e : expr) : expr * typ =
+  let line = e.eline in
+  match e.desc with
+  | Int_lit _ -> (e, Tint)
+  | Float_lit _ -> (e, Tfloat)
+  | Var name ->
+    (match lookup_var env ~func name with
+     | Some info -> (e, scalar_or_err line name info)
+     | None -> err line "unbound variable %s" name)
+  | Index (name, idx) ->
+    (match lookup_var env ~func name with
+     | Some { array_size = Some _; vtyp } ->
+       let idx, idx_t = check_expr env ~func idx in
+       if idx_t <> Tint then err line "array index must be an int";
+       ({ e with desc = Index (name, idx) }, vtyp)
+     | Some { array_size = None; _ } -> err line "%s is not an array" name
+     | None -> err line "unbound array %s" name)
+  | Unop (Neg, a) ->
+    let a, t = check_expr env ~func a in
+    if t = Tvoid then err line "cannot negate a void value";
+    ({ e with desc = Unop (Neg, a) }, t)
+  | Unop (Lnot, a) ->
+    let a, t = check_expr env ~func a in
+    if t <> Tint then err line "'!' requires an int operand";
+    ({ e with desc = Unop (Lnot, a) }, Tint)
+  | Binop (op, a, b) ->
+    let a, ta = check_expr env ~func a in
+    let b, tb = check_expr env ~func b in
+    if ta = Tvoid || tb = Tvoid then err line "void value in expression";
+    let int_only what =
+      if ta <> Tint || tb <> Tint then err line "'%s' requires int operands" what
+    in
+    (match op with
+     | Land | Lor -> int_only "&&/||"
+     | Mod -> int_only "%"
+     | Band | Bor | Bxor -> int_only "&/|/^"
+     | Shl | Shr -> int_only "shift"
+     | Add | Sub | Mul | Div | Lt | Le | Gt | Ge | Eq | Ne -> ());
+    let result_arith = if ta = Tfloat || tb = Tfloat then Tfloat else Tint in
+    (match op with
+     | Add | Sub | Mul | Div ->
+       let a = coerce line ~what:"arithmetic" ~from_t:ta ~to_t:result_arith a in
+       let b = coerce line ~what:"arithmetic" ~from_t:tb ~to_t:result_arith b in
+       ({ e with desc = Binop (op, a, b) }, result_arith)
+     | Lt | Le | Gt | Ge | Eq | Ne ->
+       let a = coerce line ~what:"comparison" ~from_t:ta ~to_t:result_arith a in
+       let b = coerce line ~what:"comparison" ~from_t:tb ~to_t:result_arith b in
+       ({ e with desc = Binop (op, a, b) }, Tint)
+     | Land | Lor | Mod | Band | Bor | Bxor | Shl | Shr ->
+       ({ e with desc = Binop (op, a, b) }, Tint))
+  | Call (name, args) ->
+    (match func_signature env name with
+     | None -> err line "call to undefined function %s" name
+     | Some (param_types, ret) ->
+       if List.length args <> List.length param_types then
+         err line "%s expects %d arguments, got %d" name
+           (List.length param_types) (List.length args);
+       let args =
+         List.map2
+           (fun arg pt ->
+             let arg, at = check_expr env ~func arg in
+             coerce line ~what:("argument of " ^ name) ~from_t:at ~to_t:pt arg)
+           args param_types
+       in
+       ({ e with desc = Call (name, args) }, ret))
+  | Cast (typ, a) ->
+    let a, t = check_expr env ~func a in
+    if typ = Tvoid then err line "cannot cast to void";
+    if t = Tvoid then err line "cannot cast a void value";
+    ({ e with desc = Cast (typ, a) }, typ)
+
+let check_cond env ~func cond =
+  let cond, t = check_expr env ~func cond in
+  if t <> Tint then
+    err cond.eline "conditions must be int-valued (compare floats explicitly)";
+  cond
+
+let rec check_stmt env ~func ~ret ~in_loop (s : stmt) : stmt =
+  let line = s.sline in
+  let table = Hashtbl.find env.locals func in
+  match s.sdesc with
+  | Decl (typ, name, init) ->
+    if typ = Tvoid then err line "variables cannot have type void";
+    if Hashtbl.mem table name then err line "redeclaration of %s" name;
+    let init =
+      Option.map
+        (fun e ->
+          let e, t = check_expr env ~func e in
+          coerce line ~what:("initializer of " ^ name) ~from_t:t ~to_t:typ e)
+        init
+    in
+    Hashtbl.replace table name { vtyp = typ; array_size = None };
+    { s with sdesc = Decl (typ, name, init) }
+  | Decl_array (typ, name, size) ->
+    if typ = Tvoid then err line "arrays cannot have type void";
+    if size <= 0 then err line "array %s must have positive size" name;
+    if Hashtbl.mem table name then err line "redeclaration of %s" name;
+    Hashtbl.replace table name { vtyp = typ; array_size = Some size };
+    s
+  | Assign (lv, e) ->
+    let target_t =
+      match lv with
+      | Lvar name ->
+        (match lookup_var env ~func name with
+         | Some info -> scalar_or_err line name info
+         | None -> err line "assignment to unbound variable %s" name)
+      | Lindex (name, _) ->
+        (match lookup_var env ~func name with
+         | Some { array_size = Some _; vtyp } -> vtyp
+         | Some { array_size = None; _ } -> err line "%s is not an array" name
+         | None -> err line "assignment to unbound array %s" name)
+    in
+    let lv =
+      match lv with
+      | Lvar _ -> lv
+      | Lindex (name, idx) ->
+        let idx, idx_t = check_expr env ~func idx in
+        if idx_t <> Tint then err line "array index must be an int";
+        Lindex (name, idx)
+    in
+    let e, t = check_expr env ~func e in
+    let e = coerce line ~what:"assignment" ~from_t:t ~to_t:target_t e in
+    { s with sdesc = Assign (lv, e) }
+  | Expr_stmt e ->
+    let e, _ = check_expr env ~func e in
+    { s with sdesc = Expr_stmt e }
+  | If (cond, then_b, else_b) ->
+    let cond = check_cond env ~func cond in
+    let then_b = List.map (check_stmt env ~func ~ret ~in_loop) then_b in
+    let else_b = List.map (check_stmt env ~func ~ret ~in_loop) else_b in
+    { s with sdesc = If (cond, then_b, else_b) }
+  | While (cond, body) ->
+    let cond = check_cond env ~func cond in
+    let body = List.map (check_stmt env ~func ~ret ~in_loop:true) body in
+    { s with sdesc = While (cond, body) }
+  | Do_while (body, cond) ->
+    let body = List.map (check_stmt env ~func ~ret ~in_loop:true) body in
+    let cond = check_cond env ~func cond in
+    { s with sdesc = Do_while (body, cond) }
+  | For (init, cond, step, body) ->
+    let init = Option.map (check_stmt env ~func ~ret ~in_loop) init in
+    let cond = Option.map (check_cond env ~func) cond in
+    let step = Option.map (check_stmt env ~func ~ret ~in_loop) step in
+    let body = List.map (check_stmt env ~func ~ret ~in_loop:true) body in
+    { s with sdesc = For (init, cond, step, body) }
+  | Return None ->
+    if ret <> Tvoid then err line "non-void function must return a value";
+    s
+  | Return (Some e) ->
+    if ret = Tvoid then err line "void function cannot return a value";
+    let e, t = check_expr env ~func e in
+    let e = coerce line ~what:"return" ~from_t:t ~to_t:ret e in
+    { s with sdesc = Return (Some e) }
+  | Break ->
+    if not in_loop then err line "break outside of a loop";
+    s
+  | Continue ->
+    if not in_loop then err line "continue outside of a loop";
+    s
+  | Block stmts ->
+    { s with sdesc = Block (List.map (check_stmt env ~func ~ret ~in_loop) stmts) }
+
+let check (program : program) =
+  let env =
+    { globals = Hashtbl.create 16;
+      funcs = Hashtbl.create 16;
+      locals = Hashtbl.create 16 }
+  in
+  List.iter
+    (fun g ->
+      if g.gtyp = Tvoid then err g.gline "globals cannot have type void";
+      if Hashtbl.mem env.globals g.gname then
+        err g.gline "redeclaration of global %s" g.gname;
+      (match (g.gsize, g.ginit) with
+       | Some size, _ when size <= 0 ->
+         err g.gline "array %s must have positive size" g.gname
+       | Some size, Some init when List.length init > size ->
+         err g.gline "initializer of %s has %d elements for size %d" g.gname
+           (List.length init) size
+       | None, Some init when List.length init <> 1 ->
+         err g.gline "scalar %s takes a single initializer" g.gname
+       | (None | Some _), (None | Some _) -> ());
+      Hashtbl.replace env.globals g.gname { vtyp = g.gtyp; array_size = g.gsize })
+    program.globals;
+  List.iter
+    (fun f ->
+      if Hashtbl.mem env.funcs f.fname then
+        err f.fline "redefinition of function %s" f.fname;
+      Hashtbl.replace env.funcs f.fname (List.map fst f.params, f.ret))
+    program.funcs;
+  let funcs =
+    List.map
+      (fun f ->
+        let table = Hashtbl.create 16 in
+        Hashtbl.replace env.locals f.fname table;
+        List.iter
+          (fun (typ, name) ->
+            if typ = Tvoid then err f.fline "parameters cannot have type void";
+            if Hashtbl.mem table name then
+              err f.fline "duplicate parameter %s" name;
+            Hashtbl.replace table name { vtyp = typ; array_size = None })
+          f.params;
+        let body =
+          List.map (check_stmt env ~func:f.fname ~ret:f.ret ~in_loop:false) f.body
+        in
+        { f with body })
+      program.funcs
+  in
+  ({ program with funcs }, env)

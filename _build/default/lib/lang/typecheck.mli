@@ -1,0 +1,26 @@
+(** Static checking and elaboration of MC programs.
+
+    Beyond the usual checks (declaration before use, operator/assignment
+    typing, arity, [break]/[continue] placement, array/scalar usage), the
+    checker {e elaborates} the program: every implicit [int]→[float]
+    promotion becomes an explicit {!Ast.Cast}, so that later phases can
+    synthesize expression types without re-running inference. *)
+
+exception Error of string * int  (** message, line *)
+
+type var_info = { vtyp : Ast.typ; array_size : int option }
+
+type env
+(** Typing environment of a checked program. *)
+
+val check : Ast.program -> Ast.program * env
+(** @raise Error on an ill-typed program. *)
+
+val lookup_var : env -> func:string -> string -> var_info option
+(** Look up a local (including parameters), falling back to globals. *)
+
+val func_signature : env -> string -> (Ast.typ list * Ast.typ) option
+
+val expr_type : env -> func:string -> Ast.expr -> Ast.typ
+(** Type of an elaborated expression (no implicit promotions remain).
+    @raise Error on unbound names — cannot happen on checked programs. *)

@@ -1,0 +1,1 @@
+lib/lp/ilp.ml: Ipet_num Linexpr Lp_problem Rat Simplex

@@ -1,0 +1,1 @@
+lib/lp/ilp.mli: Ipet_num Lp_problem Rat

@@ -1,0 +1,1 @@
+lib/lp/linexpr.ml: Format Ipet_num List Map Rat String

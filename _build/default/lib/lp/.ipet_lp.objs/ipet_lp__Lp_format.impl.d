@@ -1,0 +1,1 @@
+lib/lp/lp_format.ml: Buffer Hashtbl Ipet_num Linexpr List Lp_problem Printf Rat

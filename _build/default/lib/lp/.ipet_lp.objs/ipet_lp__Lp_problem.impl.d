@@ -1,0 +1,1 @@
+lib/lp/lp_problem.ml: Format Ipet_num Linexpr List Rat String

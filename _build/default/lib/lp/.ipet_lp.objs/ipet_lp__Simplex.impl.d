@@ -1,0 +1,1 @@
+lib/lp/simplex.ml: Array Hashtbl Ipet_num Linexpr List Lp_problem Rat

@@ -1,0 +1,1 @@
+lib/lp/simplex.mli: Ipet_num Lp_problem Rat

@@ -1,0 +1,89 @@
+(* Depth-first branch and bound. Each node adds bound constraints
+   [x <= floor v] / [x >= ceil v] for a fractional variable of the node's LP
+   relaxation. Pruning uses the incumbent: for maximization a node whose
+   relaxation value is <= the incumbent objective cannot improve it (the
+   objective need not be integral in general, so we prune on <=, not on
+   floor). *)
+
+open Ipet_num
+
+type stats = { lp_calls : int; nodes : int; first_lp_integral : bool }
+
+type result =
+  | Optimal of { value : Rat.t; assignment : (string * Rat.t) list; stats : stats }
+  | Infeasible of stats
+  | Unbounded of stats
+
+exception Node_limit_exceeded
+
+let fractional_var assignment =
+  let rec go = function
+    | [] -> None
+    | (v, x) :: rest -> if Rat.is_integer x then go rest else Some (v, x)
+  in
+  go assignment
+
+let solve ?(max_nodes = 100_000) problem =
+  let maximize = problem.Lp_problem.direction = Lp_problem.Maximize in
+  (* normalize to maximization so that bounding logic is uniform *)
+  let base = { problem with
+               Lp_problem.direction = Lp_problem.Maximize;
+               objective = (if maximize then problem.Lp_problem.objective
+                            else Linexpr.neg problem.Lp_problem.objective) }
+  in
+  let lp_calls = ref 0 in
+  let nodes = ref 0 in
+  let first_lp_integral = ref false in
+  let incumbent = ref None in
+  let better value =
+    match !incumbent with
+    | None -> true
+    | Some (best, _) -> Rat.compare value best > 0
+  in
+  let stats () =
+    { lp_calls = !lp_calls; nodes = !nodes; first_lp_integral = !first_lp_integral }
+  in
+  let unbounded = ref false in
+  let rec explore extra depth =
+    if !unbounded then ()
+    else begin
+      incr nodes;
+      if !nodes > max_nodes then raise Node_limit_exceeded;
+      incr lp_calls;
+      let node_problem =
+        { base with Lp_problem.constraints = extra @ base.Lp_problem.constraints }
+      in
+      match Simplex.solve node_problem with
+      | Simplex.Infeasible -> ()
+      | Simplex.Unbounded ->
+        (* The relaxation being unbounded at the root means the ILP is
+           unbounded or infeasible; for IPET problems (flow polytopes with a
+           unit source) feasibility is immediate, so report unbounded. *)
+        if depth = 0 then unbounded := true
+        else ()
+      | Simplex.Optimal { value; assignment } ->
+        if depth = 0 && fractional_var assignment = None then
+          first_lp_integral := true;
+        if !incumbent <> None && not (better value) then ()
+        else begin
+          match fractional_var assignment with
+          | None ->
+            if better value then incumbent := Some (value, assignment)
+          | Some (v, x) ->
+            let lo = Linexpr.sub (Linexpr.var v) (Linexpr.const (Rat.of_bigint (Rat.floor x))) in
+            let hi = Linexpr.sub (Linexpr.const (Rat.of_bigint (Rat.ceil x))) (Linexpr.var v) in
+            let branch_le = Lp_problem.constr ~origin:"branch" lo Lp_problem.Le in
+            let branch_ge = Lp_problem.constr ~origin:"branch" hi Lp_problem.Le in
+            explore (branch_le :: extra) (depth + 1);
+            explore (branch_ge :: extra) (depth + 1)
+        end
+    end
+  in
+  explore [] 0;
+  if !unbounded then Unbounded (stats ())
+  else
+    match !incumbent with
+    | None -> Infeasible (stats ())
+    | Some (value, assignment) ->
+      let value = if maximize then value else Rat.neg value in
+      Optimal { value; assignment; stats = stats () }

@@ -1,0 +1,32 @@
+(** Branch-and-bound integer linear programming over the exact simplex.
+
+    All variables are integer and non-negative. The solver records the
+    statistics the paper reports in Section VI: how many LP relaxations were
+    solved and whether the very first relaxation was already integral (which
+    the paper observed to always be the case in practice for IPET
+    problems). *)
+
+open Ipet_num
+
+type stats = {
+  lp_calls : int;          (** number of LP relaxations solved *)
+  nodes : int;             (** branch-and-bound nodes explored *)
+  first_lp_integral : bool;
+      (** the root relaxation was already integer-valued *)
+}
+
+type result =
+  | Optimal of {
+      value : Rat.t;  (** integral *)
+      assignment : (string * Rat.t) list;
+      stats : stats;
+    }
+  | Infeasible of stats
+  | Unbounded of stats
+
+exception Node_limit_exceeded
+
+val solve : ?max_nodes:int -> Lp_problem.t -> result
+(** [solve problem] maximizes or minimizes the objective over non-negative
+    integer assignments. [max_nodes] (default [100_000]) bounds the search.
+    @raise Node_limit_exceeded if the bound is hit. *)

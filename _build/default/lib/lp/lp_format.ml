@@ -1,0 +1,68 @@
+open Ipet_num
+
+(* LP-format names must start with a letter and avoid operators; our flow
+   variables contain ':' and '@', so each distinct variable gets an alias *)
+let build_aliases problem =
+  let table = Hashtbl.create 32 in
+  List.iteri
+    (fun i v -> Hashtbl.replace table v (Printf.sprintf "v%d" i))
+    (Lp_problem.variables problem);
+  table
+
+let append_linexpr buf aliases expr =
+  let first = ref true in
+  Linexpr.fold_terms
+    (fun v c () ->
+      let sign = Rat.sign c in
+      let mag = Rat.abs c in
+      if !first then begin
+        first := false;
+        if sign < 0 then Buffer.add_string buf "- "
+      end
+      else Buffer.add_string buf (if sign < 0 then " - " else " + ");
+      if not (Rat.equal mag Rat.one) then begin
+        Buffer.add_string buf (Rat.to_string mag);
+        Buffer.add_char buf ' '
+      end;
+      Buffer.add_string buf (Hashtbl.find aliases v))
+    expr ();
+  if !first then Buffer.add_string buf "0"
+
+let to_string ?(name = "ipet") problem =
+  let aliases = build_aliases problem in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "\\ %s\n" name);
+  Buffer.add_string buf "\\ variable aliases:\n";
+  List.iter
+    (fun v ->
+      Buffer.add_string buf (Printf.sprintf "\\   %s = %s\n" (Hashtbl.find aliases v) v))
+    (Lp_problem.variables problem);
+  (match problem.Lp_problem.direction with
+   | Lp_problem.Maximize -> Buffer.add_string buf "Maximize\n obj: "
+   | Lp_problem.Minimize -> Buffer.add_string buf "Minimize\n obj: ");
+  append_linexpr buf aliases problem.Lp_problem.objective;
+  Buffer.add_string buf "\nSubject To\n";
+  List.iteri
+    (fun i (c : Lp_problem.constr) ->
+      Buffer.add_string buf (Printf.sprintf " c%d: " i);
+      let terms = Linexpr.sub c.Lp_problem.expr
+          (Linexpr.const (Linexpr.constant c.Lp_problem.expr))
+      in
+      let rhs = Rat.neg (Linexpr.constant c.Lp_problem.expr) in
+      append_linexpr buf aliases terms;
+      let rel = match c.Lp_problem.rel with
+        | Lp_problem.Le -> "<="
+        | Lp_problem.Ge -> ">="
+        | Lp_problem.Eq -> "="
+      in
+      Buffer.add_string buf (Printf.sprintf " %s %s" rel (Rat.to_string rhs));
+      if c.Lp_problem.origin <> "" then
+        Buffer.add_string buf (Printf.sprintf "  \\ %s" c.Lp_problem.origin);
+      Buffer.add_char buf '\n')
+    problem.Lp_problem.constraints;
+  Buffer.add_string buf "General\n";
+  List.iter
+    (fun v -> Buffer.add_string buf (Printf.sprintf " %s\n" (Hashtbl.find aliases v)))
+    (Lp_problem.variables problem);
+  Buffer.add_string buf "End\n";
+  Buffer.contents buf

@@ -1,0 +1,9 @@
+(** Export of problems in the CPLEX LP text format, so that the ILPs the
+    analysis builds can be inspected or handed to an external solver (the
+    paper used a stand-alone ILP package). Variable names are sanitized to
+    the LP-format alphabet; a name table is emitted as comments. *)
+
+val to_string : ?name:string -> Lp_problem.t -> string
+(** A complete LP file: objective, [Subject To], [General] (all variables
+    are integers) and [End], preceded by a comment block mapping sanitized
+    names back to the original ones. *)

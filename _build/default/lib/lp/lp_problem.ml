@@ -1,0 +1,57 @@
+open Ipet_num
+
+type relation = Le | Ge | Eq
+
+type constr = { expr : Linexpr.t; rel : relation; origin : string }
+
+let constr ?(origin = "") expr rel = { expr; rel; origin }
+let le ?origin a b = constr ?origin (Linexpr.sub a b) Le
+let ge ?origin a b = constr ?origin (Linexpr.sub a b) Ge
+let eq ?origin a b = constr ?origin (Linexpr.sub a b) Eq
+
+type direction = Maximize | Minimize
+
+type t = {
+  direction : direction;
+  objective : Linexpr.t;
+  constraints : constr list;
+}
+
+let make direction objective constraints = { direction; objective; constraints }
+
+let variables problem =
+  let add_vars expr acc =
+    List.fold_left (fun acc v -> v :: acc) acc (Linexpr.vars expr)
+  in
+  let all =
+    List.fold_left
+      (fun acc c -> add_vars c.expr acc)
+      (add_vars problem.objective []) problem.constraints
+  in
+  List.sort_uniq String.compare all
+
+let satisfies env c =
+  let v = Linexpr.eval env c.expr in
+  match c.rel with
+  | Le -> Rat.sign v <= 0
+  | Ge -> Rat.sign v >= 0
+  | Eq -> Rat.is_zero v
+
+let feasible env problem =
+  List.for_all (satisfies env) problem.constraints
+  && List.for_all (fun v -> Rat.sign (env v) >= 0) (variables problem)
+
+let rel_string = function Le -> "<=" | Ge -> ">=" | Eq -> "="
+
+let pp_constr fmt c =
+  (* print as [terms rel -const] for readability *)
+  let terms = Linexpr.sub c.expr (Linexpr.const (Linexpr.constant c.expr)) in
+  let rhs = Rat.neg (Linexpr.constant c.expr) in
+  Format.fprintf fmt "%a %s %a" Linexpr.pp terms (rel_string c.rel) Rat.pp rhs;
+  if c.origin <> "" then Format.fprintf fmt "   [%s]" c.origin
+
+let pp fmt problem =
+  let dir = match problem.direction with Maximize -> "maximize" | Minimize -> "minimize" in
+  Format.fprintf fmt "@[<v>%s %a@,subject to:@," dir Linexpr.pp problem.objective;
+  List.iter (fun c -> Format.fprintf fmt "  %a@," pp_constr c) problem.constraints;
+  Format.fprintf fmt "  (all variables >= 0)@]"

@@ -1,0 +1,20 @@
+(** Two-phase primal simplex over exact rationals.
+
+    Solves {!Lp_problem.t} instances (all variables implicitly
+    non-negative). Bland's anti-cycling rule guarantees termination, and all
+    arithmetic is exact, so the solver either returns a true optimum or a
+    correct infeasible/unbounded verdict. *)
+
+open Ipet_num
+
+type result =
+  | Optimal of { value : Rat.t; assignment : (string * Rat.t) list }
+      (** Optimal objective value and one optimal vertex; variables absent
+          from [assignment] are zero. *)
+  | Infeasible
+  | Unbounded
+
+val solve : Lp_problem.t -> result
+
+val assignment_env : (string * Rat.t) list -> string -> Rat.t
+(** Turn an assignment into a total environment (absent variables are 0). *)

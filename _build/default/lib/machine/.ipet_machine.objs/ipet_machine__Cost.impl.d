@@ -1,0 +1,1 @@
+lib/machine/cost.ml: Array Icache Ipet_isa Pipeline Timing

@@ -1,0 +1,1 @@
+lib/machine/pipeline.ml: Array Ipet_isa List Timing

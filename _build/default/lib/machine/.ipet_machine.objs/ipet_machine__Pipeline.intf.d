@@ -1,0 +1,1 @@
+lib/machine/pipeline.mli: Ipet_isa

@@ -1,0 +1,37 @@
+module P = Ipet_isa.Prog
+module Layout = Ipet_isa.Layout
+
+type bounds = { best : int; worst : int; worst_warm : int }
+
+(* per-instruction cost bounds: identical except for loads when a data
+   cache is modelled (best assumes hits, worst assumes misses) *)
+let instr_bounds ?dcache instr =
+  match (instr, dcache) with
+  | Ipet_isa.Instr.Load _, Some d ->
+    let base = Timing.load_base in
+    (base, base + d.Icache.miss_penalty)
+  | _, (Some _ | None) ->
+    let c = Timing.issue instr in
+    (c, c)
+
+let block_bounds ?dcache cfg layout ~func (block : P.block) =
+  let best_body, worst_body =
+    Array.fold_left
+      (fun (b, w) i ->
+        let ib, iw = instr_bounds ?dcache i in
+        (b + ib, w + iw))
+      (0, 0) block.P.instrs
+  in
+  let stalls = Pipeline.block_stalls block.P.instrs in
+  let term_best, term_worst = Timing.term_bounds block.P.term in
+  let addr = Layout.block_addr layout ~func ~block:block.P.id in
+  let size = Layout.block_size_bytes layout ~func ~block:block.P.id in
+  let lines = Icache.lines_spanned cfg ~addr ~size in
+  { best = best_body + stalls + term_best;
+    worst_warm = worst_body + stalls + term_worst;
+    worst = worst_body + stalls + term_worst + (lines * cfg.Icache.miss_penalty) }
+
+let func_bounds ?dcache cfg layout (func : P.func) =
+  Array.map
+    (fun b -> block_bounds ?dcache cfg layout ~func:func.P.name b)
+    func.P.blocks

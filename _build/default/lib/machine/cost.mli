@@ -1,0 +1,34 @@
+(** Per-basic-block execution-time bounds — the [c_i] of the objective
+    function (1).
+
+    Following Section IV, the cost of a block must be a constant, so:
+    best case assumes every instruction fetch hits the cache; worst case
+    charges a full line fill for {e every} cache line the block spans on
+    {e every} execution. Deterministic pipeline stalls and terminator
+    bounds are added to both. [worst_warm] is the worst case without the
+    cache-miss component, used by the first-iteration-split refinement that
+    Section IV suggests. *)
+
+type bounds = {
+  best : int;
+  worst : int;
+  worst_warm : int;  (** worst case assuming all fetches hit *)
+}
+
+val block_bounds :
+  ?dcache:Icache.config ->
+  Icache.config ->
+  Ipet_isa.Layout.t ->
+  func:string ->
+  Ipet_isa.Prog.block ->
+  bounds
+(** [dcache] switches loads from the flat-latency memory model to
+    hit-in-the-best-case / miss-in-the-worst-case data-cache bounds. *)
+
+val func_bounds :
+  ?dcache:Icache.config ->
+  Icache.config ->
+  Ipet_isa.Layout.t ->
+  Ipet_isa.Prog.func ->
+  bounds array
+(** Bounds for every block of the function, indexed by block id. *)

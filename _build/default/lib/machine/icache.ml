@@ -1,0 +1,53 @@
+type config = { size_bytes : int; line_bytes : int; miss_penalty : int }
+
+let i960kb = { size_bytes = 512; line_bytes = 16; miss_penalty = 8 }
+
+type t = {
+  cfg : config;
+  tags : int array;  (* -1 = invalid, otherwise the line tag *)
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create cfg =
+  if cfg.line_bytes <= 0 || cfg.line_bytes land (cfg.line_bytes - 1) <> 0 then
+    invalid_arg "Icache.create: line size must be a power of two";
+  if cfg.size_bytes mod cfg.line_bytes <> 0 || cfg.size_bytes <= 0 then
+    invalid_arg "Icache.create: capacity must be a positive multiple of the line size";
+  { cfg;
+    tags = Array.make (cfg.size_bytes / cfg.line_bytes) (-1);
+    hit_count = 0;
+    miss_count = 0 }
+
+let config t = t.cfg
+
+let slot t addr =
+  let line = addr / t.cfg.line_bytes in
+  let index = line mod Array.length t.tags in
+  (index, line)
+
+let lookup t addr =
+  let index, line = slot t addr in
+  t.tags.(index) = line
+
+let access t addr =
+  let index, line = slot t addr in
+  if t.tags.(index) = line then begin
+    t.hit_count <- t.hit_count + 1;
+    true
+  end
+  else begin
+    t.tags.(index) <- line;
+    t.miss_count <- t.miss_count + 1;
+    false
+  end
+
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1)
+
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+let lines_spanned cfg ~addr ~size =
+  if size <= 0 then 0
+  else (addr + size - 1) / cfg.line_bytes - (addr / cfg.line_bytes) + 1

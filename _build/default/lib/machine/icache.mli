@@ -1,0 +1,34 @@
+(** Direct-mapped instruction cache, modelled after the i960KB's 512-byte
+    on-chip cache. Used by the cycle simulator; the analytical cost model
+    only uses the configuration (lines touched per block, miss penalty). *)
+
+type config = {
+  size_bytes : int;     (** total capacity; must be a multiple of line_bytes *)
+  line_bytes : int;     (** must be a power of two *)
+  miss_penalty : int;   (** cycles to fill one line *)
+}
+
+val i960kb : config
+(** The paper's target: 512 bytes, 16-byte lines, 8-cycle fill. *)
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+val access : t -> int -> bool
+(** [access t byte_addr] simulates a fetch from the line containing the
+    address and returns [true] on a hit. Statistics are updated. *)
+
+val lookup : t -> int -> bool
+(** Hit test without state change. *)
+
+val flush : t -> unit
+(** Invalidate every line (the paper flushes before each worst-case
+    measurement run). *)
+
+val hits : t -> int
+val misses : t -> int
+
+val lines_spanned : config -> addr:int -> size:int -> int
+(** Number of cache lines covered by a [size]-byte object at [addr]. *)

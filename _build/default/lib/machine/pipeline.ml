@@ -1,0 +1,15 @@
+module I = Ipet_isa.Instr
+
+let stall_after prev cur =
+  match prev with
+  | I.Load (dst, _) ->
+    if List.mem dst (I.uses cur) then Timing.load_use_stall else 0
+  | I.Alu _ | I.Fpu _ | I.Icmp _ | I.Fcmp _ | I.Mov _ | I.Itof _ | I.Ftoi _
+  | I.Store _ | I.Call _ -> 0
+
+let block_stalls instrs =
+  let total = ref 0 in
+  for i = 1 to Array.length instrs - 1 do
+    total := !total + stall_after instrs.(i - 1) instrs.(i)
+  done;
+  !total

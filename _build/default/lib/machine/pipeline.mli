@@ -1,0 +1,15 @@
+(** Intra-block pipeline hazard analysis (Section IV: "for each assembly
+    instruction ... we analyze its adjacent instructions within the basic
+    block").
+
+    The only modelled hazard is the load-use interlock: it is deterministic
+    (it depends on the instruction sequence, not on data), so the same stall
+    count is added to both the best- and worst-case block cost and charged
+    by the cycle simulator. *)
+
+val stall_after : Ipet_isa.Instr.t -> Ipet_isa.Instr.t -> int
+(** [stall_after prev cur] — stall cycles suffered by [cur] given the
+    instruction just before it. *)
+
+val block_stalls : Ipet_isa.Instr.t array -> int
+(** Total deterministic stall cycles of a straight-line block body. *)

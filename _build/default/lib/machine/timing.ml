@@ -1,0 +1,34 @@
+module I = Ipet_isa.Instr
+
+(* loads on the uncached path pay [load_base + flat_memory_latency];
+   with a data cache the latency term is replaced by hit/miss timing *)
+let load_base = 2
+let flat_memory_latency = 1
+
+let issue = function
+  | I.Alu ((I.Add | I.Sub | I.And | I.Or | I.Xor | I.Shl | I.Shr), _, _, _) -> 1
+  | I.Alu (I.Mul, _, _, _) -> 4
+  | I.Alu ((I.Div | I.Rem), _, _, _) -> 18
+  | I.Fpu ((I.Fadd | I.Fsub), _, _, _) -> 4
+  | I.Fpu (I.Fmul, _, _, _) -> 6
+  | I.Fpu (I.Fdiv, _, _, _) -> 20
+  | I.Icmp _ -> 1
+  | I.Fcmp _ -> 3
+  | I.Mov _ -> 1
+  | I.Itof _ | I.Ftoi _ -> 3
+  | I.Load _ -> load_base + flat_memory_latency
+  | I.Store _ -> 2
+  | I.Call _ -> 8
+
+let term_bounds = function
+  | I.Jump _ -> (2, 2)
+  | I.Branch _ -> (1, 3)  (* not taken 1, taken 3 (refill) *)
+  | I.Return _ -> (7, 7)
+
+let term_actual term ~taken =
+  match term with
+  | I.Jump _ -> 2
+  | I.Branch _ -> if taken then 3 else 1
+  | I.Return _ -> 7
+
+let load_use_stall = 1

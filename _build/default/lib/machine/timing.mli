@@ -1,0 +1,29 @@
+(** Per-instruction timing of the E32 micro-architecture.
+
+    The numbers play the role of the "hardware manual" of Section IV: a
+    4-stage pipelined RISC in the spirit of the i960KB, with single-cycle
+    ALU operations, a multi-cycle multiplier/divider, a slow FPU, uncached
+    data memory with a fixed access time, and expensive call/return (the
+    i960 spills its register cache on call). All values are in cycles. *)
+
+val issue : Ipet_isa.Instr.t -> int
+(** Full (non-overlapped) execution cycles of one instruction, excluding
+    instruction-fetch misses and pipeline stalls. *)
+
+val term_bounds : Ipet_isa.Instr.terminator -> int * int
+(** (best, worst) cycles of the block terminator; branches cost more when
+    taken (pipeline refill). *)
+
+val term_actual : Ipet_isa.Instr.terminator -> taken:bool -> int
+(** Cycles actually spent by the terminator given the branch outcome; always
+    within {!term_bounds}. *)
+
+val load_base : int
+(** Pipeline cost of a load excluding the memory access itself. *)
+
+val flat_memory_latency : int
+(** Data-memory access time without a data cache (the default model). *)
+
+val load_use_stall : int
+(** Extra cycles when an instruction consumes the result of the load
+    immediately preceding it. *)

@@ -1,0 +1,56 @@
+(** Arbitrary-precision signed integers.
+
+    Sign-magnitude representation over base-[2^30] limbs. This module is the
+    numeric substrate of the exact rational simplex ({!Rat}, {!Ipet_lp}): the
+    pivot operations of the simplex multiply loop-bound coefficients together
+    and native [int]s could overflow on adversarial inputs. Only the
+    operations the solver needs are provided. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+
+val to_int : t -> int
+(** [to_int v] is the native-int value of [v].
+    @raise Failure if [v] does not fit in a native [int]. *)
+
+val to_int_opt : t -> int option
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], truncated toward zero and
+    [r] carrying the sign of [a] (OCaml [(/)]/[(mod)] semantics).
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val gcd : t -> t -> t
+(** Greatest common divisor, always non-negative. [gcd zero zero = zero]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** Parses an optional sign followed by decimal digits.
+    @raise Failure on malformed input. *)
+
+val to_float : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,93 @@
+module B = Bigint
+
+type t = { n : B.t; d : B.t }  (* invariant: d > 0, gcd (n, d) = 1 *)
+
+let make num den =
+  if B.is_zero den then raise Division_by_zero;
+  let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
+  if B.is_zero num then { n = B.zero; d = B.one }
+  else begin
+    let g = B.gcd num den in
+    { n = B.div num g; d = B.div den g }
+  end
+
+let zero = { n = B.zero; d = B.one }
+let one = { n = B.one; d = B.one }
+let minus_one = { n = B.minus_one; d = B.one }
+
+let of_int i = { n = B.of_int i; d = B.one }
+let of_ints num den = make (B.of_int num) (B.of_int den)
+let of_bigint b = { n = b; d = B.one }
+
+let num v = v.n
+let den v = v.d
+
+let neg v = { v with n = B.neg v.n }
+let abs v = { v with n = B.abs v.n }
+let sign v = B.sign v.n
+let is_zero v = B.is_zero v.n
+
+let add a b = make (B.add (B.mul a.n b.d) (B.mul b.n a.d)) (B.mul a.d b.d)
+let sub a b = add a (neg b)
+let mul a b = make (B.mul a.n b.n) (B.mul a.d b.d)
+let inv v = make v.d v.n
+let div a b = mul a (inv b)
+
+let compare a b = B.compare (B.mul a.n b.d) (B.mul b.n a.d)
+let equal a b = B.equal a.n b.n && B.equal a.d b.d
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let is_integer v = B.equal v.d B.one
+
+let floor v =
+  let q, r = B.divmod v.n v.d in
+  if B.sign r < 0 then B.sub q B.one else q
+
+let ceil v =
+  let q, r = B.divmod v.n v.d in
+  if B.sign r > 0 then B.add q B.one else q
+
+let to_int v =
+  if not (is_integer v) then failwith "Rat.to_int: not an integer";
+  B.to_int v.n
+
+let to_float v = B.to_float v.n /. B.to_float v.d
+
+let to_string v =
+  if is_integer v then B.to_string v.n
+  else B.to_string v.n ^ "/" ^ B.to_string v.d
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+    let num = B.of_string (String.sub s 0 i) in
+    let den = B.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    make num den
+  | None ->
+    match String.index_opt s '.' with
+    | None -> of_bigint (B.of_string s)
+    | Some i ->
+      let whole = String.sub s 0 i in
+      let frac = String.sub s (i + 1) (String.length s - i - 1) in
+      if frac = "" then failwith "Rat.of_string: malformed";
+      let scale = B.of_string ("1" ^ String.make (String.length frac) '0') in
+      let negative = String.length whole > 0 && whole.[0] = '-' in
+      let whole_b = if whole = "" || whole = "-" || whole = "+" then B.zero else B.of_string whole in
+      let frac_b = B.of_string frac in
+      let mag = B.add (B.mul (B.abs whole_b) scale) frac_b in
+      make (if negative then B.neg mag else mag) scale
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+module Infix = struct
+  let ( +/ ) = add
+  let ( -/ ) = sub
+  let ( */ ) = mul
+  let ( // ) = div
+  let ( =/ ) a b = equal a b
+  let ( </ ) a b = compare a b < 0
+  let ( <=/ ) a b = compare a b <= 0
+  let ( >/ ) a b = compare a b > 0
+  let ( >=/ ) a b = compare a b >= 0
+end

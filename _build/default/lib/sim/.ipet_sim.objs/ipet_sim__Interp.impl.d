@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Array Float Format Hashtbl Ipet_isa Ipet_machine List Option

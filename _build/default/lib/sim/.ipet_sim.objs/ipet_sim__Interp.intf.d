@@ -1,0 +1,1 @@
+lib/sim/interp.mli: Ipet_isa Ipet_machine

@@ -1,0 +1,352 @@
+module I = Ipet_isa.Instr
+module P = Ipet_isa.Prog
+module V = Ipet_isa.Value
+module Layout = Ipet_isa.Layout
+module Icache = Ipet_machine.Icache
+module Timing = Ipet_machine.Timing
+module Pipeline = Ipet_machine.Pipeline
+
+exception Runtime_error of string
+exception Out_of_fuel
+
+let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+type t = {
+  prog : P.t;
+  layout : Layout.t;
+  cache : Icache.t;
+  dcache : Icache.t option;
+  memory : V.t array;
+  stack_base : int;
+  mutable sp : int;
+  mutable fuel : int;
+  fuel_budget : int;
+  mutable cycle_count : int;
+  mutable instr_count : int;
+  mutable hits0 : int;  (* cache stats baseline for reset_stats *)
+  mutable misses0 : int;
+  mutable block_hook : (string -> int -> int -> unit) option;
+  counts : (string * int, int) Hashtbl.t;
+  edges : (string * int * int, int) Hashtbl.t;
+  calls : (string * int * int, int) Hashtbl.t;
+  (* context-qualified counters: keys carry the call path from the root *)
+  mutable path : (string * int * int) list;  (* reversed: innermost first *)
+  ctx_counts : ((string * int * int) list * string * int, int) Hashtbl.t;
+  ctx_edges : ((string * int * int) list * string * int * int, int) Hashtbl.t;
+  ctx_calls : ((string * int * int) list * string * int * int, int) Hashtbl.t;
+  ctx_entries : ((string * int * int) list * string, int) Hashtbl.t;
+}
+
+let create ?(cache = Icache.i960kb) ?dcache ?(stack_words = 1 lsl 16)
+    ?(fuel = 50_000_000) (prog : P.t) ~init =
+  let memory = Array.make (prog.P.globals_words + stack_words) V.zero in
+  List.iter (fun (addr, v) -> memory.(addr) <- v) init;
+  { prog;
+    layout = Layout.make prog;
+    cache = Icache.create cache;
+    dcache = Option.map Icache.create dcache;
+    memory;
+    stack_base = prog.P.globals_words;
+    sp = prog.P.globals_words;
+    fuel;
+    fuel_budget = fuel;
+    cycle_count = 0;
+    instr_count = 0;
+    hits0 = 0;
+    misses0 = 0;
+    block_hook = None;
+    counts = Hashtbl.create 64;
+    edges = Hashtbl.create 64;
+    calls = Hashtbl.create 16;
+    path = [];
+    ctx_counts = Hashtbl.create 64;
+    ctx_edges = Hashtbl.create 64;
+    ctx_calls = Hashtbl.create 16;
+    ctx_entries = Hashtbl.create 16 }
+
+let program m = m.prog
+let layout m = m.layout
+
+let reset_memory m ~init =
+  Array.fill m.memory 0 (Array.length m.memory) V.zero;
+  List.iter (fun (addr, v) -> m.memory.(addr) <- v) init;
+  m.sp <- m.stack_base
+
+let reset_stats m =
+  m.cycle_count <- 0;
+  m.instr_count <- 0;
+  m.fuel <- m.fuel_budget;
+  m.hits0 <- Icache.hits m.cache;
+  m.misses0 <- Icache.misses m.cache;
+  Hashtbl.reset m.counts;
+  Hashtbl.reset m.edges;
+  Hashtbl.reset m.calls;
+  m.path <- [];
+  Hashtbl.reset m.ctx_counts;
+  Hashtbl.reset m.ctx_edges;
+  Hashtbl.reset m.ctx_calls;
+  Hashtbl.reset m.ctx_entries
+
+let set_block_hook m hook = m.block_hook <- Some hook
+let clear_block_hook m = m.block_hook <- None
+
+let flush_cache m =
+  Icache.flush m.cache;
+  Option.iter Icache.flush m.dcache
+
+let dcache_hits m = match m.dcache with Some d -> Icache.hits d | None -> 0
+let dcache_misses m = match m.dcache with Some d -> Icache.misses d | None -> 0
+
+let global_slot m name =
+  match P.find_global m.prog name with
+  | g -> g
+  | exception Not_found -> error "unknown global %s" name
+
+let write_global m name index v =
+  let g = global_slot m name in
+  if index < 0 || index >= g.P.size_words then
+    error "index %d out of bounds for global %s" index name;
+  m.memory.(g.P.addr + index) <- v
+
+let read_global m name index =
+  let g = global_slot m name in
+  if index < 0 || index >= g.P.size_words then
+    error "index %d out of bounds for global %s" index name;
+  m.memory.(g.P.addr + index)
+
+let cycles m = m.cycle_count
+let instructions m = m.instr_count
+let cache_hits m = Icache.hits m.cache - m.hits0
+let cache_misses m = Icache.misses m.cache - m.misses0
+
+let bump table key =
+  let v = Option.value ~default:0 (Hashtbl.find_opt table key) in
+  Hashtbl.replace table key (v + 1)
+
+let block_count m ~func ~block =
+  Option.value ~default:0 (Hashtbl.find_opt m.counts (func, block))
+
+let block_counts m =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.counts []
+  |> List.sort compare
+
+let edge_count m ~func ~src ~dst =
+  Option.value ~default:0 (Hashtbl.find_opt m.edges (func, src, dst))
+
+let call_count m ~caller ~block ~occurrence =
+  Option.value ~default:0 (Hashtbl.find_opt m.calls (caller, block, occurrence))
+
+type site = string * int * int
+
+let ctx_block_count m ~path ~func ~block =
+  Option.value ~default:0 (Hashtbl.find_opt m.ctx_counts (List.rev path, func, block))
+
+let ctx_edge_count m ~path ~func ~src ~dst =
+  Option.value ~default:0 (Hashtbl.find_opt m.ctx_edges (List.rev path, func, src, dst))
+
+let ctx_call_count m ~path ~caller ~block ~occurrence =
+  Option.value ~default:0
+    (Hashtbl.find_opt m.ctx_calls (List.rev path, caller, block, occurrence))
+
+let ctx_entry_count m ~path ~func =
+  Option.value ~default:0 (Hashtbl.find_opt m.ctx_entries (List.rev path, func))
+
+(* --- execution ---------------------------------------------------------- *)
+
+type frame = { regs : V.t array ref; fp : int }
+
+let reg_value frame r =
+  let a = !(frame.regs) in
+  if r < Array.length a then a.(r) else V.zero
+
+let set_reg frame r v =
+  let a = !(frame.regs) in
+  if r >= Array.length a then begin
+    let bigger = Array.make (max (r + 1) (2 * Array.length a)) V.zero in
+    Array.blit a 0 bigger 0 (Array.length a);
+    frame.regs := bigger
+  end;
+  !(frame.regs).(r) <- v
+
+let operand_value frame = function
+  | I.Reg r -> reg_value frame r
+  | I.Imm i -> V.Vint i
+  | I.Fimm f -> V.Vfloat f
+
+let mem_read m addr =
+  if addr < 0 || addr >= Array.length m.memory then
+    error "load from invalid address %d" addr;
+  m.memory.(addr)
+
+let mem_write m addr v =
+  if addr < 0 || addr >= Array.length m.memory then
+    error "store to invalid address %d" addr;
+  m.memory.(addr) <- v
+
+let effective_addr frame (a : I.addr) =
+  let base = match a.I.base with I.Abs w -> w | I.Frame_base -> frame.fp in
+  let index =
+    match a.I.index with
+    | None -> 0
+    | Some op -> V.as_int (operand_value frame op)
+  in
+  base + a.I.offset + index
+
+let alu op a b =
+  match op with
+  | I.Add -> a + b
+  | I.Sub -> a - b
+  | I.Mul -> a * b
+  | I.Div -> if b = 0 then error "division by zero" else a / b
+  | I.Rem -> if b = 0 then error "modulo by zero" else a mod b
+  | I.And -> a land b
+  | I.Or -> a lor b
+  | I.Xor -> a lxor b
+  | I.Shl -> a lsl (b land 62)
+  | I.Shr -> a asr (b land 62)
+
+let fpu op a b =
+  match op with
+  | I.Fadd -> a +. b
+  | I.Fsub -> a -. b
+  | I.Fmul -> a *. b
+  | I.Fdiv -> a /. b
+
+let icmp op a b =
+  let r = match op with
+    | I.Ceq -> a = b | I.Cne -> a <> b
+    | I.Clt -> a < b | I.Cle -> a <= b | I.Cgt -> a > b | I.Cge -> a >= b
+  in
+  if r then 1 else 0
+
+let fcmp op (a : float) (b : float) =
+  let r = match op with
+    | I.Ceq -> a = b | I.Cne -> a <> b
+    | I.Clt -> a < b | I.Cle -> a <= b | I.Cgt -> a > b | I.Cge -> a >= b
+  in
+  if r then 1 else 0
+
+let fetch m ~addr =
+  if not (Icache.access m.cache addr) then
+    m.cycle_count <- m.cycle_count + (Icache.config m.cache).Icache.miss_penalty
+
+let rec call m fname args =
+  let func =
+    match P.find_func_opt m.prog fname with
+    | Some f -> f
+    | None -> error "call to unknown function %s" fname
+  in
+  if List.length args <> func.P.nparams then
+    error "%s expects %d arguments, got %d" fname func.P.nparams (List.length args);
+  bump m.ctx_entries (m.path, fname);
+  let frame = { regs = ref (Array.make 16 V.zero); fp = m.sp } in
+  if m.sp + func.P.frame_words > Array.length m.memory then
+    error "stack overflow calling %s" fname;
+  m.sp <- m.sp + func.P.frame_words;
+  List.iteri (fun i v -> set_reg frame i v) args;
+  let result = run_block m func frame 0 in
+  m.sp <- m.sp - func.P.frame_words;
+  result
+
+and run_block m (func : P.func) frame block_id =
+  if m.fuel <= 0 then raise Out_of_fuel;
+  m.fuel <- m.fuel - 1;
+  bump m.counts (func.P.name, block_id);
+  bump m.ctx_counts (m.path, func.P.name, block_id);
+  (match m.block_hook with
+   | Some hook -> hook func.P.name block_id m.cycle_count
+   | None -> ());
+  let block = func.P.blocks.(block_id) in
+  let base_addr = Layout.block_addr m.layout ~func:func.P.name ~block:block_id in
+  let n = Array.length block.P.instrs in
+  let call_occurrence = ref 0 in
+  let prev = ref None in
+  for idx = 0 to n - 1 do
+    let instr = block.P.instrs.(idx) in
+    fetch m ~addr:(base_addr + (idx * I.bytes_per_instr));
+    m.instr_count <- m.instr_count + 1;
+    (* with a data cache, a load's memory time is charged in [execute]
+       where the effective address is known *)
+    let issue_cycles =
+      match (instr, m.dcache) with
+      | I.Load _, Some _ -> Timing.load_base
+      | _, (Some _ | None) -> Timing.issue instr
+    in
+    m.cycle_count <- m.cycle_count + issue_cycles;
+    (match !prev with
+     | Some p -> m.cycle_count <- m.cycle_count + Pipeline.stall_after p instr
+     | None -> ());
+    prev := Some instr;
+    execute m func frame block_id call_occurrence instr
+  done;
+  (* terminator fetch and execution *)
+  fetch m ~addr:(base_addr + (n * I.bytes_per_instr));
+  m.instr_count <- m.instr_count + 1;
+  match block.P.term with
+  | I.Jump target ->
+    m.cycle_count <- m.cycle_count + Timing.term_actual block.P.term ~taken:true;
+    bump m.edges (func.P.name, block_id, target);
+    bump m.ctx_edges (m.path, func.P.name, block_id, target);
+    run_block m func frame target
+  | I.Branch (r, if_true, if_false) ->
+    let taken = V.truthy (reg_value frame r) in
+    m.cycle_count <- m.cycle_count + Timing.term_actual block.P.term ~taken;
+    let target = if taken then if_true else if_false in
+    bump m.edges (func.P.name, block_id, target);
+    bump m.ctx_edges (m.path, func.P.name, block_id, target);
+    run_block m func frame target
+  | I.Return op ->
+    m.cycle_count <- m.cycle_count + Timing.term_actual block.P.term ~taken:true;
+    Option.map (operand_value frame) op
+
+and execute m func frame block_id call_occurrence instr =
+  match instr with
+  | I.Alu (op, d, a, b) ->
+    let a = V.as_int (operand_value frame a) in
+    let b = V.as_int (operand_value frame b) in
+    set_reg frame d (V.Vint (alu op a b))
+  | I.Fpu (op, d, a, b) ->
+    let a = V.as_float (operand_value frame a) in
+    let b = V.as_float (operand_value frame b) in
+    set_reg frame d (V.Vfloat (fpu op a b))
+  | I.Icmp (op, d, a, b) ->
+    let a = V.as_int (operand_value frame a) in
+    let b = V.as_int (operand_value frame b) in
+    set_reg frame d (V.Vint (icmp op a b))
+  | I.Fcmp (op, d, a, b) ->
+    let a = V.as_float (operand_value frame a) in
+    let b = V.as_float (operand_value frame b) in
+    set_reg frame d (V.Vint (fcmp op a b))
+  | I.Mov (d, a) -> set_reg frame d (operand_value frame a)
+  | I.Itof (d, a) ->
+    set_reg frame d (V.Vfloat (float_of_int (V.as_int (operand_value frame a))))
+  | I.Ftoi (d, a) ->
+    let f = V.as_float (operand_value frame a) in
+    if Float.is_nan f || Float.abs f >= 4.611686018427388e18 then
+      error "float->int conversion out of range";
+    set_reg frame d (V.Vint (int_of_float f))
+  | I.Load (d, a) ->
+    let addr = effective_addr frame a in
+    (match m.dcache with
+     | Some dc ->
+       (* word-addressed memory, 4 bytes per word in the cache's eyes *)
+       if not (Icache.access dc (addr * 4)) then
+         m.cycle_count <- m.cycle_count + (Icache.config dc).Icache.miss_penalty
+     | None -> ());
+    set_reg frame d (mem_read m addr)
+  | I.Store (v, a) ->
+    mem_write m (effective_addr frame a) (operand_value frame v)
+  | I.Call (dst, callee, args) ->
+    let occurrence = !call_occurrence in
+    incr call_occurrence;
+    bump m.calls (func.P.name, block_id, occurrence);
+    bump m.ctx_calls (m.path, func.P.name, block_id, occurrence);
+    let arg_values = List.map (operand_value frame) args in
+    let saved_path = m.path in
+    m.path <- (func.P.name, block_id, occurrence) :: m.path;
+    let result = call m callee arg_values in
+    m.path <- saved_path;
+    (match (dst, result) with
+     | Some d, Some v -> set_reg frame d v
+     | Some d, None -> set_reg frame d V.zero
+     | None, (Some _ | None) -> ())

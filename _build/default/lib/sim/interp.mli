@@ -1,0 +1,95 @@
+(** Cycle-level simulator of E32 programs.
+
+    Plays two roles from the paper's evaluation:
+    - {b Experiment 1}: it inserts a (virtual) counter into each basic block
+      and records execution counts, from which the "calculated bound" is
+      formed.
+    - {b Experiment 2}: it is the stand-in for the QT960 board — it executes
+      the program with a concrete data set and charges cycles per
+      instruction, including real i-cache behaviour, load-use stalls and
+      branch outcomes, producing the "measured" time.
+
+    The simulated time always lies within the analytical per-block bounds of
+    {!Ipet_machine.Cost} by construction (same issue/stall/terminator model;
+    misses never exceed the lines a block spans). *)
+
+exception Runtime_error of string
+exception Out_of_fuel
+
+type t
+
+val create :
+  ?cache:Ipet_machine.Icache.config ->
+  ?dcache:Ipet_machine.Icache.config ->
+  ?stack_words:int ->
+  ?fuel:int ->
+  Ipet_isa.Prog.t ->
+  init:(int * Ipet_isa.Value.t) list ->
+  t
+(** Build a machine with initialized global memory. [fuel] bounds the number
+    of executed basic blocks (default 50 million). Without [dcache], data
+    accesses cost a flat latency; with it, loads are cached (write-through,
+    no-allocate stores bypass it). *)
+
+val program : t -> Ipet_isa.Prog.t
+val layout : t -> Ipet_isa.Layout.t
+
+val call : t -> string -> Ipet_isa.Value.t list -> Ipet_isa.Value.t option
+(** Execute a function with the given arguments; statistics accumulate.
+    @raise Runtime_error on memory faults, division by zero, stack overflow,
+    or argument mismatch.
+    @raise Out_of_fuel when the fuel budget is exhausted (e.g. a loop whose
+    bound annotation would have been wrong). *)
+
+val reset_memory : t -> init:(int * Ipet_isa.Value.t) list -> unit
+(** Restore global memory and the stack pointer; the cache keeps its state
+    (used for warm-cache best-case measurements). *)
+
+val reset_stats : t -> unit
+(** Zero cycles and counters; cache contents are kept. *)
+
+val flush_cache : t -> unit
+
+val write_global : t -> string -> int -> Ipet_isa.Value.t -> unit
+(** [write_global m name index v] stores into [name[index]] (index 0 for
+    scalars). @raise Runtime_error on unknown globals or bad indices. *)
+
+val read_global : t -> string -> int -> Ipet_isa.Value.t
+
+val cycles : t -> int
+val instructions : t -> int
+val cache_hits : t -> int
+val cache_misses : t -> int
+val dcache_hits : t -> int
+val dcache_misses : t -> int
+
+val block_count : t -> func:string -> block:int -> int
+val block_counts : t -> ((string * int) * int) list
+(** All (function, block) execution counts, including zero entries for
+    never-executed blocks of functions that were entered. *)
+
+val edge_count : t -> func:string -> src:int -> dst:int -> int
+val call_count : t -> caller:string -> block:int -> occurrence:int -> int
+
+val set_block_hook : t -> (string -> int -> int -> unit) -> unit
+(** [set_block_hook m f] calls [f func block cycle_count] at every
+    basic-block entry; used by {!Trace}. *)
+
+val clear_block_hook : t -> unit
+
+(** {1 Context-qualified counters}
+
+    The IPET analysis gives each call path from the root its own copy of the
+    callee's flow variables; these counters report executions per call path
+    so the analysis' structural constraints can be validated against real
+    runs instance by instance. A path is the chain of call sites
+    [(caller, block, occurrence)] from the root call. *)
+
+type site = string * int * int
+
+val ctx_block_count : t -> path:site list -> func:string -> block:int -> int
+val ctx_edge_count : t -> path:site list -> func:string -> src:int -> dst:int -> int
+val ctx_call_count :
+  t -> path:site list -> caller:string -> block:int -> occurrence:int -> int
+val ctx_entry_count : t -> path:site list -> func:string -> int
+(** How many times the instance at this path was entered. *)

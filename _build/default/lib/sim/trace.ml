@@ -1,0 +1,67 @@
+type event = { func : string; block : int; at_cycle : int }
+
+let record machine thunk =
+  let events = ref [] in
+  Interp.set_block_hook machine (fun func block at_cycle ->
+      events := { func; block; at_cycle } :: !events);
+  let finish () = Interp.clear_block_hook machine in
+  match thunk () with
+  | result ->
+    finish ();
+    (result, List.rev !events)
+  | exception e ->
+    finish ();
+    raise e
+
+type profile_row = { pfunc : string; pblock : int; executions : int; cycles : int }
+
+let profile machine thunk =
+  let start = Interp.cycles machine in
+  let result, events = record machine thunk in
+  let stop = Interp.cycles machine in
+  let table = Hashtbl.create 64 in
+  let attribute key delta =
+    let execs, cyc = Option.value ~default:(0, 0) (Hashtbl.find_opt table key) in
+    Hashtbl.replace table key (execs + 1, cyc + delta)
+  in
+  (* each event owns the cycles from its entry to the next event's entry;
+     the last one owns the tail up to the final cycle count *)
+  let rec walk = function
+    | [] -> ()
+    | [ e ] -> attribute (e.func, e.block) (stop - e.at_cycle)
+    | e :: (next :: _ as rest) ->
+      attribute (e.func, e.block) (next.at_cycle - e.at_cycle);
+      walk rest
+  in
+  walk events;
+  ignore start;
+  let rows =
+    Hashtbl.fold
+      (fun (pfunc, pblock) (executions, cycles) acc ->
+        { pfunc; pblock; executions; cycles } :: acc)
+      table []
+    |> List.sort (fun a b -> compare (b.cycles, a.pfunc, a.pblock) (a.cycles, b.pfunc, b.pblock))
+  in
+  (result, rows)
+
+let by_function rows =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt table r.pfunc) in
+      Hashtbl.replace table r.pfunc (cur + r.cycles))
+    rows;
+  Hashtbl.fold (fun f c acc -> (f, c) :: acc) table []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let pp_profile fmt rows =
+  let total = List.fold_left (fun acc r -> acc + r.cycles) 0 rows in
+  Format.fprintf fmt "@[<v>%-20s %-6s %10s %10s %7s@," "function" "block"
+    "executions" "cycles" "share";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-20s B%-5d %10d %10d %6.1f%%@," r.pfunc r.pblock
+        r.executions r.cycles
+        (if total = 0 then 0.0 else 100.0 *. float_of_int r.cycles /. float_of_int total))
+    rows;
+  Format.fprintf fmt "@]"

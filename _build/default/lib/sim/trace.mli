@@ -1,0 +1,33 @@
+(** Execution tracing and cycle profiling on top of the simulator.
+
+    A trace records every basic-block entry with its cycle timestamp; the
+    profile attributes elapsed cycles to the block that was executing,
+    giving the "where does the time go" view that motivates which loops
+    deserve tighter annotations. *)
+
+type event = {
+  func : string;
+  block : int;
+  at_cycle : int;  (** cycle count when the block was entered *)
+}
+
+val record : Interp.t -> (unit -> 'a) -> 'a * event list
+(** Run the thunk with tracing enabled and return its result plus the
+    events in execution order. Nested/previous hooks are not preserved. *)
+
+type profile_row = {
+  pfunc : string;
+  pblock : int;
+  executions : int;
+  cycles : int;    (** cycles attributed to this block *)
+}
+
+val profile : Interp.t -> (unit -> 'a) -> 'a * profile_row list
+(** Like {!record} but aggregated: one row per executed block, cycles
+    attributed to the block that was running, sorted by descending cycle
+    count. The row cycles sum to the cycles elapsed during the thunk. *)
+
+val by_function : profile_row list -> (string * int) list
+(** Total attributed cycles per function, descending. *)
+
+val pp_profile : Format.formatter -> profile_row list -> unit

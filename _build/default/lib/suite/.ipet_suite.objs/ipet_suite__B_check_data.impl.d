@@ -1,0 +1,1 @@
+lib/suite/b_check_data.ml: Bspec Ipet Ipet_isa Ipet_sim List

@@ -1,0 +1,1 @@
+lib/suite/b_jpeg_fdct.ml: Bspec Ipet Ipet_isa Ipet_sim List

@@ -1,0 +1,1 @@
+lib/suite/b_jpeg_idct.ml: Bspec Ipet Ipet_isa Ipet_sim List

@@ -1,0 +1,1 @@
+lib/suite/b_recon.ml: Bspec Ipet Ipet_isa Ipet_sim

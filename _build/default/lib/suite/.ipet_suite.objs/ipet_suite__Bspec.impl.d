@@ -1,0 +1,1 @@
+lib/suite/bspec.ml: Hashtbl Ipet Ipet_isa Ipet_lang Ipet_sim List Printf String

@@ -1,0 +1,1 @@
+lib/suite/bspec.mli: Ipet Ipet_isa Ipet_lang Ipet_machine Ipet_sim

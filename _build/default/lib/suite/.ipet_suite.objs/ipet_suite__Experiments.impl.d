@@ -1,0 +1,1 @@
+lib/suite/experiments.ml: Array Bspec Hashtbl Ipet Ipet_lang Ipet_machine Ipet_sim List Suite

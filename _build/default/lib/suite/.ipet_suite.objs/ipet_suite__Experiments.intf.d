@@ -1,0 +1,1 @@
+lib/suite/experiments.mli: Bspec Ipet_machine

@@ -1,0 +1,1 @@
+lib/suite/x_bs.ml: Bspec Ipet Ipet_isa Ipet_sim

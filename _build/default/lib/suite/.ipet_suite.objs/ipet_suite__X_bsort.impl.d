@@ -1,0 +1,1 @@
+lib/suite/x_bsort.ml: Bspec Ipet Ipet_isa Ipet_sim List

@@ -1,0 +1,1 @@
+lib/suite/x_expint.ml: Bspec Ipet Ipet_isa Ipet_sim

@@ -1,0 +1,1 @@
+lib/suite/x_fibcall.ml: Bspec Ipet Ipet_isa

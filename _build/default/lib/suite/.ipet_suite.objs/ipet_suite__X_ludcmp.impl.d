@@ -1,0 +1,1 @@
+lib/suite/x_ludcmp.ml: Bspec Ipet Ipet_isa Ipet_sim

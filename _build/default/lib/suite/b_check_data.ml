@@ -1,0 +1,64 @@
+(* check_data — the running example from Park's thesis (paper Fig. 5).
+   Scans data[] for a negative element; the loop runs between 1 and DATASIZE
+   iterations. Functionality constraints (16) and (17) of the paper make the
+   path analysis exact. *)
+
+module V = Ipet_isa.Value
+module F = Ipet.Functional
+
+let datasize = 10
+
+let source = {|int data[10];
+
+int check_data() {
+  int i; int morecheck; int wrongone;
+  morecheck = 1;
+  i = 0;
+  wrongone = 0 - 1;
+  while (morecheck) {
+    if (data[i] < 0) {
+      wrongone = i;           /* found-negative */
+      morecheck = 0;
+    } else {
+      i = i + 1;
+      if (i >= 10)
+        morecheck = 0;        /* scanned-everything */
+    }
+  }
+  if (wrongone >= 0)
+    return 0;                 /* bad-return */
+  else
+    return 1;
+}
+|}
+
+let l marker = Bspec.loc ~source marker
+
+let fill_data values m =
+  List.iteri (fun i v -> Ipet_sim.Interp.write_global m "data" i (V.Vint v)) values
+
+let benchmark =
+  let func = "check_data" in
+  let found = F.x_at ~func ~line:(l "found-negative") in
+  let scanned = F.x_at ~func ~line:(l "scanned-everything") in
+  let bad_return = F.x_at ~func ~line:(l "bad-return") in
+  let open F in
+  { Bspec.name = "check_data";
+    description = "Example from Park's thesis";
+    source;
+    root = func;
+    loop_bounds =
+      [ Ipet.Annotation.loop ~func ~line:(l "while (morecheck)") ~lo:1 ~hi:datasize ];
+    functional =
+      [ (* (16): the two loop exits are mutually exclusive, each at most once *)
+        (found =. const 0 &&. (scanned =. const 1))
+        ||. (found =. const 1 &&. (scanned =. const 0));
+        (* (17): 'return 0' runs exactly when a negative was found *)
+        found =. bad_return ];
+    worst_data =
+      [ Bspec.dataset "all-valid" ~setup:(fill_data (List.init datasize (fun i -> i)));
+        Bspec.dataset "negative-last"
+          ~setup:(fill_data (List.init datasize (fun i -> if i = datasize - 1 then -1 else i))) ];
+    best_data =
+      [ Bspec.dataset "negative-first"
+          ~setup:(fill_data (List.init datasize (fun i -> if i = 0 then -7 else i))) ] }

@@ -1,0 +1,62 @@
+(* circle — midpoint circle rasterizer from Gupta's thesis, plotting eight
+   octant points per iteration into a 64x64 framebuffer. The loop runs while
+   x <= y, i.e. about r/sqrt(2) + 1 iterations; the user bounds it by the
+   value for the largest radius that fits the framebuffer. *)
+
+module V = Ipet_isa.Value
+
+(* radius at most 31; iterations = floor(31 / sqrt 2) + 2 = 23 *)
+let max_radius = 31
+let max_iters = 23
+
+let source = {|int frame[4096];
+int cx; int cy; int radius;
+
+void plot8(int x, int y) {
+  frame[(cy + y) * 64 + (cx + x)] = 1;
+  frame[(cy + y) * 64 + (cx - x)] = 1;
+  frame[(cy - y) * 64 + (cx + x)] = 1;
+  frame[(cy - y) * 64 + (cx - x)] = 1;
+  frame[(cy + x) * 64 + (cx + y)] = 1;
+  frame[(cy + x) * 64 + (cx - y)] = 1;
+  frame[(cy - x) * 64 + (cx + y)] = 1;
+  frame[(cy - x) * 64 + (cx - y)] = 1;
+}
+
+void circle() {
+  int x; int y; int d;
+  x = 0;
+  y = radius;
+  d = 1 - radius;
+  while (x <= y) {
+    plot8(x, y);
+    if (d < 0) {
+      d = d + 2 * x + 3;        /* go east */
+    } else {
+      d = d + 2 * (x - y) + 5;  /* go south-east */
+      y = y - 1;
+    }
+    x = x + 1;
+  }
+}
+|}
+
+let l marker = Bspec.loc ~source marker
+
+let set_circle (x, y, r) m =
+  let w n v = Ipet_sim.Interp.write_global m n 0 (V.Vint v) in
+  w "cx" x; w "cy" y; w "radius" r
+
+let benchmark =
+  let func = "circle" in
+  { Bspec.name = "circle";
+    description = "Circle drawing routine in Gupta's thesis";
+    source;
+    root = func;
+    loop_bounds =
+      [ Ipet.Annotation.loop ~func ~line:(l "while (x <= y)") ~lo:1 ~hi:max_iters ];
+    functional = [];
+    worst_data =
+      [ Bspec.dataset "largest-radius" ~setup:(set_circle (32, 32, max_radius)) ];
+    best_data =
+      [ Bspec.dataset "radius-zero" ~setup:(set_circle (32, 32, 0)) ] }

@@ -1,0 +1,194 @@
+(* des — a Feistel block cipher with the exact structure of the Data
+   Encryption Standard: initial/final permutations, 16 rounds of
+   expansion + key mixing + S-box substitution + P permutation, and an
+   on-the-fly key schedule with per-round rotations. The permutation and
+   S-box tables are synthetic (generated with a fixed seed) - DESIGN.md
+   documents the substitution; what the benchmark exercises is the table
+   lookups, bit loops and the 16-round structure, all of which are
+   data-independent. *)
+
+module V = Ipet_isa.Value
+
+let source = {|int ip_tab[64] = {
+  26, 6, 2, 45, 38, 11, 37, 53, 3, 10, 14, 59, 55, 9, 63, 48,
+  52, 18, 60, 7, 44, 28, 20, 13, 40, 21, 15, 41, 50, 58, 56, 17,
+  46, 33, 8, 24, 61, 35, 36, 4, 27, 31, 43, 22, 34, 51, 47, 16,
+  54, 12, 5, 23, 30, 42, 19, 29, 25, 62, 49, 39, 32, 57, 0, 1 };
+int fp_tab[64] = {
+  62, 63, 2, 8, 39, 50, 1, 19, 34, 13, 9, 5, 49, 23, 10, 26,
+  47, 31, 17, 54, 22, 25, 43, 51, 35, 56, 0, 40, 21, 55, 52, 41,
+  60, 33, 44, 37, 38, 6, 4, 59, 24, 27, 53, 42, 20, 3, 32, 46,
+  15, 58, 28, 45, 16, 7, 48, 12, 30, 61, 29, 11, 18, 36, 57, 14 };
+int e_tab[48] = {
+  3, 28, 10, 19, 2, 6, 4, 11, 7, 30, 22, 20, 3, 28, 31, 9,
+  12, 4, 11, 29, 19, 0, 19, 17, 26, 23, 14, 17, 7, 15, 18, 14,
+  31, 19, 4, 31, 25, 12, 6, 28, 21, 4, 23, 25, 12, 16, 8, 12 };
+int p_tab[32] = {
+  22, 27, 12, 10, 31, 11, 24, 2, 23, 5, 3, 30, 20, 14, 1, 13,
+  21, 7, 18, 9, 25, 4, 16, 19, 8, 6, 15, 0, 29, 17, 26, 28 };
+int sbox[512] = {
+  14, 5, 14, 14, 2, 1, 3, 5, 12, 1, 1, 7, 6, 8, 6, 15, 11, 12, 7, 12, 8, 7, 13, 2, 5, 6, 12, 11, 1, 9, 15, 2,
+  2, 2, 9, 9, 12, 12, 2, 10, 9, 6, 9, 5, 10, 8, 1, 8, 3, 0, 8, 3, 8, 2, 15, 15, 2, 7, 7, 3, 9, 15, 3, 7,
+  11, 11, 10, 6, 5, 1, 10, 2, 7, 2, 0, 8, 0, 14, 9, 15, 15, 11, 8, 3, 13, 6, 7, 0, 7, 15, 14, 2, 12, 0, 13, 1,
+  6, 5, 1, 8, 2, 11, 9, 6, 2, 12, 10, 11, 0, 9, 0, 10, 0, 10, 6, 8, 14, 3, 3, 3, 6, 13, 10, 4, 0, 7, 9, 10,
+  3, 7, 9, 9, 14, 10, 6, 9, 0, 10, 2, 10, 6, 2, 8, 10, 3, 6, 9, 8, 10, 12, 12, 6, 15, 15, 8, 10, 9, 4, 5, 10,
+  12, 7, 0, 9, 13, 6, 8, 9, 5, 0, 1, 9, 10, 2, 8, 1, 14, 10, 8, 11, 7, 9, 7, 14, 9, 14, 14, 5, 4, 9, 2, 8,
+  0, 2, 12, 15, 8, 2, 13, 7, 0, 1, 14, 7, 4, 9, 3, 10, 6, 10, 14, 12, 7, 5, 6, 6, 1, 15, 14, 2, 13, 0, 0, 0,
+  12, 4, 6, 12, 13, 7, 3, 5, 15, 0, 11, 3, 13, 11, 9, 9, 10, 13, 6, 6, 0, 8, 3, 12, 3, 5, 5, 10, 15, 4, 8, 4,
+  14, 6, 6, 4, 1, 14, 1, 7, 0, 4, 14, 0, 14, 5, 1, 2, 7, 15, 7, 8, 2, 1, 9, 12, 5, 12, 0, 1, 15, 4, 11, 9,
+  1, 15, 8, 9, 10, 15, 6, 9, 13, 3, 15, 15, 1, 13, 3, 14, 9, 5, 12, 9, 3, 2, 10, 8, 11, 9, 14, 10, 12, 3, 8, 1,
+  8, 11, 7, 12, 5, 1, 11, 5, 11, 15, 13, 3, 15, 12, 4, 2, 3, 10, 10, 6, 13, 12, 6, 14, 8, 15, 3, 6, 11, 8, 7, 9,
+  2, 8, 14, 3, 10, 0, 3, 5, 4, 1, 10, 4, 14, 1, 4, 6, 0, 3, 4, 9, 6, 8, 12, 10, 6, 13, 6, 7, 10, 8, 1, 7,
+  6, 0, 11, 6, 4, 5, 7, 8, 15, 3, 9, 10, 3, 1, 0, 5, 4, 7, 14, 10, 14, 10, 2, 6, 12, 4, 11, 8, 2, 7, 4, 15,
+  3, 11, 5, 12, 11, 10, 5, 0, 15, 2, 0, 15, 3, 8, 2, 11, 9, 10, 2, 1, 10, 14, 12, 6, 4, 1, 3, 5, 1, 5, 0, 10,
+  10, 0, 12, 5, 10, 7, 11, 1, 11, 5, 0, 7, 1, 13, 4, 12, 6, 15, 4, 3, 7, 5, 4, 0, 1, 8, 4, 4, 13, 1, 0, 2,
+  6, 13, 8, 7, 6, 5, 2, 0, 11, 3, 2, 5, 13, 13, 15, 9, 2, 12, 10, 9, 7, 6, 9, 3, 12, 14, 0, 4, 3, 6, 10, 6 };
+int pc2a[24] = {
+  1, 3, 14, 18, 8, 21, 16, 13, 10, 24, 27, 8, 6, 20, 13, 10,
+  12, 11, 3, 24, 4, 6, 8, 12 };
+int pc2b[24] = {
+  16, 23, 3, 3, 22, 14, 8, 20, 10, 4, 21, 21, 10, 0, 18, 19,
+  12, 20, 21, 1, 20, 2, 20, 25 };
+int shifts[16] = {
+  1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1 };
+int key_c; int key_d;
+int in_hi; int in_lo;
+int out_hi; int out_lo;
+int subkey_a[16];
+int subkey_b[16];
+
+int rotl28(int v, int by) {
+  return ((v << by) | (v >> (28 - by))) & 268435455;
+}
+
+void key_schedule() {
+  int r; int k; int c; int d; int ka; int kb;
+  c = key_c;
+  d = key_d;
+  for (r = 0; r != 16; r = r + 1) {
+    c = rotl28(c, shifts[r]);
+    d = rotl28(d, shifts[r]);
+    ka = 0;
+    for (k = 0; k < 24; k = k + 1) {       /* pc2a loop */
+      ka = (ka << 1) | ((c >> pc2a[k]) & 1);
+    }
+    kb = 0;
+    for (k = 0; k != 24; k = k + 1) {      /* pc2b loop */
+      kb = (kb << 1) | ((d >> pc2b[k]) & 1);
+    }
+    subkey_a[r] = ka;
+    subkey_b[r] = kb;
+  }
+}
+
+int feistel(int r, int ka, int kb) {
+  int k; int expanded_hi; int expanded_lo; int sboxed; int result; int chunk;
+  expanded_hi = 0;
+  for (k = 0; k <= 23; k = k + 1) {        /* expand hi */
+    expanded_hi = (expanded_hi << 1) | ((r >> e_tab[k]) & 1);
+  }
+  expanded_lo = 0;
+  for (k = 24; k < 48; k = k + 1) {
+    expanded_lo = (expanded_lo << 1) | ((r >> e_tab[k]) & 1);
+  }
+  expanded_hi = expanded_hi ^ ka;
+  expanded_lo = expanded_lo ^ kb;
+  sboxed = 0;
+  for (k = 0; k < 4; k = k + 1) {
+    chunk = (expanded_hi >> (k * 6)) & 63;
+    sboxed = (sboxed << 4) | sbox[k * 64 + chunk];
+  }
+  for (k = 4; k < 8; k = k + 1) {
+    chunk = (expanded_lo >> ((k - 4) * 6)) & 63;
+    sboxed = (sboxed << 4) | sbox[k * 64 + chunk];
+  }
+  result = 0;
+  for (k = 0; k <= 31; k = k + 1) {        /* p loop */
+    result = (result << 1) | ((sboxed >> p_tab[k]) & 1);
+  }
+  return result;
+}
+
+void des() {
+  int r; int k; int bit; int left; int right; int tmp;
+  key_schedule();
+  left = 0;
+  right = 0;
+  for (k = 0; k < 32; k = k + 1) {
+    bit = ip_tab[k];
+    if (bit < 32) {
+      left = (left << 1) | ((in_lo >> bit) & 1);
+    } else {
+      left = (left << 1) | ((in_hi >> (bit - 32)) & 1);
+    }
+  }
+  for (k = 32; k < 64; k = k + 1) {
+    bit = ip_tab[k];
+    if (bit < 32) {
+      right = (right << 1) | ((in_lo >> bit) & 1);
+    } else {
+      right = (right << 1) | ((in_hi >> (bit - 32)) & 1);
+    }
+  }
+  for (r = 0; r < 16; r = r + 1) {
+    tmp = right;
+    right = left ^ feistel(right, subkey_a[r], subkey_b[r]);
+    left = tmp;
+  }
+  out_hi = 0;
+  out_lo = 0;
+  for (k = 0; k != 32; k = k + 1) {        /* fp hi */
+    bit = fp_tab[k];
+    if (bit < 32) {
+      out_hi = (out_hi << 1) | ((right >> bit) & 1);
+    } else {
+      out_hi = (out_hi << 1) | ((left >> (bit - 32)) & 1);
+    }
+  }
+  for (k = 32; k != 64; k = k + 1) {       /* fp lo */
+    bit = fp_tab[k];
+    if (bit < 32) {
+      out_lo = (out_lo << 1) | ((right >> bit) & 1);
+    } else {
+      out_lo = (out_lo << 1) | ((left >> (bit - 32)) & 1);
+    }
+  }
+}
+|}
+
+let l marker = Bspec.loc ~source marker
+
+let setup (khi, klo, phi, plo) m =
+  let w n v = Ipet_sim.Interp.write_global m n 0 (V.Vint v) in
+  w "key_c" khi; w "key_d" klo; w "in_hi" phi; w "in_lo" plo
+
+let benchmark =
+  let func = "des" in
+  let bound ~f marker count =
+    Ipet.Annotation.loop ~func:f ~line:(l marker) ~lo:count ~hi:count
+  in
+  { Bspec.name = "des";
+    description = "Data Encryption Standard";
+    source;
+    root = func;
+    loop_bounds =
+      [ bound ~f:"key_schedule" "for (r = 0; r != 16" 16;
+        bound ~f:"key_schedule" "/* pc2a loop */" 24;
+        bound ~f:"key_schedule" "/* pc2b loop */" 24;
+        bound ~f:"feistel" "/* expand hi */" 24;
+        bound ~f:"feistel" "for (k = 24; k < 48" 24;
+        bound ~f:"feistel" "for (k = 0; k < 4;" 4;
+        bound ~f:"feistel" "for (k = 4; k < 8" 4;
+        bound ~f:"feistel" "/* p loop */" 32;
+        bound ~f:"des" "for (r = 0; r < 16" 16;
+        bound ~f:"des" "for (k = 0; k < 32" 32;
+        bound ~f:"des" "for (k = 32; k < 64" 32;
+        bound ~f:"des" "/* fp hi */" 32;
+        bound ~f:"des" "/* fp lo */" 32 ];
+    functional = [];
+    worst_data =
+      [ Bspec.dataset "vector-1"
+          ~setup:(setup (0x0F1E2D3, 0x4C5B6A7, 0x13579BDF, 0x2468ACE0)) ];
+    best_data =
+      [ Bspec.dataset "vector-1"
+          ~setup:(setup (0x0F1E2D3, 0x4C5B6A7, 0x13579BDF, 0x2468ACE0)) ] }

@@ -1,0 +1,157 @@
+(* dhry — a Dhrystone-like synthetic mix (records and strings become arrays
+   in MC): procedure calls, array shuffling, a bounded string comparison,
+   and configuration-dependent setup branches. Three disjunctive
+   functionality constraints describe the legal configurations; their DNF
+   has 2^3 = 8 conjunctive sets of which 5 are null — reproducing the
+   "8) -> 3" footnote of Table I. *)
+
+module V = Ipet_isa.Value
+module F = Ipet.Functional
+
+let source = {|int int_glob;
+int bool_glob;
+int ch_1_glob; int ch_2_glob;
+int arr_1_glob[50];
+int arr_2_glob[2500];
+int str_1_glob[30];
+int str_2_glob[30];
+int config_a; int config_b;
+
+void proc_7(int in_1, int in_2) {
+  int_glob = in_1 + 2 + in_2;
+}
+
+void proc_8(int loc) {
+  int idx;
+  idx = loc + 5;
+  arr_1_glob[idx] = loc;
+  arr_1_glob[idx + 1] = arr_1_glob[idx];
+  arr_1_glob[idx + 30] = loc;
+  arr_2_glob[idx * 50 + idx] = arr_1_glob[idx];
+  arr_2_glob[idx * 50 + idx + 1] = arr_2_glob[idx * 50 + idx];
+  arr_2_glob[(idx + 1) * 50 + idx] = loc;
+  int_glob = 5;
+}
+
+int func_1(int ch_1, int ch_2) {
+  int ch_1_loc; int ch_2_loc;
+  ch_1_loc = ch_1;
+  ch_2_loc = ch_1_loc;
+  if (ch_2_loc != ch_2)
+    return 0;                 /* chars-differ */
+  ch_1_glob = ch_1_loc;
+  return 1;
+}
+
+int func_2() {
+  int i; int diff;
+  diff = 0;
+  for (i = 0; i < 30; i = i + 1) {
+    if (str_1_glob[i] != str_2_glob[i]) {
+      diff = diff + 1;        /* strings-differ */
+    }
+  }
+  if (diff > 0) {
+    int_glob = int_glob + diff;   /* some-differ */
+    return 1;
+  }
+  return 0;                   /* all-equal */
+}
+
+void proc_6(int enum_val) {
+  if (enum_val == 2) {
+    bool_glob = 1;            /* enum-matched */
+  } else {
+    bool_glob = 0;            /* enum-other */
+  }
+}
+
+void dhry() {
+  int run; int loc_1; int loc_2; int loc_3;
+  if (config_a != 0) {
+    int_glob = 100;           /* cfg-a-set */
+  } else {
+    int_glob = 0;             /* cfg-a-clear */
+  }
+  if (config_b != 0) {
+    bool_glob = 1;            /* cfg-b-set */
+  } else {
+    bool_glob = 0;            /* cfg-b-clear */
+  }
+  for (run = 0; run < 10; run = run + 1) {
+    loc_1 = 2;
+    loc_2 = 3;
+    proc_7(loc_1, loc_2);
+    proc_8(run % 5);
+    proc_6(run % 3);
+    if (func_1(65 + (run % 4), 66) != 0) {
+      loc_3 = loc_1 + loc_2;  /* func1-true */
+    } else {
+      loc_3 = loc_1 - loc_2;  /* func1-false */
+    }
+    if (func_2() != 0) {
+      int_glob = int_glob + loc_3;  /* func2-true */
+    }
+  }
+}
+|}
+
+let l marker = Bspec.loc ~source marker
+
+let setup (a, b) m =
+  let w n v = Ipet_sim.Interp.write_global m n 0 (V.Vint v) in
+  w "config_a" a;
+  w "config_b" b;
+  for i = 0 to 29 do
+    Ipet_sim.Interp.write_global m "str_1_glob" i (V.Vint (65 + (i mod 26)));
+    Ipet_sim.Interp.write_global m "str_2_glob" i
+      (V.Vint (if i = 29 then 0 else 65 + (i mod 26)))
+  done
+
+let benchmark =
+  let func = "dhry" in
+  let a_set = F.x_at ~func ~line:(l "cfg-a-set") in
+  let a_clear = F.x_at ~func ~line:(l "cfg-a-clear") in
+  let b_set = F.x_at ~func ~line:(l "cfg-b-set") in
+  let b_clear = F.x_at ~func ~line:(l "cfg-b-clear") in
+  let chars_differ = F.x_at ~func:"func_1" ~line:(l "chars-differ") in
+  let strings_differ = F.x_at ~func:"func_2" ~line:(l "strings-differ") in
+  let some_differ = F.x_at ~func:"func_2" ~line:(l "some-differ") in
+  let all_equal = F.x_at ~func:"func_2" ~line:(l "all-equal") in
+  let enum_matched = F.x_at ~func:"proc_6" ~line:(l "enum-matched") in
+  let func1_true = F.x_at ~func ~line:(l "func1-true") in
+  let func1_false = F.x_at ~func ~line:(l "func1-false") in
+  let func2_true = F.x_at ~func ~line:(l "func2-true") in
+  let open F in
+  { Bspec.name = "dhry";
+    description = "Dhrystone benchmark";
+    source;
+    root = func;
+    loop_bounds =
+      [ Ipet.Annotation.loop ~func ~line:(l "for (run = 0") ~lo:10 ~hi:10;
+        Ipet.Annotation.loop ~func:"func_2" ~line:(l "for (i = 0") ~lo:30 ~hi:30 ];
+    functional =
+      [ (* each configuration bit takes exactly one branch *)
+        (a_set =. const 1 &&. (a_clear =. const 0))
+        ||. (a_set =. const 0 &&. (a_clear =. const 1));
+        (b_set =. const 1 &&. (b_clear =. const 0))
+        ||. (b_set =. const 0 &&. (b_clear =. const 1));
+        (* deployment invariant: config_a implies config_b is clear *)
+        a_set =. const 0 ||. (a_set =. const 1 &&. (b_set =. const 0));
+        (* the comparison strings differ in exactly one position *)
+        strings_differ =. const 10;
+        some_differ =. const 10;
+        all_equal =. const 0;
+        func2_true =. const 10;
+        (* run % 4 = 1 on 3 of the 10 runs; run % 3 = 2 on 3 of them *)
+        func1_true =. const 3;
+        func1_false =. const 7;
+        chars_differ =. const 7;
+        enum_matched =. const 3 ];
+    worst_data =
+      [ Bspec.dataset "a0-b0" ~setup:(setup (0, 0));
+        Bspec.dataset "a0-b1" ~setup:(setup (0, 1));
+        Bspec.dataset "a1-b0" ~setup:(setup (1, 0)) ];
+    best_data =
+      [ Bspec.dataset "a0-b0" ~setup:(setup (0, 0));
+        Bspec.dataset "a1-b0" ~setup:(setup (1, 0)) ] }

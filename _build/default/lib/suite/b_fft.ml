@@ -1,0 +1,93 @@
+(* fft — iterative radix-2 decimation-in-time FFT on 32 complex points.
+   Stage twiddle roots are precomputed constants (the target has no libm).
+   All loop totals are fixed by N, which the functionality constraints
+   state; only the carry loop of the bit reversal needs them (its per-entry
+   trip count is data... index-dependent). *)
+
+module V = Ipet_isa.Value
+module F = Ipet.Functional
+
+let n = 32
+
+let source = {|float xr[32];
+float xi[32];
+float wr_s[5] = { -1.0, 0.0, 0.70710678118654752, 0.92387953251128674, 0.98078528040323044 };
+float wi_s[5] = { 0.0, -1.0, -0.70710678118654752, -0.38268343236508977, -0.19509032201612825 };
+
+void fft() {
+  int i; int j; int k; int s; int le; int le2; int ip;
+  float tr; float ti; float ur; float ui; float sr; float si; float t;
+  j = 0;
+  for (i = 0; i < 31; i = i + 1) {
+    if (i < j) {
+      tr = xr[i]; xr[i] = xr[j]; xr[j] = tr;   /* swap */
+      ti = xi[i]; xi[i] = xi[j]; xi[j] = ti;
+    }
+    k = 16;
+    while (k <= j) {    /* carry */
+      j = j - k;
+      k = k / 2;
+    }
+    j = j + k;
+  }
+  le = 1;
+  for (s = 0; s < 5; s = s + 1) {
+    le2 = le;
+    le = le * 2;
+    ur = 1.0;
+    ui = 0.0;
+    sr = wr_s[s];
+    si = wi_s[s];
+    for (j = 0; j < le2; j = j + 1) {
+      for (k = j; k < 32; k = k + le) {
+        ip = k + le2;                            /* butterfly */
+        tr = xr[ip] * ur - xi[ip] * ui;
+        ti = xr[ip] * ui + xi[ip] * ur;
+        xr[ip] = xr[k] - tr;
+        xi[ip] = xi[k] - ti;
+        xr[k] = xr[k] + tr;
+        xi[k] = xi[k] + ti;
+      }
+      t = ur * sr - ui * si;                     /* twiddle update */
+      ui = ur * si + ui * sr;
+      ur = t;
+    }
+  }
+}
+|}
+
+let l marker = Bspec.loc ~source marker
+
+let fill_signal m =
+  (* a deterministic non-trivial test signal *)
+  for i = 0 to n - 1 do
+    let t = float_of_int i in
+    Ipet_sim.Interp.write_global m "xr" i (V.Vfloat (sin (0.7 *. t) +. (0.25 *. t)));
+    Ipet_sim.Interp.write_global m "xi" i (V.Vfloat 0.0)
+  done
+
+let benchmark =
+  let func = "fft" in
+  let swap = F.x_at ~func ~line:(l "/* swap */") in
+  let carry = F.x_at ~func ~line:(l "j = j - k;") in
+  let butterfly = F.x_at ~func ~line:(l "/* butterfly */") in
+  let twiddle = F.x_at ~func ~line:(l "/* twiddle update */") in
+  let open F in
+  { Bspec.name = "fft";
+    description = "Fast Fourier Transform";
+    source;
+    root = func;
+    loop_bounds =
+      [ Ipet.Annotation.loop ~func ~line:(l "for (i = 0") ~lo:(n - 1) ~hi:(n - 1);
+        Ipet.Annotation.loop ~func ~line:(l "while (k <= j)") ~lo:0 ~hi:4;
+        Ipet.Annotation.loop ~func ~line:(l "for (s = 0") ~lo:5 ~hi:5;
+        Ipet.Annotation.loop ~func ~line:(l "for (j = 0") ~lo:1 ~hi:(n / 2);
+        Ipet.Annotation.loop ~func ~line:(l "for (k = j") ~lo:1 ~hi:(n / 2) ];
+    functional =
+      [ (* totals fixed by N = 32 *)
+        swap =. const 12;
+        carry =. const 26;
+        butterfly =. const ((n / 2) * 5);
+        twiddle =. const 31 ];
+    worst_data = [ Bspec.dataset "test-signal" ~setup:fill_signal ];
+    best_data = [ Bspec.dataset "test-signal" ~setup:fill_signal ] }

@@ -1,0 +1,74 @@
+(* fullsearch — the MPEG-2 encoder's exhaustive motion search: every
+   position in a +/-4 window around the predicted block is scored with a
+   16x16 sum of absolute differences, keeping the best. The SAD kernel's
+   abs-branch and the min-update branch are the data-dependent parts. *)
+
+module V = Ipet_isa.Value
+
+let window = 4  (* +/- displacement, so (2*4+1)^2 = 81 positions *)
+
+let source = {|int refframe[1024];
+int blk[256];
+int best_cost; int best_dx; int best_dy;
+
+int dist1(int x, int y) {
+  int i; int j; int t; int s;
+  s = 0;
+  for (j = 0; j < 16; j = j + 1) {
+    for (i = 0; i < 16; i = i + 1) {
+      t = blk[j * 16 + i] - refframe[(y + j) * 32 + (x + i)];
+      if (t < 0)
+        t = 0 - t;      /* negative-diff */
+      s = s + t;
+    }
+  }
+  return s;
+}
+
+void fullsearch() {
+  int dx; int dy; int d;
+  best_cost = 1000000000;
+  best_dx = 0;
+  best_dy = 0;
+  for (dy = 0 - 4; dy <= 4; dy = dy + 1) {
+    for (dx = 0 - 4; dx <= 4; dx = dx + 1) {
+      d = dist1(8 + dx, 8 + dy);
+      if (d < best_cost) {
+        best_cost = d;    /* new-minimum */
+        best_dx = dx;
+        best_dy = dy;
+      }
+    }
+  }
+}
+|}
+
+let l marker = Bspec.loc ~source marker
+
+let setup ~worst m =
+  let w = Ipet_sim.Interp.write_global m in
+  for i = 0 to 1023 do
+    (* worst: reference bright, block dark -> every diff negative and large;
+       best: both zero -> diffs zero, minimum found immediately *)
+    w "refframe" i (V.Vint (if worst then 255 else 0))
+  done;
+  for i = 0 to 255 do
+    w "blk" i (V.Vint 0)
+  done
+
+let benchmark =
+  let func = "fullsearch" in
+  { Bspec.name = "fullsearch";
+    description = "MPEG2 encoder frame search routine";
+    source;
+    root = func;
+    loop_bounds =
+      [ Ipet.Annotation.loop ~func:"dist1" ~line:(l "for (j = 0") ~lo:16 ~hi:16;
+        Ipet.Annotation.loop ~func:"dist1" ~line:(l "for (i = 0") ~lo:16 ~hi:16;
+        Ipet.Annotation.loop ~func ~line:(l "for (dy = 0") ~lo:(2 * window + 1)
+          ~hi:(2 * window + 1);
+        Ipet.Annotation.loop ~func ~line:(l "for (dx = 0") ~lo:(2 * window + 1)
+          ~hi:(2 * window + 1) ];
+    functional = [];
+    worst_data = [ Bspec.dataset "max-mismatch" ~setup:(setup ~worst:true) ];
+    best_data = [ Bspec.dataset "perfect-match" ~setup:(setup ~worst:false) ] }

@@ -1,0 +1,111 @@
+(* jpeg_fdct_islow — the accurate integer forward DCT of the IJG JPEG
+   library (Loeffler-Ligtenberg-Moshovitz), adapted to MC: two passes of
+   eight straight-line butterfly bodies over an 8x8 block. Control flow is
+   completely data-independent. *)
+
+module V = Ipet_isa.Value
+
+let source = {|int data[64];
+
+void jpeg_fdct_islow() {
+  int ctr; int p;
+  int tmp0; int tmp1; int tmp2; int tmp3; int tmp4; int tmp5; int tmp6; int tmp7;
+  int tmp10; int tmp11; int tmp12; int tmp13;
+  int z1; int z2; int z3; int z4; int z5;
+  /* pass 1: process rows; gains 2 bits of precision */
+  for (ctr = 0; ctr < 8; ctr = ctr + 1) {
+    p = ctr * 8;
+    tmp0 = data[p + 0] + data[p + 7];
+    tmp7 = data[p + 0] - data[p + 7];
+    tmp1 = data[p + 1] + data[p + 6];
+    tmp6 = data[p + 1] - data[p + 6];
+    tmp2 = data[p + 2] + data[p + 5];
+    tmp5 = data[p + 2] - data[p + 5];
+    tmp3 = data[p + 3] + data[p + 4];
+    tmp4 = data[p + 3] - data[p + 4];
+    tmp10 = tmp0 + tmp3;
+    tmp13 = tmp0 - tmp3;
+    tmp11 = tmp1 + tmp2;
+    tmp12 = tmp1 - tmp2;
+    data[p + 0] = (tmp10 + tmp11) * 4;
+    data[p + 4] = (tmp10 - tmp11) * 4;
+    z1 = (tmp12 + tmp13) * 4433;
+    data[p + 2] = (z1 + tmp13 * 6270) >> 11;
+    data[p + 6] = (z1 - tmp12 * 15137) >> 11;
+    z1 = tmp4 + tmp7;
+    z2 = tmp5 + tmp6;
+    z3 = tmp4 + tmp6;
+    z4 = tmp5 + tmp7;
+    z5 = (z3 + z4) * 9633;
+    tmp4 = tmp4 * 2446;
+    tmp5 = tmp5 * 16819;
+    tmp6 = tmp6 * 25172;
+    tmp7 = tmp7 * 12299;
+    z1 = 0 - z1 * 7373;
+    z2 = 0 - z2 * 20995;
+    z3 = 0 - z3 * 16069 + z5;
+    z4 = 0 - z4 * 3196 + z5;
+    data[p + 7] = (tmp4 + z1 + z3) >> 11;
+    data[p + 5] = (tmp5 + z2 + z4) >> 11;
+    data[p + 3] = (tmp6 + z2 + z3) >> 11;
+    data[p + 1] = (tmp7 + z1 + z4) >> 11;
+  }
+  /* pass 2: process columns and descale */
+  for (ctr = 7; ctr >= 0; ctr = ctr - 1) {
+    tmp0 = data[ctr + 0] + data[ctr + 56];
+    tmp7 = data[ctr + 0] - data[ctr + 56];
+    tmp1 = data[ctr + 8] + data[ctr + 48];
+    tmp6 = data[ctr + 8] - data[ctr + 48];
+    tmp2 = data[ctr + 16] + data[ctr + 40];
+    tmp5 = data[ctr + 16] - data[ctr + 40];
+    tmp3 = data[ctr + 24] + data[ctr + 32];
+    tmp4 = data[ctr + 24] - data[ctr + 32];
+    tmp10 = tmp0 + tmp3;
+    tmp13 = tmp0 - tmp3;
+    tmp11 = tmp1 + tmp2;
+    tmp12 = tmp1 - tmp2;
+    data[ctr + 0] = (tmp10 + tmp11) >> 2;
+    data[ctr + 32] = (tmp10 - tmp11) >> 2;
+    z1 = (tmp12 + tmp13) * 4433;
+    data[ctr + 16] = (z1 + tmp13 * 6270) >> 15;
+    data[ctr + 48] = (z1 - tmp12 * 15137) >> 15;
+    z1 = tmp4 + tmp7;
+    z2 = tmp5 + tmp6;
+    z3 = tmp4 + tmp6;
+    z4 = tmp5 + tmp7;
+    z5 = (z3 + z4) * 9633;
+    tmp4 = tmp4 * 2446;
+    tmp5 = tmp5 * 16819;
+    tmp6 = tmp6 * 25172;
+    tmp7 = tmp7 * 12299;
+    z1 = 0 - z1 * 7373;
+    z2 = 0 - z2 * 20995;
+    z3 = 0 - z3 * 16069 + z5;
+    z4 = 0 - z4 * 3196 + z5;
+    data[ctr + 56] = (tmp4 + z1 + z3) >> 15;
+    data[ctr + 40] = (tmp5 + z2 + z4) >> 15;
+    data[ctr + 24] = (tmp6 + z2 + z3) >> 15;
+    data[ctr + 8] = (tmp7 + z1 + z4) >> 15;
+  }
+}
+|}
+
+let l marker = Bspec.loc ~source marker
+
+let fill_block values m =
+  List.iteri (fun i v -> Ipet_sim.Interp.write_global m "data" i (V.Vint v)) values
+
+let gradient_block = List.init 64 (fun i -> ((i mod 8) * 16) + ((i / 8) * 7) - 64)
+
+let benchmark =
+  let func = "jpeg_fdct_islow" in
+  { Bspec.name = "jpeg_fdct_islow";
+    description = "JPEG forward discrete cosine transform";
+    source;
+    root = func;
+    loop_bounds =
+      [ Ipet.Annotation.loop ~func ~line:(l "for (ctr = 0") ~lo:8 ~hi:8;
+        Ipet.Annotation.loop ~func ~line:(l "for (ctr = 7") ~lo:8 ~hi:8 ];
+    functional = [];
+    worst_data = [ Bspec.dataset "gradient" ~setup:(fill_block gradient_block) ];
+    best_data = [ Bspec.dataset "flat" ~setup:(fill_block (List.init 64 (fun _ -> 0))) ] }

@@ -1,0 +1,153 @@
+(* jpeg_idct_islow — the accurate integer inverse DCT of the IJG JPEG
+   library. Unlike the forward transform it is data-dependent: a column
+   whose AC terms are all zero takes a short-cut (constant fill). Worst case
+   is a dense block, best case an all-DC block. *)
+
+module V = Ipet_isa.Value
+module F = Ipet.Functional
+
+let source = {|int coef[64];
+int output[64];
+int ws[64];
+
+void jpeg_idct_islow() {
+  int ctr; int p;
+  int tmp0; int tmp1; int tmp2; int tmp3;
+  int tmp10; int tmp11; int tmp12; int tmp13;
+  int z1; int z2; int z3; int z4; int z5;
+  int dcval;
+  /* pass 1: columns from coef to ws */
+  for (ctr = 0; ctr < 8; ctr = ctr + 1) {
+    if (coef[ctr + 8] == 0 && coef[ctr + 16] == 0 && coef[ctr + 24] == 0 &&
+        coef[ctr + 32] == 0 && coef[ctr + 40] == 0 && coef[ctr + 48] == 0 &&
+        coef[ctr + 56] == 0) {
+      dcval = coef[ctr] * 4;                       /* sparse column */
+      ws[ctr + 0] = dcval;
+      ws[ctr + 8] = dcval;
+      ws[ctr + 16] = dcval;
+      ws[ctr + 24] = dcval;
+      ws[ctr + 32] = dcval;
+      ws[ctr + 40] = dcval;
+      ws[ctr + 48] = dcval;
+      ws[ctr + 56] = dcval;
+    } else {
+      z2 = coef[ctr + 16];                         /* dense column */
+      z3 = coef[ctr + 48];
+      z1 = (z2 + z3) * 4433;
+      tmp2 = z1 + z3 * (0 - 15137);
+      tmp3 = z1 + z2 * 6270;
+      z2 = coef[ctr];
+      z3 = coef[ctr + 32];
+      tmp0 = (z2 + z3) * 8192;
+      tmp1 = (z2 - z3) * 8192;
+      tmp10 = tmp0 + tmp3;
+      tmp13 = tmp0 - tmp3;
+      tmp11 = tmp1 + tmp2;
+      tmp12 = tmp1 - tmp2;
+      tmp0 = coef[ctr + 56];
+      tmp1 = coef[ctr + 40];
+      tmp2 = coef[ctr + 24];
+      tmp3 = coef[ctr + 8];
+      z1 = tmp0 + tmp3;
+      z2 = tmp1 + tmp2;
+      z3 = tmp0 + tmp2;
+      z4 = tmp1 + tmp3;
+      z5 = (z3 + z4) * 9633;
+      tmp0 = tmp0 * 2446;
+      tmp1 = tmp1 * 16819;
+      tmp2 = tmp2 * 25172;
+      tmp3 = tmp3 * 12299;
+      z1 = 0 - z1 * 7373;
+      z2 = 0 - z2 * 20995;
+      z3 = 0 - z3 * 16069 + z5;
+      z4 = 0 - z4 * 3196 + z5;
+      tmp0 = tmp0 + z1 + z3;
+      tmp1 = tmp1 + z2 + z4;
+      tmp2 = tmp2 + z2 + z3;
+      tmp3 = tmp3 + z1 + z4;
+      ws[ctr + 0] = (tmp10 + tmp3) >> 11;
+      ws[ctr + 56] = (tmp10 - tmp3) >> 11;
+      ws[ctr + 8] = (tmp11 + tmp2) >> 11;
+      ws[ctr + 48] = (tmp11 - tmp2) >> 11;
+      ws[ctr + 16] = (tmp12 + tmp1) >> 11;
+      ws[ctr + 40] = (tmp12 - tmp1) >> 11;
+      ws[ctr + 24] = (tmp13 + tmp0) >> 11;
+      ws[ctr + 32] = (tmp13 - tmp0) >> 11;
+    }
+  }
+  /* pass 2: rows from ws to output, with final descale */
+  for (p = 0; p < 64; p = p + 8) {
+    z2 = ws[p + 2];
+    z3 = ws[p + 6];
+    z1 = (z2 + z3) * 4433;
+    tmp2 = z1 + z3 * (0 - 15137);
+    tmp3 = z1 + z2 * 6270;
+    tmp0 = (ws[p + 0] + ws[p + 4]) * 8192;
+    tmp1 = (ws[p + 0] - ws[p + 4]) * 8192;
+    tmp10 = tmp0 + tmp3;
+    tmp13 = tmp0 - tmp3;
+    tmp11 = tmp1 + tmp2;
+    tmp12 = tmp1 - tmp2;
+    tmp0 = ws[p + 7];
+    tmp1 = ws[p + 5];
+    tmp2 = ws[p + 3];
+    tmp3 = ws[p + 1];
+    z1 = tmp0 + tmp3;
+    z2 = tmp1 + tmp2;
+    z3 = tmp0 + tmp2;
+    z4 = tmp1 + tmp3;
+    z5 = (z3 + z4) * 9633;
+    tmp0 = tmp0 * 2446;
+    tmp1 = tmp1 * 16819;
+    tmp2 = tmp2 * 25172;
+    tmp3 = tmp3 * 12299;
+    z1 = 0 - z1 * 7373;
+    z2 = 0 - z2 * 20995;
+    z3 = 0 - z3 * 16069 + z5;
+    z4 = 0 - z4 * 3196 + z5;
+    tmp0 = tmp0 + z1 + z3;
+    tmp1 = tmp1 + z2 + z4;
+    tmp2 = tmp2 + z2 + z3;
+    tmp3 = tmp3 + z1 + z4;
+    output[p + 0] = (tmp10 + tmp3) >> 18;
+    output[p + 7] = (tmp10 - tmp3) >> 18;
+    output[p + 1] = (tmp11 + tmp2) >> 18;
+    output[p + 6] = (tmp11 - tmp2) >> 18;
+    output[p + 2] = (tmp12 + tmp1) >> 18;
+    output[p + 5] = (tmp12 - tmp1) >> 18;
+    output[p + 3] = (tmp13 + tmp0) >> 18;
+    output[p + 4] = (tmp13 - tmp0) >> 18;
+  }
+}
+|}
+
+let l marker = Bspec.loc ~source marker
+
+let fill values m =
+  List.iteri (fun i v -> Ipet_sim.Interp.write_global m "coef" i (V.Vint v)) values
+
+(* worst case: rows 1..6 all zero so every column walks the entire
+   zero-test chain, but row 7 is non-zero so every column still takes the
+   dense path *)
+let dense_block =
+  List.init 64 (fun i -> if i < 8 then 90 - i else if i >= 56 then 1 + i else 0)
+
+let benchmark =
+  let func = "jpeg_idct_islow" in
+  let sparse = F.x_at ~func ~line:(l "/* sparse column */") in
+  let dense = F.x_at ~func ~line:(l "/* dense column */") in
+  let open F in
+  { Bspec.name = "jpeg_idct_islow";
+    description = "JPEG inverse discrete cosine transform";
+    source;
+    root = func;
+    loop_bounds =
+      [ Ipet.Annotation.loop ~func ~line:(l "for (ctr = 0") ~lo:8 ~hi:8;
+        Ipet.Annotation.loop ~func ~line:(l "for (p = 0") ~lo:8 ~hi:8 ];
+    functional =
+      [ (* every column takes exactly one of the two paths *)
+        add sparse dense =. const 8 ];
+    worst_data = [ Bspec.dataset "dense" ~setup:(fill dense_block) ];
+    best_data =
+      [ Bspec.dataset "dc-only"
+          ~setup:(fill (List.init 64 (fun i -> if i = 0 then 123 else 0))) ] }

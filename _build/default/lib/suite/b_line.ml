@@ -1,0 +1,69 @@
+(* line — Bresenham line rasterizer from Gupta's thesis, drawing into a
+   64x64 framebuffer. The main loop runs max(|dx|, |dy|) times, bounded by
+   the framebuffer width. *)
+
+module V = Ipet_isa.Value
+module F = Ipet.Functional
+
+let width = 64
+
+let source = {|int frame[4096];
+int x0; int y0; int x1; int y1;
+
+void line() {
+  int dx; int dy; int stepx; int stepy; int fraction;
+  dx = x1 - x0;
+  dy = y1 - y0;
+  if (dy < 0) { dy = 0 - dy; stepy = 0 - 1; } else { stepy = 1; }
+  if (dx < 0) { dx = 0 - dx; stepx = 0 - 1; } else { stepx = 1; }
+  dy = dy * 2;
+  dx = dx * 2;
+  frame[y0 * 64 + x0] = 1;
+  if (dx > dy) {
+    fraction = dy - dx / 2;
+    while (x0 != x1) {
+      if (fraction >= 0) {
+        y0 = y0 + stepy;
+        fraction = fraction - dx;
+      }
+      x0 = x0 + stepx;
+      fraction = fraction + dy;
+      frame[y0 * 64 + x0] = 1;    /* x-major plot */
+    }
+  } else {
+    fraction = dx - dy / 2;
+    while (y0 != y1) {
+      if (fraction >= 0) {
+        x0 = x0 + stepx;
+        fraction = fraction - dy;
+      }
+      y0 = y0 + stepy;
+      fraction = fraction + dx;
+      frame[y0 * 64 + x0] = 1;    /* y-major plot */
+    }
+  }
+}
+|}
+
+let l marker = Bspec.loc ~source marker
+
+let endpoints (ax, ay, bx, by) m =
+  let w n v = Ipet_sim.Interp.write_global m n 0 (V.Vint v) in
+  w "x0" ax; w "y0" ay; w "x1" bx; w "y1" by
+
+let benchmark =
+  let func = "line" in
+  { Bspec.name = "line";
+    description = "Line drawing routine in Gupta's thesis";
+    source;
+    root = func;
+    loop_bounds =
+      [ Ipet.Annotation.loop ~func ~line:(l "while (x0 != x1)") ~lo:0 ~hi:(width - 1);
+        Ipet.Annotation.loop ~func ~line:(l "while (y0 != y1)") ~lo:0 ~hi:(width - 1) ];
+    functional = [];
+    worst_data =
+      [ Bspec.dataset "full-diagonal" ~setup:(endpoints (0, 0, 63, 63));
+        Bspec.dataset "full-horizontal" ~setup:(endpoints (0, 0, 63, 0));
+        Bspec.dataset "full-vertical" ~setup:(endpoints (0, 0, 0, 63)) ];
+    best_data =
+      [ Bspec.dataset "single-pixel" ~setup:(endpoints (7, 7, 7, 7)) ] }

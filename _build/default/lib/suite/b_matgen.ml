@@ -1,0 +1,51 @@
+(* matgen — the matrix-generation routine of the Linpack benchmark: fills an
+   n x n matrix with pseudo-random values from an integer congruential
+   generator and records the column norms. Control flow is data-independent,
+   so the path analysis is exact. *)
+
+module V = Ipet_isa.Value
+
+let n = 20
+
+let source = {|float a[400];
+float bnorm[20];
+int seed;
+
+float matgen() {
+  int i; int j; int init;
+  float v; float norm; float total;
+  init = seed;
+  total = 0.0;
+  for (j = 0; j < 20; j = j + 1) {
+    norm = 0.0;
+    for (i = 0; i < 20; i = i + 1) {
+      init = (3125 * init) % 65536;
+      v = ((float) init - 32768.0) / 16384.0;
+      a[i * 20 + j] = v;
+      norm = norm + v * v;
+    }
+    bnorm[j] = norm;
+    total = total + norm;
+  }
+  return total;
+}
+|}
+
+let l marker = Bspec.loc ~source marker
+
+let benchmark =
+  let func = "matgen" in
+  { Bspec.name = "matgen";
+    description = "Matrix routine in Linpack benchmark";
+    source;
+    root = func;
+    loop_bounds =
+      [ Ipet.Annotation.loop ~func ~line:(l "for (j = 0") ~lo:n ~hi:n;
+        Ipet.Annotation.loop ~func ~line:(l "for (i = 0") ~lo:n ~hi:n ];
+    functional = [];
+    worst_data =
+      [ Bspec.dataset "seed-1325"
+          ~setup:(fun m -> Ipet_sim.Interp.write_global m "seed" 0 (V.Vint 1325)) ];
+    best_data =
+      [ Bspec.dataset "seed-zero"
+          ~setup:(fun m -> Ipet_sim.Interp.write_global m "seed" 0 (V.Vint 0)) ] }

@@ -1,0 +1,56 @@
+(* piksrt — straight insertion sort (Numerical Recipes' piksrt), N = 10.
+   The inner while loop runs a data-dependent number of times; its total
+   across the whole sort is at most N(N-1)/2, which the user supplies as a
+   functionality constraint (the per-entry relative bound alone would be
+   pessimistic). *)
+
+module V = Ipet_isa.Value
+module F = Ipet.Functional
+
+let n = 10
+
+let source = {|int arr[10];
+
+void piksrt() {
+  int i; int j; int a;
+  for (j = 1; j < 10; j = j + 1) {
+    a = arr[j];
+    i = j - 1;
+    while (i >= 0 &&
+           arr[i] > a) {
+      arr[i + 1] = arr[i];    /* shift */
+      i = i - 1;
+    }
+    arr[i + 1] = a;
+  }
+}
+|}
+
+let l marker = Bspec.loc ~source marker
+
+let fill values m =
+  List.iteri (fun i v -> Ipet_sim.Interp.write_global m "arr" i (V.Vint v)) values
+
+let benchmark =
+  let func = "piksrt" in
+  let shifts = F.x_at ~func ~line:(l "/* shift */") in
+  let compare_test = F.x_at ~func ~line:(l "arr[i] > a") in
+  let open F in
+  { Bspec.name = "piksrt";
+    description = "Insertion Sort";
+    source;
+    root = func;
+    loop_bounds =
+      [ Ipet.Annotation.loop ~func ~line:(l "for (j = 1") ~lo:(n - 1) ~hi:(n - 1);
+        Ipet.Annotation.loop ~func ~line:(l "while (i >= 0") ~lo:0 ~hi:(n - 1) ];
+    functional =
+      [ (* the full condition is evaluated at most Sum_j j = N(N-1)/2 times
+           (the scan for element j looks at no more than j predecessors),
+           and at least once per outer iteration since i = j-1 >= 0 *)
+        compare_test <=. const (n * (n - 1) / 2);
+        compare_test >=. const (n - 1);
+        shifts <=. const (n * (n - 1) / 2) ];
+    worst_data =
+      [ Bspec.dataset "reverse-sorted" ~setup:(fill (List.init n (fun i -> n - i))) ];
+    best_data =
+      [ Bspec.dataset "already-sorted" ~setup:(fill (List.init n (fun i -> i))) ] }

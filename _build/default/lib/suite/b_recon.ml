@@ -1,0 +1,76 @@
+(* recon — the MPEG-2 decoder's motion-compensated prediction
+   (form_component_prediction): copies a 16x16 block out of a 32x32
+   reference area, with optional horizontal/vertical half-pel averaging.
+   Exactly one of the four interpolation variants runs, selected by the
+   half-pel flags; the worst case is the 4-point average, the best the
+   plain copy. *)
+
+module V = Ipet_isa.Value
+
+let source = {|int refframe[1024];
+int cur[256];
+int px; int py; int xh; int yh;
+
+void recon() {
+  int i0; int j0; int i1; int j1; int i2; int j2; int i3; int j3;
+  int s;
+  s = py * 32 + px;
+  if (xh == 0 && yh == 0) {
+    for (j0 = 0; j0 < 16; j0 = j0 + 1) {
+      for (i0 = 0; i0 < 16; i0 = i0 + 1) {
+        cur[j0 * 16 + i0] = refframe[s + j0 * 32 + i0];
+      }
+    }
+  } else {
+    if (xh != 0 && yh == 0) {
+      for (j1 = 0; j1 < 16; j1 = j1 + 1) {
+        for (i1 = 0; i1 < 16; i1 = i1 + 1) {
+          cur[j1 * 16 + i1] =
+            (refframe[s + j1 * 32 + i1] + refframe[s + j1 * 32 + i1 + 1] + 1) / 2;
+        }
+      }
+    } else {
+      if (xh == 0) {
+        for (j2 = 0; j2 < 16; j2 = j2 + 1) {
+          for (i2 = 0; i2 < 16; i2 = i2 + 1) {
+            cur[j2 * 16 + i2] =
+              (refframe[s + j2 * 32 + i2] + refframe[s + (j2 + 1) * 32 + i2] + 1) / 2;
+          }
+        }
+      } else {
+        for (j3 = 0; j3 < 16; j3 = j3 + 1) {
+          for (i3 = 0; i3 < 16; i3 = i3 + 1) {
+            cur[j3 * 16 + i3] =
+              (refframe[s + j3 * 32 + i3] + refframe[s + j3 * 32 + i3 + 1]
+               + refframe[s + (j3 + 1) * 32 + i3]
+               + refframe[s + (j3 + 1) * 32 + i3 + 1] + 2) / 4;
+          }
+        }
+      }
+    }
+  }
+}
+|}
+
+let l marker = Bspec.loc ~source marker
+
+let setup (x, y, hx, hy) m =
+  let w n v = Ipet_sim.Interp.write_global m n 0 (V.Vint v) in
+  w "px" x; w "py" y; w "xh" hx; w "yh" hy;
+  for i = 0 to 1023 do
+    Ipet_sim.Interp.write_global m "refframe" i (V.Vint ((i * 7) mod 256))
+  done
+
+let benchmark =
+  let func = "recon" in
+  let bound v = Ipet.Annotation.loop ~func ~line:(l v) ~lo:16 ~hi:16 in
+  { Bspec.name = "recon";
+    description = "MPEG2 decoder reconstruction routine";
+    source;
+    root = func;
+    loop_bounds =
+      [ bound "for (j0"; bound "for (i0"; bound "for (j1"; bound "for (i1";
+        bound "for (j2"; bound "for (i2"; bound "for (j3"; bound "for (i3" ];
+    functional = [];
+    worst_data = [ Bspec.dataset "both-half-pel" ~setup:(setup (7, 7, 1, 1)) ];
+    best_data = [ Bspec.dataset "aligned-copy" ~setup:(setup (8, 8, 0, 0)) ] }

@@ -1,0 +1,221 @@
+(* whetstone — the classic synthetic floating-point benchmark, adapted to
+   MC. The target has no libm, so sin/cos/exp/log/sqrt/atan are implemented
+   as fixed-iteration series/Newton kernels (their loop bounds are exact,
+   keeping the whole benchmark data-independent, as Table II's [0.00, 0.00]
+   row requires). Module loop counts follow the classic weights for one
+   "whetstone loop". *)
+
+module V = Ipet_isa.Value
+module F = Ipet.Functional
+
+let source = {|float e1[4];
+float t; float t1; float t2;
+float x; float y; float z;
+float x1v; float x2v; float x3v; float x4v;
+int jg; int kg; int lg;
+
+float my_sqrt(float a) {
+  float g; int it;
+  if (a <= 0.0)
+    return 0.0;               /* sqrt-guard */
+  g = a;
+  if (g > 1.0)
+    g = a / 2.0;              /* sqrt-halve */
+  for (it = 0; it < 6; it = it + 1)
+    g = 0.5 * (g + a / g);
+  return g;
+}
+
+float my_exp(float a) {
+  float sum; float term; int it;
+  sum = 1.0;
+  term = 1.0;
+  for (it = 1; it <= 12; it = it + 1) {
+    term = term * a / it;
+    sum = sum + term;
+  }
+  return sum;
+}
+
+float my_log(float a) {
+  float u; float u2; float term; float sum; int it;
+  if (a <= 0.0)
+    return 0.0;               /* log-guard */
+  u = (a - 1.0) / (a + 1.0);
+  u2 = u * u;
+  term = u;
+  sum = 0.0;
+  for (it = 0; it < 8; it = it + 1) {
+    sum = sum + term / (2 * it + 1);
+    term = term * u2;
+  }
+  return 2.0 * sum;
+}
+
+float my_sin(float a) {
+  float term; float sum; int it;
+  term = a;
+  sum = a;
+  for (it = 1; it <= 6; it = it + 1) {
+    term = 0.0 - term * a * a / ((2 * it) * (2 * it + 1));
+    sum = sum + term;
+  }
+  return sum;
+}
+
+float my_cos(float a) {
+  float term; float sum; int it;
+  term = 1.0;
+  sum = 1.0;
+  for (it = 1; it < 7; it = it + 1) {
+    term = 0.0 - term * a * a / ((2 * it - 1) * (2 * it));
+    sum = sum + term;
+  }
+  return sum;
+}
+
+float my_atan(float a) {
+  float term; float sum; float a2; int it;
+  term = a;
+  sum = a;
+  a2 = a * a;
+  for (it = 1; it <= 9; it = it + 1) {
+    term = 0.0 - term * a2;
+    sum = sum + term / (2 * it + 1);
+  }
+  return sum;
+}
+
+void pa() {
+  int jp;
+  for (jp = 0; jp < 6; jp = jp + 1) {
+    e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t;
+    e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t;
+    e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t;
+    e1[3] = (0.0 - e1[0] + e1[1] + e1[2] + e1[3]) / t2;
+  }
+}
+
+void p0() {
+  e1[jg] = e1[kg];
+  e1[kg] = e1[lg];
+  e1[lg] = e1[jg];
+}
+
+float p3(float a, float b) {
+  float xt; float yt;
+  xt = t * (a + b);
+  yt = t * (xt + b);
+  return (xt + yt) / t2;
+}
+
+void whetstone() {
+  int i1; int i2; int i3; int i4; int i6; int i7; int i8; int i9; int i10; int i11;
+  /* module 1: simple identifiers */
+  x1v = 1.0; x2v = 0.0 - 1.0; x3v = 0.0 - 1.0; x4v = 0.0 - 1.0;
+  for (i1 = 0; i1 < 10; i1 = i1 + 1) {
+    x1v = (x1v + x2v + x3v - x4v) * t;
+    x2v = (x1v + x2v - x3v + x4v) * t;
+    x3v = (x1v - x2v + x3v + x4v) * t;
+    x4v = (0.0 - x1v + x2v + x3v + x4v) * t;
+  }
+  /* module 2: array elements */
+  e1[0] = 1.0; e1[1] = 0.0 - 1.0; e1[2] = 0.0 - 1.0; e1[3] = 0.0 - 1.0;
+  for (i2 = 0; i2 < 12; i2 = i2 + 1) {
+    e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t;
+    e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t;
+    e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t;
+    e1[3] = (0.0 - e1[0] + e1[1] + e1[2] + e1[3]) * t;
+  }
+  /* module 3: array as parameter */
+  for (i3 = 0; i3 < 14; i3 = i3 + 1)
+    pa();
+  /* module 4: conditional jumps */
+  jg = 1;
+  for (i4 = 0; i4 < 345; i4 = i4 + 1) {
+    if (jg == 1) jg = 2; else jg = 3;
+    if (jg > 2) jg = 0; else jg = 1;
+    if (jg < 1) jg = 1; else jg = 0;
+  }
+  /* module 6: integer arithmetic */
+  jg = 1; kg = 2; lg = 3;
+  for (i6 = 0; i6 < 210; i6 = i6 + 1) {
+    jg = jg * (kg - jg) * (lg - kg);
+    kg = lg * kg - (lg - jg) * kg;
+    lg = (lg - kg) * (kg + jg);
+    e1[lg & 3] = jg + kg + lg;
+    e1[kg & 3] = jg * kg * lg;
+  }
+  /* module 7: trigonometric functions */
+  x = 0.5; y = 0.5;
+  for (i7 = 0; i7 < 32; i7 = i7 + 1) {
+    x = t * my_atan(t2 * my_sin(x) * my_cos(x) / (my_cos(x + y) + my_cos(x - y) - 1.0));
+    y = t * my_atan(t2 * my_sin(y) * my_cos(y) / (my_cos(x + y) + my_cos(x - y) - 1.0));
+  }
+  /* module 8: procedure calls */
+  x = 1.0; y = 1.0; z = 1.0;
+  for (i8 = 0; i8 < 899; i8 = i8 + 1)
+    z = p3(x, y);
+  /* module 9: array references */
+  jg = 1; kg = 2; lg = 3;
+  e1[0] = 1.0; e1[1] = 2.0; e1[2] = 3.0;
+  for (i9 = 0; i9 < 616; i9 = i9 + 1)
+    p0();
+  /* module 10: integer arithmetic */
+  jg = 2; kg = 3;
+  for (i10 = 0; i10 < 10; i10 = i10 + 1) {
+    jg = jg + kg;
+    kg = jg + kg;
+    jg = kg - jg;
+    kg = kg - jg - jg;
+  }
+  /* module 11: standard functions */
+  x = 0.75;
+  for (i11 = 0; i11 < 93; i11 = i11 + 1)
+    x = my_sqrt(my_exp(my_log(x) / t1));
+}
+|}
+
+let l marker = Bspec.loc ~source marker
+
+let setup m =
+  let wf n v = Ipet_sim.Interp.write_global m n 0 (V.Vfloat v) in
+  wf "t" 0.499975; wf "t1" 0.50025; wf "t2" 2.0
+
+let benchmark =
+  let func = "whetstone" in
+  let sqrt_guard = F.x_at ~func:"my_sqrt" ~line:(l "sqrt-guard") in
+  let sqrt_halve = F.x_at ~func:"my_sqrt" ~line:(l "sqrt-halve") in
+  let log_guard = F.x_at ~func:"my_log" ~line:(l "log-guard") in
+  let open F in
+  let bound ~f marker count = Ipet.Annotation.loop ~func:f ~line:(l marker) ~lo:count ~hi:count in
+  { Bspec.name = "whetstone";
+    description = "Whetstone benchmark";
+    source;
+    root = func;
+    loop_bounds =
+      [ bound ~f:"my_sqrt" "for (it = 0; it < 6" 6;
+        bound ~f:"my_exp" "for (it = 1; it <= 12" 12;
+        bound ~f:"my_log" "for (it = 0; it < 8" 8;
+        bound ~f:"my_sin" "it <= 6" 6;
+        bound ~f:"my_cos" "it < 7" 6;
+        bound ~f:"my_atan" "for (it = 1; it <= 9" 9;
+        bound ~f:"pa" "for (jp = 0" 6;
+        bound ~f:func "for (i1 = 0" 10;
+        bound ~f:func "for (i2 = 0" 12;
+        bound ~f:func "for (i3 = 0" 14;
+        bound ~f:func "for (i4 = 0" 345;
+        bound ~f:func "for (i6 = 0" 210;
+        bound ~f:func "for (i7 = 0" 32;
+        bound ~f:func "for (i8 = 0" 899;
+        bound ~f:func "for (i9 = 0" 616;
+        bound ~f:func "for (i10 = 0" 10;
+        bound ~f:func "for (i11 = 0" 93 ];
+    functional =
+      [ (* module 11 always calls the math kernels with arguments in (0, 1),
+           so the guards and the halving step never execute *)
+        sqrt_guard =. const 0;
+        sqrt_halve =. const 0;
+        log_guard =. const 0 ];
+    worst_data = [ Bspec.dataset "standard" ~setup ];
+    best_data = [ Bspec.dataset "standard" ~setup ] }

@@ -1,0 +1,44 @@
+(** The paper's two experiments (Section VI), runnable per benchmark.
+
+    - {b Experiment 1} compares the ILP {e estimated} bound against the
+      {e calculated} bound: simulated basic-block counts on the
+      hand-identified extreme data sets, multiplied by the same per-block
+      cost bounds the ILP used. The difference is pure path-analysis
+      pessimism (Table II).
+    - {b Experiment 2} compares the estimated bound against the
+      {e measured} bound: cycle-accurate simulation with the real cache
+      (flushed before the worst-case run, warmed for the best-case run, as
+      on the paper's QT960 board). The difference adds the
+      micro-architectural modelling pessimism (Table III). *)
+
+type interval = { lo : int; hi : int }
+
+type row = {
+  bench : string;
+  lines : int;                (** non-blank source lines (Table I) *)
+  sets_total : int;           (** DNF constraint sets (Table I) *)
+  sets_pruned : int;          (** null sets eliminated (Table I footnote) *)
+  estimated : interval;       (** ILP bound *)
+  calculated : interval;      (** Experiment 1 reference *)
+  measured : interval;        (** Experiment 2 reference *)
+  lp_calls : int;
+  all_first_lp_integral : bool;
+}
+
+val pessimism : estimated:interval -> reference:interval -> float * float
+(** The paper's pessimism metric:
+    [( (Cl - El) / Cl, (Eu - Cu) / Cu )]. *)
+
+val run :
+  ?cache:Ipet_machine.Icache.config ->
+  ?dcache:Ipet_machine.Icache.config ->
+  Bspec.t ->
+  row
+(** Analyze, simulate and measure one benchmark; [dcache] enables the
+    data-cache model in both the analysis and the simulation. *)
+
+val run_all :
+  ?cache:Ipet_machine.Icache.config ->
+  ?dcache:Ipet_machine.Icache.config ->
+  unit ->
+  row list

@@ -1,0 +1,32 @@
+let all =
+  [ B_check_data.benchmark;
+    B_fft.benchmark;
+    B_piksrt.benchmark;
+    B_des.benchmark;
+    B_line.benchmark;
+    B_circle.benchmark;
+    B_jpeg_fdct.benchmark;
+    B_jpeg_idct.benchmark;
+    B_recon.benchmark;
+    B_fullsearch.benchmark;
+    B_whetstone.benchmark;
+    B_dhry.benchmark;
+    B_matgen.benchmark ]
+
+(* classic WCET benchmarks beyond the paper's own set (Malardalen-style) *)
+let extended =
+  [ X_fibcall.benchmark;
+    X_bs.benchmark;
+    X_bsort.benchmark;
+    X_crc.benchmark;
+    X_matmult.benchmark;
+    X_expint.benchmark;
+    X_fir.benchmark;
+    X_ludcmp.benchmark ]
+
+let find name =
+  match
+    List.find_opt (fun (b : Bspec.t) -> b.Bspec.name = name) (all @ extended)
+  with
+  | Some b -> b
+  | None -> raise Not_found

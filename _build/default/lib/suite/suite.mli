@@ -1,0 +1,15 @@
+(** The complete benchmark set of Table I. *)
+
+val all : Bspec.t list
+(** In the paper's order: check_data, fft, piksrt, des, line, circle,
+    jpeg_fdct_islow, jpeg_idct_islow, recon, fullsearch, whetstone, dhry,
+    matgen. *)
+
+val extended : Bspec.t list
+(** Additional classic WCET benchmarks (Mälardalen-style): fibcall, bs,
+    bsort, crc, matmult, expint, fir, ludcmp — beyond the paper's own
+    evaluation set. *)
+
+val find : string -> Bspec.t
+(** Search {!all} and {!extended}.
+    @raise Not_found for unknown benchmark names. *)

@@ -1,0 +1,54 @@
+(* bs — binary search over a sorted table of 15 entries (Mälardalen): the
+   loop halves the interval, so it runs at most ceil(log2(15)) + 1 = 4
+   times; the user supplies that bound, exactly the kind of non-obvious
+   fact the paper's annotations exist for. *)
+
+module V = Ipet_isa.Value
+
+let source = {|int keys[15];
+int values[15];
+int found_value;
+
+int bs(int key) {
+  int low; int up; int mid; int result;
+  low = 0;
+  up = 14;
+  result = 0 - 1;
+  while (low <= up) {
+    mid = (low + up) / 2;
+    if (keys[mid] == key) {
+      result = values[mid];
+      up = low - 1;            /* force exit */
+    } else {
+      if (keys[mid] > key) {
+        up = mid - 1;
+      } else {
+        low = mid + 1;
+      }
+    }
+  }
+  found_value = result;
+  return result;
+}
+|}
+
+let l marker = Bspec.loc ~source marker
+
+let fill m =
+  for i = 0 to 14 do
+    Ipet_sim.Interp.write_global m "keys" i (V.Vint (i * 10));
+    Ipet_sim.Interp.write_global m "values" i (V.Vint (i * 100))
+  done
+
+let benchmark =
+  { Bspec.name = "bs";
+    description = "Binary search, 15 entries (Malardalen)";
+    source;
+    root = "bs";
+    loop_bounds =
+      [ Ipet.Annotation.loop ~func:"bs" ~line:(l "while (low <= up)") ~lo:1 ~hi:4 ];
+    functional = [];
+    worst_data =
+      [ Bspec.dataset "absent-key" ~setup:fill ~args:[ V.Vint 135 ];
+        Bspec.dataset "absent-low" ~setup:fill ~args:[ V.Vint (-1) ] ];
+    best_data = [ Bspec.dataset "middle-key" ~setup:fill ~args:[ V.Vint 70 ] ] }

@@ -1,0 +1,59 @@
+(* bsort — bubble sort with the early-exit flag (Mälardalen bsort100, at
+   n = 20): the outer while runs a data-dependent number of passes, at most
+   n-1; sorted input exits after one pass. *)
+
+module V = Ipet_isa.Value
+module F = Ipet.Functional
+
+let n = 20
+
+let source = {|int arr[20];
+
+void bsort() {
+  int i; int pass; int sorted; int t;
+  sorted = 0;
+  pass = 0;
+  while (sorted == 0 && pass < 19) {
+    sorted = 1;
+    for (i = 0; i < 19; i = i + 1) {
+      if (arr[i] > arr[i + 1]) {
+        t = arr[i];              /* swap */
+        arr[i] = arr[i + 1];
+        arr[i + 1] = t;
+        sorted = 0;
+      }
+    }
+    pass = pass + 1;
+  }
+}
+|}
+
+let l marker = Bspec.loc ~source marker
+
+let fill values m =
+  List.iteri (fun i v -> Ipet_sim.Interp.write_global m "arr" i (V.Vint v)) values
+
+let benchmark =
+  let swaps = F.x_at ~func:"bsort" ~line:(l "/* swap */") in
+  let first_pass = F.x_at ~func:"bsort" ~line:(l "sorted = 1;") in
+  let open F in
+  { Bspec.name = "bsort";
+    description = "Bubble sort with early exit (Malardalen)";
+    source;
+    root = "bsort";
+    loop_bounds =
+      [ (* the header is the first test of a && condition, so its in-loop
+           edge can be traversed once more than the body runs (the final
+           pass < 19 exit): bound n, not n-1 *)
+        Ipet.Annotation.loop ~func:"bsort" ~line:(l "while (sorted == 0")
+          ~lo:1 ~hi:n;
+        Ipet.Annotation.loop ~func:"bsort" ~line:(l "for (i = 0") ~lo:(n - 1)
+          ~hi:(n - 1) ];
+    functional =
+      [ swaps <=. const (n * (n - 1) / 2);
+        (* sorted = 0 and pass = 0 on entry: the body runs at least once *)
+        first_pass >=. const 1 ];
+    worst_data =
+      [ Bspec.dataset "reverse-sorted" ~setup:(fill (List.init n (fun i -> n - i))) ];
+    best_data =
+      [ Bspec.dataset "already-sorted" ~setup:(fill (List.init n (fun i -> i))) ] }

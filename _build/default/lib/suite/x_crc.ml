@@ -1,0 +1,58 @@
+(* crc — CRC-16 (CCITT polynomial) over a 40-byte message, bit-serial
+   (Mälardalen crc): fixed byte and bit loops, with a data-dependent
+   feedback branch per bit. *)
+
+module V = Ipet_isa.Value
+
+let message_len = 40
+
+let source = {|int message[40];
+int crc_out;
+
+void crc() {
+  int crc; int i; int k; int byte; int xbit;
+  crc = 0xffff;
+  for (i = 0; i < 40; i = i + 1) {
+    byte = message[i] & 0xff;
+    crc = crc ^ (byte << 8);
+    for (k = 0; k < 8; k = k + 1) {
+      xbit = crc & 0x8000;
+      crc = (crc << 1) & 0xffff;
+      if (xbit != 0) {
+        crc = crc ^ 0x1021;      /* feedback */
+      }
+    }
+  }
+  crc_out = crc;
+}
+|}
+
+let l marker = Bspec.loc ~source marker
+
+let fill values m =
+  List.iteri
+    (fun i v -> Ipet_sim.Interp.write_global m "message" i (V.Vint v))
+    values
+
+let benchmark =
+  { Bspec.name = "crc";
+    description = "CRC-16 over a 40-byte message (Malardalen)";
+    source;
+    root = "crc";
+    loop_bounds =
+      [ Ipet.Annotation.loop ~func:"crc" ~line:(l "for (i = 0") ~lo:message_len
+          ~hi:message_len;
+        Ipet.Annotation.loop ~func:"crc" ~line:(l "for (k = 0") ~lo:8 ~hi:8 ];
+    functional = [];
+    worst_data =
+      [ Bspec.dataset "all-ones" ~setup:(fill (List.init message_len (fun _ -> 0xff)));
+        Bspec.dataset "zeros" ~setup:(fill (List.init message_len (fun _ -> 0)));
+        Bspec.dataset "pattern"
+          ~setup:(fill (List.init message_len (fun i -> (i * 37) land 0xff))) ];
+    best_data =
+      [ (* the feedback branch depends on the evolving register, not simply
+           on the message, so several candidates are tried *)
+        Bspec.dataset "zeros" ~setup:(fill (List.init message_len (fun _ -> 0)));
+        Bspec.dataset "all-ones" ~setup:(fill (List.init message_len (fun _ -> 0xff)));
+        Bspec.dataset "pattern"
+          ~setup:(fill (List.init message_len (fun i -> (i * 37) land 0xff))) ] }

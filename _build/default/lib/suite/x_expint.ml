@@ -1,0 +1,45 @@
+(* expint — exponential integral by series (after Mälardalen expint):
+   an outer term loop with an inner data-dependent branch, float-heavy. *)
+
+module V = Ipet_isa.Value
+
+let terms = 25
+
+let source = {|float x_in;
+float e_out;
+
+void expint() {
+  float x; float sum; float term; float fact;
+  int i;
+  x = x_in;
+  sum = 0.0;
+  fact = 1.0;
+  term = 1.0;
+  for (i = 1; i <= 25; i = i + 1) {
+    fact = fact * i;
+    term = term * x;
+    if (i & 1) {
+      sum = sum + term / (fact * i);      /* odd term */
+    } else {
+      sum = sum - term / (fact * i);      /* even term */
+    }
+  }
+  e_out = sum;
+}
+|}
+
+let l marker = Bspec.loc ~source marker
+
+let set x m = Ipet_sim.Interp.write_global m "x_in" 0 (V.Vfloat x)
+
+let benchmark =
+  { Bspec.name = "expint";
+    description = "Exponential-integral series (Malardalen)";
+    source;
+    root = "expint";
+    loop_bounds =
+      [ Ipet.Annotation.loop ~func:"expint" ~line:(l "for (i = 1") ~lo:terms
+          ~hi:terms ];
+    functional = [];
+    worst_data = [ Bspec.dataset "x=0.8" ~setup:(set 0.8) ];
+    best_data = [ Bspec.dataset "x=0.8" ~setup:(set 0.8) ] }

@@ -1,0 +1,38 @@
+(* fibcall — iterative Fibonacci (the Mälardalen WCET benchmark): a single
+   counted loop, fully analyzable without any manual annotation. *)
+
+module V = Ipet_isa.Value
+
+let source = {|int result;
+
+int fib(int n) {
+  int i; int f0; int f1; int t;
+  f0 = 0;
+  f1 = 1;
+  for (i = 0; i < 30; i = i + 1) {
+    if (i >= n)
+      return f0;
+    t = f0 + f1;
+    f0 = f1;
+    f1 = t;
+  }
+  return f0;
+}
+
+void fibcall() {
+  result = fib(26);
+}
+|}
+
+let l marker = Bspec.loc ~source marker
+
+let benchmark =
+  { Bspec.name = "fibcall";
+    description = "Iterative Fibonacci (Malardalen)";
+    source;
+    root = "fibcall";
+    loop_bounds =
+      [ Ipet.Annotation.loop ~func:"fib" ~line:(l "for (i = 0") ~lo:0 ~hi:30 ];
+    functional = [];
+    worst_data = [ Bspec.dataset "n=26" ];
+    best_data = [ Bspec.dataset "n=26" ] }

@@ -1,0 +1,60 @@
+(* fir — 16-tap finite impulse response filter over a 64-sample buffer
+   (Mälardalen fir): a classic DSP double loop where the inner trip count
+   is clipped near the buffer start — a bound the user must supply. *)
+
+module V = Ipet_isa.Value
+module F = Ipet.Functional
+
+let taps = 16
+let samples = 64
+
+let source = {|int coef_q[16];
+int in_buf[64];
+int out_buf[64];
+
+void fir() {
+  int n; int k; int acc; int kmax;
+  for (n = 0; n < 64; n = n + 1) {
+    acc = 0;
+    kmax = taps_avail(n);
+    for (k = 0; k < kmax; k = k + 1) {
+      acc = acc + coef_q[k] * in_buf[n - k];   /* mac */
+    }
+    out_buf[n] = acc >> 8;
+  }
+}
+
+int taps_avail(int n) {
+  if (n < 15)
+    return n + 1;
+  return 16;
+}
+|}
+
+let l marker = Bspec.loc ~source marker
+
+let fill m =
+  for i = 0 to taps - 1 do
+    Ipet_sim.Interp.write_global m "coef_q" i (V.Vint (128 - (i * 9)))
+  done;
+  for i = 0 to samples - 1 do
+    Ipet_sim.Interp.write_global m "in_buf" i (V.Vint ((i * 31) land 255))
+  done
+
+let benchmark =
+  let macs = F.x_at ~func:"fir" ~line:(l "/* mac */") in
+  let open F in
+  { Bspec.name = "fir";
+    description = "16-tap FIR filter over 64 samples (Malardalen)";
+    source;
+    root = "fir";
+    loop_bounds =
+      [ Ipet.Annotation.loop ~func:"fir" ~line:(l "for (n = 0") ~lo:samples
+          ~hi:samples;
+        Ipet.Annotation.loop ~func:"fir" ~line:(l "for (k = 0") ~lo:1 ~hi:taps ];
+    functional =
+      [ (* total multiply-accumulates: 1+2+...+15 for the warm-up plus
+           16 per steady-state sample *)
+        macs =. const ((taps * (taps - 1) / 2) + (taps * (samples - taps + 1))) ];
+    worst_data = [ Bspec.dataset "signal" ~setup:fill ];
+    best_data = [ Bspec.dataset "signal" ~setup:fill ] }

@@ -1,0 +1,87 @@
+(* ludcmp — LU decomposition with forward/backward substitution on a 5x5
+   float system (Mälardalen ludcmp, without pivoting): triangular loop
+   nests whose totals the functionality constraints pin down. *)
+
+module V = Ipet_isa.Value
+module F = Ipet.Functional
+
+let n = 5
+
+let source = {|float lu[25];
+float b_vec[5];
+float y_vec[5];
+float x_vec[5];
+
+void ludcmp() {
+  int i; int j; int k;
+  float w;
+  /* decomposition */
+  for (i = 0; i < 4; i = i + 1) {
+    for (j = i + 1; j < 5; j = j + 1) {
+      w = lu[j * 5 + i] / lu[i * 5 + i];
+      lu[j * 5 + i] = w;
+      for (k = i + 1; k < 5; k = k + 1) {
+        lu[j * 5 + k] = lu[j * 5 + k] - w * lu[i * 5 + k];   /* elim */
+      }
+    }
+  }
+  /* forward substitution */
+  for (i = 0; i < 5; i = i + 1) {
+    w = b_vec[i];
+    for (j = 0; j < i; j = j + 1) {
+      w = w - lu[i * 5 + j] * y_vec[j];      /* fwd */
+    }
+    y_vec[i] = w;
+  }
+  /* backward substitution */
+  for (i = 4; i >= 0; i = i - 1) {
+    w = y_vec[i];
+    for (j = i + 1; j <= 4; j = j + 1) {
+      w = w - lu[i * 5 + j] * x_vec[j];      /* bwd */
+    }
+    x_vec[i] = w / lu[i * 5 + i];
+  }
+}
+|}
+
+let l marker = Bspec.loc ~source marker
+
+let fill m =
+  for i = 0 to (n * n) - 1 do
+    let r = i / n and c = i mod n in
+    let v = if r = c then 10.0 +. float_of_int r else 1.0 /. float_of_int (1 + r + c) in
+    Ipet_sim.Interp.write_global m "lu" i (V.Vfloat v)
+  done;
+  for i = 0 to n - 1 do
+    Ipet_sim.Interp.write_global m "b_vec" i (V.Vfloat (float_of_int (i + 1)))
+  done
+
+let benchmark =
+  let elim = F.x_at ~func:"ludcmp" ~line:(l "/* elim */") in
+  let fwd = F.x_at ~func:"ludcmp" ~line:(l "/* fwd */") in
+  let bwd = F.x_at ~func:"ludcmp" ~line:(l "/* bwd */") in
+  let open F in
+  { Bspec.name = "ludcmp";
+    description = "5x5 LU decomposition and substitution (Malardalen)";
+    source;
+    root = "ludcmp";
+    loop_bounds =
+      [ Ipet.Annotation.loop ~func:"ludcmp" ~line:(l "for (i = 0; i < 4") ~lo:(n - 1)
+          ~hi:(n - 1);
+        Ipet.Annotation.loop ~func:"ludcmp" ~line:(l "for (j = i + 1; j < 5") ~lo:1
+          ~hi:(n - 1);
+        Ipet.Annotation.loop ~func:"ludcmp" ~line:(l "for (k = i + 1") ~lo:1
+          ~hi:(n - 1);
+        Ipet.Annotation.loop ~func:"ludcmp" ~line:(l "for (i = 0; i < 5") ~lo:n ~hi:n;
+        Ipet.Annotation.loop ~func:"ludcmp" ~line:(l "for (j = 0; j < i") ~lo:0
+          ~hi:(n - 1);
+        Ipet.Annotation.loop ~func:"ludcmp" ~line:(l "for (i = 4") ~lo:n ~hi:n;
+        Ipet.Annotation.loop ~func:"ludcmp" ~line:(l "for (j = i + 1; j <= 4") ~lo:0
+          ~hi:(n - 1) ];
+    functional =
+      [ (* triangular totals for a 5x5 system *)
+        elim =. const 30;  (* sum over i of (4-i)^2 = 16+9+4+1 *)
+        fwd =. const 10;   (* 0+1+2+3+4 *)
+        bwd =. const 10 ];
+    worst_data = [ Bspec.dataset "spd-system" ~setup:fill ];
+    best_data = [ Bspec.dataset "spd-system" ~setup:fill ] }

@@ -1,0 +1,46 @@
+(* matmult — 5x5 integer matrix multiplication (Mälardalen matmult, scaled
+   down): a fully data-independent triple loop; the analysis should be
+   exact. *)
+
+module V = Ipet_isa.Value
+
+let n = 5
+
+let source = {|int a_mat[25];
+int b_mat[25];
+int c_mat[25];
+
+void matmult() {
+  int i; int j; int k; int acc;
+  for (i = 0; i < 5; i = i + 1) {
+    for (j = 0; j < 5; j = j + 1) {
+      acc = 0;
+      for (k = 0; k < 5; k = k + 1) {
+        acc = acc + a_mat[i * 5 + k] * b_mat[k * 5 + j];
+      }
+      c_mat[i * 5 + j] = acc;
+    }
+  }
+}
+|}
+
+let l marker = Bspec.loc ~source marker
+
+let fill m =
+  for i = 0 to (n * n) - 1 do
+    Ipet_sim.Interp.write_global m "a_mat" i (V.Vint (i + 1));
+    Ipet_sim.Interp.write_global m "b_mat" i (V.Vint (2 * i))
+  done
+
+let benchmark =
+  { Bspec.name = "matmult";
+    description = "5x5 matrix multiplication (Malardalen)";
+    source;
+    root = "matmult";
+    loop_bounds =
+      [ Ipet.Annotation.loop ~func:"matmult" ~line:(l "for (i = 0") ~lo:n ~hi:n;
+        Ipet.Annotation.loop ~func:"matmult" ~line:(l "for (j = 0") ~lo:n ~hi:n;
+        Ipet.Annotation.loop ~func:"matmult" ~line:(l "for (k = 0") ~lo:n ~hi:n ];
+    functional = [];
+    worst_data = [ Bspec.dataset "fixed" ~setup:fill ];
+    best_data = [ Bspec.dataset "fixed" ~setup:fill ] }

@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array Float Format Ipet Ipet_cfg Ipet_isa Ipet_lang Ipet_sim List Printf QCheck QCheck_alcotest Test_cfg

@@ -1,0 +1,1 @@
+test/test_autobound.ml: Alcotest Buffer Ipet Ipet_isa Ipet_lang Ipet_sim List Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Buffer Ipet_cfg Ipet_isa Ipet_lang List QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Format Ipet Ipet_cfg Ipet_isa Ipet_lang Ipet_lp Ipet_machine Ipet_num Ipet_sim List Printf QCheck QCheck_alcotest String Test_cfg

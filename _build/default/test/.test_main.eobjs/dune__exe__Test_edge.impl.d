@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Ipet Ipet_isa Ipet_lang Ipet_num Ipet_sim Ipet_suite

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Format Ipet_isa List Result

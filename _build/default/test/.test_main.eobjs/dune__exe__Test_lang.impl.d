@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ipet Ipet_cfg Ipet_isa Ipet_lang Ipet_sim List Printf String

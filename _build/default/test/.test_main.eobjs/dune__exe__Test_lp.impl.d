@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Ipet_lp Ipet_num List QCheck QCheck_alcotest Rat String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Ipet_isa Ipet_lang Ipet_machine Ipet_sim Ipet_suite List QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_asm Test_autobound Test_cfg Test_core Test_edge Test_isa Test_lang Test_lp Test_machine Test_num Test_optimize Test_regalloc Test_sim Test_suite Test_tools

@@ -1,0 +1,1 @@
+test/test_num.ml: Alcotest Ipet_num List Printf QCheck QCheck_alcotest

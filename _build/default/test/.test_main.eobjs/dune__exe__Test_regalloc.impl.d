@@ -1,0 +1,1 @@
+test/test_regalloc.ml: Alcotest Array Ipet Ipet_isa Ipet_lang Ipet_sim List QCheck QCheck_alcotest Test_cfg

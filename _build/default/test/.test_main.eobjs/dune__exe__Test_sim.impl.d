@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Format Ipet_isa Ipet_lang Ipet_machine Ipet_sim List String

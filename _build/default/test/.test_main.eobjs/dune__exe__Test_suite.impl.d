@@ -1,0 +1,1 @@
+test/test_suite.ml: Alcotest Hashtbl Ipet_suite List Printf

@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Format Ipet Ipet_isa Ipet_lang Ipet_sim Ipet_suite List String

@@ -1,0 +1,211 @@
+(* Automatic loop-bound inference tests, including the strongest soundness
+   property in the repo: random programs with counted loops are analyzed
+   with *inferred* bounds only, and the estimated bound must enclose the
+   simulated time for random inputs. *)
+
+module Frontend = Ipet_lang.Frontend
+module Compile = Ipet_lang.Compile
+module Interp = Ipet_sim.Interp
+module V = Ipet_isa.Value
+module Autobound = Ipet.Autobound
+module Annotation = Ipet.Annotation
+module Analysis = Ipet.Analysis
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let infer src = Autobound.infer (fst (Frontend.parse_and_check src))
+
+let the_bound = function
+  | [ (b : Annotation.t) ] -> (b.Annotation.lo, b.Annotation.hi)
+  | bs -> Alcotest.fail (Printf.sprintf "expected 1 bound, got %d" (List.length bs))
+
+let test_simple_counted () =
+  let lo, hi =
+    the_bound (infer "int f() { int i; int s; s = 0; \
+                      for (i = 0; i < 10; i = i + 1) s = s + i; return s; }")
+  in
+  check_int "lo" 10 lo;
+  check_int "hi" 10 hi
+
+let test_le_and_stride () =
+  let lo, hi =
+    the_bound (infer "int f() { int i; int s; s = 0; \
+                      for (i = 2; i <= 17; i = i + 3) s = s + i; return s; }")
+  in
+  (* i = 2, 5, 8, 11, 14, 17 -> 6 iterations *)
+  check_int "lo" 6 lo;
+  check_int "hi" 6 hi
+
+let test_zero_trip () =
+  let lo, hi =
+    the_bound (infer "int f() { int i; int s; s = 0; \
+                      for (i = 5; i < 5; i = i + 1) s = s + 1; return s; }")
+  in
+  check_int "lo" 0 lo;
+  check_int "hi" 0 hi
+
+let test_break_keeps_upper_only () =
+  let lo, hi =
+    the_bound
+      (infer "int f(int n) { int i; int s; s = 0; \
+              for (i = 0; i < 8; i = i + 1) { if (i == n) break; s = s + 1; } \
+              return s; }")
+  in
+  check_int "lo relaxed to 0" 0 lo;
+  check_int "hi kept" 8 hi
+
+let test_rejects_mutated_induction () =
+  check_int "no bound inferred" 0
+    (List.length
+       (infer "int f() { int i; int s; s = 0; \
+               for (i = 0; i < 10; i = i + 1) { s = s + i; i = i + 1; } \
+               return s; }"))
+
+let test_rejects_dynamic_bound () =
+  check_int "no bound for variable limit" 0
+    (List.length
+       (infer "int f(int n) { int i; int s; s = 0; \
+               for (i = 0; i < n; i = i + 1) s = s + i; return s; }"))
+
+let test_nested_inference () =
+  let bounds =
+    infer
+      "int f() { int i; int j; int s; s = 0;\n\
+       for (i = 0; i < 4; i = i + 1)\n\
+       for (j = 0; j < 6; j = j + 1)\n\
+       s = s + i * j;\n\
+       return s; }"
+  in
+  check_int "two loops" 2 (List.length bounds);
+  let counts = List.sort compare (List.map (fun (b : Annotation.t) -> b.Annotation.hi) bounds) in
+  check_bool "4 and 6" true (counts = [ 4; 6 ])
+
+let test_inference_matches_simulation () =
+  (* end to end: analyze with only inferred bounds; simulate; enclose *)
+  let src =
+    "int acc;\n\
+     int f(int n) {\n\
+     int i; int j; int s;\n\
+     s = 0;\n\
+     for (i = 0; i < 5; i = i + 1) {\n\
+     for (j = 0; j < 3; j = j + 1) {\n\
+     if (n > j) s = s + i; else s = s - j; } }\n\
+     acc = s;\n\
+     return s; }\n"
+  in
+  let compiled = Frontend.compile_string_exn src in
+  let loop_bounds = infer src in
+  check_int "both loops inferred" 2 (List.length loop_bounds);
+  let result =
+    Analysis.analyze (Analysis.spec compiled.Compile.prog ~root:"f" ~loop_bounds)
+  in
+  List.iter
+    (fun n ->
+      let m = Interp.create compiled.Compile.prog ~init:compiled.Compile.init_data in
+      Interp.flush_cache m;
+      ignore (Interp.call m "f" [ V.Vint n ]);
+      let t = Interp.cycles m in
+      check_bool (Printf.sprintf "n=%d within bound" n) true
+        (result.Analysis.bcet.Analysis.cycles <= t
+         && t <= result.Analysis.wcet.Analysis.cycles))
+    [ -5; 0; 1; 2; 99 ]
+
+(* --- random programs with loops ------------------------------------------ *)
+
+(* random structured programs built from ifs and counted for-loops with
+   fresh induction variables; every loop is inferable by construction *)
+let random_looped_src seed =
+  let st = Random.State.make [| seed |] in
+  let buf = Buffer.create 256 in
+  let decls = Buffer.create 64 in
+  let fresh =
+    let k = ref 0 in
+    fun () -> incr k; Printf.sprintf "i%d" !k
+  in
+  let rec stmts depth budget =
+    if budget <= 0 then Buffer.add_string buf "s = s + 1;\n"
+    else
+      for _ = 1 to 1 + Random.State.int st 2 do
+        match Random.State.int st (if depth > 2 then 2 else 5) with
+        | 0 -> Buffer.add_string buf "s = s + a;\n"
+        | 1 -> Buffer.add_string buf "a = a - 1;\n"
+        | 2 ->
+          Buffer.add_string buf "if (a > 0) {\n";
+          stmts (depth + 1) (budget - 1);
+          Buffer.add_string buf "} else {\n";
+          stmts (depth + 1) (budget - 1);
+          Buffer.add_string buf "}\n"
+        | _ ->
+          let v = fresh () in
+          Buffer.add_string decls (Printf.sprintf "int %s;\n" v);
+          let count = 1 + Random.State.int st 5 in
+          Buffer.add_string buf
+            (Printf.sprintf "for (%s = 0; %s < %d; %s = %s + 1) {\n" v v count v v);
+          stmts (depth + 1) (budget - 1);
+          Buffer.add_string buf "}\n"
+      done
+  in
+  Buffer.add_string buf "s = 0;\n";
+  stmts 0 3;
+  Buffer.add_string buf "return s;\n}\n";
+  "int f(int a) {\nint s;\n" ^ Buffer.contents decls ^ Buffer.contents buf
+
+let prop_inferred_bounds_sound =
+  QCheck.Test.make ~name:"inferred bounds make the analysis sound on random loops"
+    ~count:40
+    QCheck.(pair (int_bound 1_000_000) (int_range (-4) 10))
+    (fun (seed, arg) ->
+      let src = random_looped_src seed in
+      let compiled = Frontend.compile_string_exn src in
+      let loop_bounds = infer src in
+      let result =
+        Analysis.analyze (Analysis.spec compiled.Compile.prog ~root:"f" ~loop_bounds)
+      in
+      let m = Interp.create compiled.Compile.prog ~init:compiled.Compile.init_data in
+      Interp.flush_cache m;
+      ignore (Interp.call m "f" [ V.Vint arg ]);
+      let t = Interp.cycles m in
+      result.Analysis.bcet.Analysis.cycles <= t
+      && t <= result.Analysis.wcet.Analysis.cycles)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_inferred_bounds_sound ]
+
+let suite =
+  [ ("simple counted loop", `Quick, test_simple_counted);
+    ("<= and stride", `Quick, test_le_and_stride);
+    ("zero-trip loop", `Quick, test_zero_trip);
+    ("break relaxes the lower bound", `Quick, test_break_keeps_upper_only);
+    ("mutated induction rejected", `Quick, test_rejects_mutated_induction);
+    ("dynamic bound rejected", `Quick, test_rejects_dynamic_bound);
+    ("nested loops", `Quick, test_nested_inference);
+    ("inference end to end", `Quick, test_inference_matches_simulation) ]
+  @ props
+
+(* the full pipeline composed: random looped programs, optimized and
+   register-allocated, analyzed with inferred bounds only — soundness must
+   survive every transformation *)
+let prop_full_pipeline_sound =
+  QCheck.Test.make
+    ~name:"optimize + regalloc + inferred bounds stay sound" ~count:25
+    QCheck.(pair (int_bound 1_000_000) (int_range (-4) 10))
+    (fun (seed, arg) ->
+      let src = random_looped_src seed in
+      match Frontend.compile_string ~optimize:true ~registers:12 src with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok compiled ->
+        let loop_bounds = infer src in
+        let result =
+          Analysis.analyze
+            (Analysis.spec compiled.Compile.prog ~root:"f" ~loop_bounds)
+        in
+        let m =
+          Interp.create compiled.Compile.prog ~init:compiled.Compile.init_data
+        in
+        Interp.flush_cache m;
+        ignore (Interp.call m "f" [ V.Vint arg ]);
+        let t = Interp.cycles m in
+        result.Analysis.bcet.Analysis.cycles <= t
+        && t <= result.Analysis.wcet.Analysis.cycles)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_full_pipeline_sound ]

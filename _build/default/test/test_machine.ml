@@ -1,0 +1,257 @@
+(* Micro-architecture model tests: i-cache, pipeline hazards, cost bounds. *)
+
+module I = Ipet_isa.Instr
+module P = Ipet_isa.Prog
+module Layout = Ipet_isa.Layout
+module Icache = Ipet_machine.Icache
+module Timing = Ipet_machine.Timing
+module Pipeline = Ipet_machine.Pipeline
+module Cost = Ipet_machine.Cost
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- icache -------------------------------------------------------------- *)
+
+let small_cache = { Icache.size_bytes = 64; line_bytes = 16; miss_penalty = 8 }
+
+let test_cache_hit_after_miss () =
+  let c = Icache.create small_cache in
+  check_bool "first access misses" false (Icache.access c 0);
+  check_bool "same line hits" true (Icache.access c 4);
+  check_bool "line end hits" true (Icache.access c 15);
+  check_bool "next line misses" false (Icache.access c 16);
+  check_int "hits" 2 (Icache.hits c);
+  check_int "misses" 2 (Icache.misses c)
+
+let test_cache_conflict () =
+  let c = Icache.create small_cache in
+  (* 64-byte cache, 16-byte lines -> 4 slots; addresses 0 and 64 conflict *)
+  check_bool "miss 0" false (Icache.access c 0);
+  check_bool "conflict evicts" false (Icache.access c 64);
+  check_bool "0 evicted" false (Icache.access c 0);
+  check_bool "48 independent" false (Icache.access c 48);
+  check_bool "48 hits now" true (Icache.access c 48)
+
+let test_cache_flush () =
+  let c = Icache.create small_cache in
+  ignore (Icache.access c 0);
+  check_bool "hit before flush" true (Icache.lookup c 0);
+  Icache.flush c;
+  check_bool "miss after flush" false (Icache.lookup c 0)
+
+let test_cache_validation () =
+  check_bool "bad line size" true
+    (try ignore (Icache.create { small_cache with Icache.line_bytes = 12 }); false
+     with Invalid_argument _ -> true);
+  check_bool "bad capacity" true
+    (try ignore (Icache.create { small_cache with Icache.size_bytes = 40 }); false
+     with Invalid_argument _ -> true)
+
+let test_lines_spanned () =
+  check_int "one instr" 1 (Icache.lines_spanned small_cache ~addr:0 ~size:4);
+  check_int "full line" 1 (Icache.lines_spanned small_cache ~addr:0 ~size:16);
+  check_int "crosses boundary" 2 (Icache.lines_spanned small_cache ~addr:12 ~size:8);
+  check_int "three lines" 3 (Icache.lines_spanned small_cache ~addr:8 ~size:40);
+  check_int "empty" 0 (Icache.lines_spanned small_cache ~addr:8 ~size:0)
+
+(* --- timing / pipeline ---------------------------------------------------- *)
+
+let test_timing_orders () =
+  let add = I.Alu (I.Add, 0, I.Reg 1, I.Reg 2) in
+  let mul = I.Alu (I.Mul, 0, I.Reg 1, I.Reg 2) in
+  let div = I.Alu (I.Div, 0, I.Reg 1, I.Reg 2) in
+  let fdiv = I.Fpu (I.Fdiv, 0, I.Reg 1, I.Reg 2) in
+  check_bool "add < mul < div" true (Timing.issue add < Timing.issue mul);
+  check_bool "mul < div" true (Timing.issue mul < Timing.issue div);
+  check_bool "div <= fdiv" true (Timing.issue div <= Timing.issue fdiv)
+
+let test_term_bounds_enclose_actual () =
+  List.iter
+    (fun term ->
+      let best, worst = Timing.term_bounds term in
+      List.iter
+        (fun taken ->
+          let t = Timing.term_actual term ~taken in
+          check_bool "within bounds" true (best <= t && t <= worst))
+        [ true; false ])
+    [ I.Jump 0; I.Branch (0, 1, 2); I.Return None ]
+
+let test_load_use_stall () =
+  let load = I.Load (3, { I.base = I.Abs 0; offset = 0; index = None }) in
+  let use = I.Alu (I.Add, 4, I.Reg 3, I.Imm 1) in
+  let no_use = I.Alu (I.Add, 4, I.Reg 5, I.Imm 1) in
+  check_int "stall" Timing.load_use_stall (Pipeline.stall_after load use);
+  check_int "no stall" 0 (Pipeline.stall_after load no_use);
+  check_int "alu-alu no stall" 0 (Pipeline.stall_after use no_use);
+  check_int "block stalls" Timing.load_use_stall
+    (Pipeline.block_stalls [| load; use; no_use |])
+
+let test_load_use_through_address () =
+  (* the stall also applies when the loaded register is an address index *)
+  let load = I.Load (3, { I.base = I.Abs 0; offset = 0; index = None }) in
+  let use = I.Load (4, { I.base = I.Abs 8; offset = 0; index = Some (I.Reg 3) }) in
+  check_int "address-use stalls" Timing.load_use_stall (Pipeline.stall_after load use)
+
+(* --- cost bounds ----------------------------------------------------------- *)
+
+let block instrs term = { P.id = 0; instrs = Array.of_list instrs; term; src_line = 1 }
+
+let one_block_prog instrs term =
+  { P.funcs =
+      [| { P.name = "f"; nparams = 0; frame_words = 0;
+           blocks = [| block instrs term |] } |];
+    P.globals = [];
+    P.globals_words = 0 }
+
+let test_cost_ordering () =
+  let instrs =
+    [ I.Mov (0, I.Imm 1);
+      I.Load (1, { I.base = I.Abs 0; offset = 0; index = None });
+      I.Alu (I.Add, 2, I.Reg 1, I.Reg 0) ]
+  in
+  let prog = one_block_prog instrs (I.Branch (2, 0, 0)) in
+  let layout = Layout.make prog in
+  let costs = Cost.func_bounds Icache.i960kb layout prog.P.funcs.(0) in
+  let b = costs.(0) in
+  check_bool "best <= warm worst" true (b.Cost.best <= b.Cost.worst_warm);
+  check_bool "warm worst <= worst" true (b.Cost.worst_warm < b.Cost.worst);
+  (* difference between worst and warm worst is exactly the line fills *)
+  let lines = Icache.lines_spanned Icache.i960kb ~addr:0 ~size:(4 * 4) in
+  check_int "miss component" (lines * Icache.i960kb.Icache.miss_penalty)
+    (b.Cost.worst - b.Cost.worst_warm)
+
+let test_cost_includes_stall () =
+  let load = I.Load (1, { I.base = I.Abs 0; offset = 0; index = None }) in
+  let use = I.Alu (I.Add, 2, I.Reg 1, I.Imm 1) in
+  let prog_hazard = one_block_prog [ load; use ] (I.Return None) in
+  let prog_clean =
+    one_block_prog [ load; I.Alu (I.Add, 2, I.Reg 9, I.Imm 1) ] (I.Return None)
+  in
+  let cost p =
+    (Cost.func_bounds Icache.i960kb (Layout.make p) p.P.funcs.(0)).(0)
+  in
+  check_int "hazard adds exactly the stall" Timing.load_use_stall
+    ((cost prog_hazard).Cost.best - (cost prog_clean).Cost.best)
+
+let test_layout_addresses () =
+  let f1_block = block [ I.Mov (0, I.Imm 1) ] (I.Return None) in
+  let prog =
+    { P.funcs =
+        [| { P.name = "a"; nparams = 0; frame_words = 0; blocks = [| f1_block |] };
+           { P.name = "b"; nparams = 0; frame_words = 0; blocks = [| f1_block |] } |];
+      P.globals = [];
+      P.globals_words = 0 }
+  in
+  let layout = Layout.make prog in
+  check_int "a at 0" 0 (Layout.block_addr layout ~func:"a" ~block:0);
+  (* block 'a' has 2 instructions (mov + ret) = 8 bytes *)
+  check_int "b after a" 8 (Layout.block_addr layout ~func:"b" ~block:0);
+  check_int "code size" 16 (Layout.code_size layout);
+  check_bool "unknown func" true
+    (try ignore (Layout.func_addr layout "zzz"); false with Not_found -> true)
+
+(* property: simulated per-run cost of a straight-line block stays within
+   the analytical bounds for random instruction sequences *)
+let random_instr rng =
+  match Random.State.int rng 6 with
+  | 0 -> I.Mov (Random.State.int rng 8, I.Imm (Random.State.int rng 100))
+  | 1 -> I.Alu (I.Add, Random.State.int rng 8, I.Reg (Random.State.int rng 8), I.Imm 1)
+  | 2 -> I.Alu (I.Mul, Random.State.int rng 8, I.Reg (Random.State.int rng 8), I.Imm 3)
+  | 3 -> I.Load (Random.State.int rng 8,
+                 { I.base = I.Abs (Random.State.int rng 4); offset = 0; index = None })
+  | 4 -> I.Store (I.Reg (Random.State.int rng 8),
+                  { I.base = I.Abs (Random.State.int rng 4); offset = 0; index = None })
+  | _ -> I.Icmp (I.Clt, Random.State.int rng 8, I.Reg (Random.State.int rng 8), I.Imm 5)
+
+let prop_simulated_block_within_bounds =
+  QCheck.Test.make ~name:"simulated block cost within analytical bounds" ~count:100
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 12))
+    (fun (seed, len) ->
+      let rng = Random.State.make [| seed |] in
+      let instrs = List.init len (fun _ -> random_instr rng) in
+      let prog = one_block_prog instrs (I.Return (Some (I.Imm 0))) in
+      let prog = { prog with P.globals_words = 8 } in
+      let bounds =
+        (Cost.func_bounds Icache.i960kb (Layout.make prog) prog.P.funcs.(0)).(0)
+      in
+      let m = Ipet_sim.Interp.create prog ~init:[] in
+      Ipet_sim.Interp.flush_cache m;
+      ignore (Ipet_sim.Interp.call m "f" []);
+      let cold = Ipet_sim.Interp.cycles m in
+      Ipet_sim.Interp.reset_stats m;
+      ignore (Ipet_sim.Interp.call m "f" []);
+      let warm = Ipet_sim.Interp.cycles m in
+      bounds.Cost.best <= warm && warm <= bounds.Cost.worst_warm
+      && bounds.Cost.best <= cold && cold <= bounds.Cost.worst)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_simulated_block_within_bounds ]
+
+let suite =
+  [ ("icache hit after miss", `Quick, test_cache_hit_after_miss);
+    ("icache conflict eviction", `Quick, test_cache_conflict);
+    ("icache flush", `Quick, test_cache_flush);
+    ("icache config validation", `Quick, test_cache_validation);
+    ("lines spanned", `Quick, test_lines_spanned);
+    ("timing orders", `Quick, test_timing_orders);
+    ("terminator bounds enclose actual", `Quick, test_term_bounds_enclose_actual);
+    ("load-use stall", `Quick, test_load_use_stall);
+    ("load-use through address", `Quick, test_load_use_through_address);
+    ("cost ordering", `Quick, test_cost_ordering);
+    ("cost includes stall", `Quick, test_cost_includes_stall);
+    ("layout addresses", `Quick, test_layout_addresses) ]
+  @ props
+
+(* --- data cache -------------------------------------------------------------- *)
+
+let dcache_cfg = { Icache.size_bytes = 256; line_bytes = 16; miss_penalty = 6 }
+
+let test_dcache_enclosure () =
+  (* with the data cache enabled everywhere, the suite invariant must hold *)
+  List.iter
+    (fun name ->
+      let bench = Ipet_suite.Suite.find name in
+      let row = Ipet_suite.Experiments.run ~dcache:dcache_cfg bench in
+      let e = row.Ipet_suite.Experiments.estimated in
+      let m = row.Ipet_suite.Experiments.measured in
+      check_bool (name ^ ": measured within estimated (dcache)") true
+        (e.Ipet_suite.Experiments.lo <= m.Ipet_suite.Experiments.lo
+         && m.Ipet_suite.Experiments.hi <= e.Ipet_suite.Experiments.hi))
+    [ "check_data"; "piksrt"; "matgen" ]
+
+let test_dcache_speeds_hot_loops () =
+  (* a loop re-reading the same small array: the cached run beats the flat
+     model once warm *)
+  let src = "int buf[8];\nint f(int n) { int i; int s; s = 0; \
+             for (i = 0; i < n; i = i + 1) s = s + buf[i & 7]; return s; }"
+  in
+  let compiled = Ipet_lang.Frontend.compile_string_exn src in
+  let run dcache =
+    let m = Ipet_sim.Interp.create ?dcache compiled.Ipet_lang.Compile.prog
+        ~init:compiled.Ipet_lang.Compile.init_data
+    in
+    ignore (Ipet_sim.Interp.call m "f" [ Ipet_isa.Value.Vint 500 ]);
+    Ipet_sim.Interp.cycles m
+  in
+  let flat = run None in
+  let cached = run (Some dcache_cfg) in
+  check_bool "cached run faster on a hot array" true (cached < flat)
+
+let test_dcache_stats () =
+  let src = "int buf[64];\nint f() { int i; int s; s = 0; \
+             for (i = 0; i < 64; i = i + 1) s = s + buf[i]; return s; }"
+  in
+  let compiled = Ipet_lang.Frontend.compile_string_exn src in
+  let m = Ipet_sim.Interp.create ~dcache:dcache_cfg compiled.Ipet_lang.Compile.prog
+      ~init:compiled.Ipet_lang.Compile.init_data
+  in
+  ignore (Ipet_sim.Interp.call m "f" []);
+  (* 64 words = 256 bytes = 16 lines: one miss per line, 3 hits per line *)
+  check_int "dcache misses" 16 (Ipet_sim.Interp.dcache_misses m);
+  check_int "dcache hits" 48 (Ipet_sim.Interp.dcache_hits m)
+
+let suite =
+  suite
+  @ [ ("dcache enclosure", `Slow, test_dcache_enclosure);
+      ("dcache speeds hot loops", `Quick, test_dcache_speeds_hot_loops);
+      ("dcache stats", `Quick, test_dcache_stats) ]

@@ -1,0 +1,202 @@
+(* Unit and property tests for the bignum / rational substrate. *)
+
+module B = Ipet_num.Bigint
+module Q = Ipet_num.Rat
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+(* --- Bigint unit tests ------------------------------------------------ *)
+
+let test_of_to_int () =
+  List.iter
+    (fun i -> check_int (Printf.sprintf "roundtrip %d" i) i (B.to_int (B.of_int i)))
+    [ 0; 1; -1; 42; -42; 1 lsl 29; (1 lsl 30) - 1; 1 lsl 30; 1 lsl 31;
+      max_int; min_int; min_int + 1; 123456789012345678 ]
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> check_str ("roundtrip " ^ s) s (B.to_string (B.of_string s)))
+    [ "0"; "1"; "-1"; "99999999999999999999999999999999";
+      "-123456789123456789123456789"; "1000000000000000000000000000000" ]
+
+let test_big_arithmetic () =
+  let a = B.of_string "123456789123456789123456789" in
+  let b = B.of_string "987654321987654321" in
+  check_str "mul" "121932631356500531469135800347203169112635269"
+    (B.to_string (B.mul a b));
+  check_str "add" "123456790111111111111111110" (B.to_string (B.add a b));
+  let q, r = B.divmod a b in
+  check_bool "reconstruct" true (B.equal a (B.add (B.mul q b) r));
+  check_str "quot" "124999998" (B.to_string q)
+
+let test_divmod_signs () =
+  (* truncated division must match native semantics on small values *)
+  List.iter
+    (fun (a, b) ->
+      let q, r = B.divmod (B.of_int a) (B.of_int b) in
+      check_int (Printf.sprintf "%d quot %d" a b) (a / b) (B.to_int q);
+      check_int (Printf.sprintf "%d rem %d" a b) (a mod b) (B.to_int r))
+    [ (7, 2); (-7, 2); (7, -2); (-7, -2); (0, 5); (6, 3); (-6, 3); (1, 7) ]
+
+let test_div_by_zero () =
+  Alcotest.check_raises "divmod 0" Division_by_zero (fun () ->
+      ignore (B.divmod B.one B.zero))
+
+let test_gcd () =
+  let g a b = B.to_int (B.gcd (B.of_int a) (B.of_int b)) in
+  check_int "gcd 12 18" 6 (g 12 18);
+  check_int "gcd -12 18" 6 (g (-12) 18);
+  check_int "gcd 0 5" 5 (g 0 5);
+  check_int "gcd 0 0" 0 (g 0 0);
+  check_int "gcd 17 13" 1 (g 17 13)
+
+let test_to_int_overflow () =
+  let huge = B.of_string "99999999999999999999999999999999" in
+  check_bool "overflow detected" true (B.to_int_opt huge = None);
+  check_bool "max_int fits" true (B.to_int_opt (B.of_int max_int) = Some max_int)
+
+(* --- Bigint properties ------------------------------------------------ *)
+
+let small = QCheck.int_range (-1_000_000_000) 1_000_000_000
+
+let prop_add_matches_int =
+  QCheck.Test.make ~name:"bigint add = int add" ~count:500
+    (QCheck.pair small small)
+    (fun (a, b) -> B.to_int (B.add (B.of_int a) (B.of_int b)) = a + b)
+
+let prop_mul_matches_int =
+  QCheck.Test.make ~name:"bigint mul = int mul" ~count:500
+    (QCheck.pair small small)
+    (fun (a, b) -> B.to_int (B.mul (B.of_int a) (B.of_int b)) = a * b)
+
+let prop_divmod_matches_int =
+  QCheck.Test.make ~name:"bigint divmod = int divmod" ~count:500
+    (QCheck.pair small small)
+    (fun (a, b) ->
+      QCheck.assume (b <> 0);
+      let q, r = B.divmod (B.of_int a) (B.of_int b) in
+      B.to_int q = a / b && B.to_int r = a mod b)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"bigint string roundtrip" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 8) small)
+    (fun xs ->
+      (* build a large number as a polynomial in 10^9 to exercise carries *)
+      let big =
+        List.fold_left
+          (fun acc x -> B.add (B.mul acc (B.of_int 1_000_000_000)) (B.of_int x))
+          B.zero xs
+      in
+      B.equal big (B.of_string (B.to_string big)))
+
+let prop_mul_div_roundtrip =
+  QCheck.Test.make ~name:"(a*b)/b = a for big operands" ~count:200
+    (QCheck.pair (QCheck.pair small small) (QCheck.pair small small))
+    (fun ((a1, a2), (b1, b2)) ->
+      let big x y = B.add (B.mul (B.of_int x) (B.of_string "1000000000000000000000")) (B.of_int y) in
+      let a = big a1 a2 and b = big b1 b2 in
+      QCheck.assume (not (B.is_zero b));
+      let q, r = B.divmod (B.mul a b) b in
+      B.equal q a && B.is_zero r)
+
+let prop_compare_total =
+  QCheck.Test.make ~name:"bigint compare matches int compare" ~count:500
+    (QCheck.pair small small)
+    (fun (a, b) -> compare a b = B.compare (B.of_int a) (B.of_int b))
+
+(* --- Rat unit tests ---------------------------------------------------- *)
+
+let q = Q.of_ints
+
+let test_rat_normalization () =
+  check_str "6/4 = 3/2" "3/2" (Q.to_string (q 6 4));
+  check_str "-6/-4 = 3/2" "3/2" (Q.to_string (q (-6) (-4)));
+  check_str "6/-4 = -3/2" "-3/2" (Q.to_string (q 6 (-4)));
+  check_str "0/7 = 0" "0" (Q.to_string (q 0 7));
+  check_str "8/4 = 2" "2" (Q.to_string (q 8 4))
+
+let test_rat_arith () =
+  check_bool "1/2 + 1/3 = 5/6" true Q.(equal (add (q 1 2) (q 1 3)) (q 5 6));
+  check_bool "1/2 * 2/3 = 1/3" true Q.(equal (mul (q 1 2) (q 2 3)) (q 1 3));
+  check_bool "(1/2) / (3/4) = 2/3" true Q.(equal (div (q 1 2) (q 3 4)) (q 2 3));
+  check_bool "1/2 - 1/2 = 0" true (Q.is_zero (Q.sub (q 1 2) (q 1 2)))
+
+let test_rat_floor_ceil () =
+  let fl a b = B.to_int (Q.floor (q a b)) and ce a b = B.to_int (Q.ceil (q a b)) in
+  check_int "floor 7/2" 3 (fl 7 2);
+  check_int "ceil 7/2" 4 (ce 7 2);
+  check_int "floor -7/2" (-4) (fl (-7) 2);
+  check_int "ceil -7/2" (-3) (ce (-7) 2);
+  check_int "floor 6/2" 3 (fl 6 2);
+  check_int "ceil 6/2" 3 (ce 6 2)
+
+let test_rat_of_string () =
+  check_bool "3/4" true (Q.equal (Q.of_string "3/4") (q 3 4));
+  check_bool "-3/4" true (Q.equal (Q.of_string "-3/4") (q (-3) 4));
+  check_bool "2.5" true (Q.equal (Q.of_string "2.5") (q 5 2));
+  check_bool "-0.25" true (Q.equal (Q.of_string "-0.25") (q (-1) 4));
+  check_bool "42" true (Q.equal (Q.of_string "42") (Q.of_int 42))
+
+let test_rat_compare () =
+  check_bool "1/3 < 1/2" true (Q.compare (q 1 3) (q 1 2) < 0);
+  check_bool "-1/2 < 1/3" true (Q.compare (q (-1) 2) (q 1 3) < 0);
+  check_bool "min" true (Q.equal (Q.min (q 1 3) (q 1 2)) (q 1 3));
+  check_bool "max" true (Q.equal (Q.max (q 1 3) (q 1 2)) (q 1 2))
+
+(* --- Rat properties ---------------------------------------------------- *)
+
+let rat_gen =
+  QCheck.map
+    (fun (n, d) -> Q.of_ints n (if d = 0 then 1 else d))
+    (QCheck.pair (QCheck.int_range (-10000) 10000) (QCheck.int_range (-100) 100))
+
+let prop_rat_add_assoc =
+  QCheck.Test.make ~name:"rat add associative" ~count:300
+    (QCheck.triple rat_gen rat_gen rat_gen)
+    (fun (a, b, c) -> Q.equal (Q.add (Q.add a b) c) (Q.add a (Q.add b c)))
+
+let prop_rat_mul_distrib =
+  QCheck.Test.make ~name:"rat mul distributes over add" ~count:300
+    (QCheck.triple rat_gen rat_gen rat_gen)
+    (fun (a, b, c) ->
+      Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)))
+
+let prop_rat_inverse =
+  QCheck.Test.make ~name:"rat a * (1/a) = 1" ~count:300 rat_gen
+    (fun a ->
+      QCheck.assume (not (Q.is_zero a));
+      Q.equal (Q.mul a (Q.inv a)) Q.one)
+
+let prop_rat_floor_le =
+  QCheck.Test.make ~name:"floor <= x <= ceil, within 1" ~count:300 rat_gen
+    (fun a ->
+      let fl = Q.of_bigint (Q.floor a) and ce = Q.of_bigint (Q.ceil a) in
+      Q.compare fl a <= 0 && Q.compare a ce <= 0
+      && Q.compare (Q.sub ce fl) Q.one <= 0)
+
+let prop_rat_string_roundtrip =
+  QCheck.Test.make ~name:"rat string roundtrip" ~count:300 rat_gen
+    (fun a -> Q.equal a (Q.of_string (Q.to_string a)))
+
+let props = List.map QCheck_alcotest.to_alcotest
+    [ prop_add_matches_int; prop_mul_matches_int; prop_divmod_matches_int;
+      prop_string_roundtrip; prop_mul_div_roundtrip; prop_compare_total;
+      prop_rat_add_assoc; prop_rat_mul_distrib; prop_rat_inverse;
+      prop_rat_floor_le; prop_rat_string_roundtrip ]
+
+let suite =
+  [ ("bigint int roundtrip", `Quick, test_of_to_int);
+    ("bigint string roundtrip", `Quick, test_string_roundtrip);
+    ("bigint big arithmetic", `Quick, test_big_arithmetic);
+    ("bigint divmod signs", `Quick, test_divmod_signs);
+    ("bigint division by zero", `Quick, test_div_by_zero);
+    ("bigint gcd", `Quick, test_gcd);
+    ("bigint to_int overflow", `Quick, test_to_int_overflow);
+    ("rat normalization", `Quick, test_rat_normalization);
+    ("rat arithmetic", `Quick, test_rat_arith);
+    ("rat floor/ceil", `Quick, test_rat_floor_ceil);
+    ("rat of_string", `Quick, test_rat_of_string);
+    ("rat compare/min/max", `Quick, test_rat_compare) ]
+  @ props

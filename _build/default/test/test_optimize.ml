@@ -1,0 +1,208 @@
+(* Optimizer and liveness tests: the passes must preserve semantics while
+   shrinking the instruction stream, and the IPET analysis of optimized
+   code must stay sound. *)
+
+module Frontend = Ipet_lang.Frontend
+module Compile = Ipet_lang.Compile
+module Optimize = Ipet_lang.Optimize
+module Interp = Ipet_sim.Interp
+module P = Ipet_isa.Prog
+module I = Ipet_isa.Instr
+module V = Ipet_isa.Value
+module Liveness = Ipet_cfg.Liveness
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let instr_count (f : P.func) =
+  Array.fold_left (fun acc (b : P.block) -> acc + Array.length b.P.instrs) 0 f.P.blocks
+
+let compile_pair src =
+  let plain = Frontend.compile_string_exn src in
+  let optimized = Frontend.compile_string_exn ~optimize:true src in
+  (plain, optimized)
+
+let run_f compiled args =
+  let m =
+    Interp.create compiled.Compile.prog ~init:compiled.Compile.init_data
+  in
+  let result = Interp.call m "f" (List.map (fun i -> V.Vint i) args) in
+  (result, Interp.instructions m)
+
+(* --- liveness ------------------------------------------------------------- *)
+
+let test_liveness_basic () =
+  let compiled =
+    Frontend.compile_string_exn
+      "int f(int a) { int b; int c; b = a + 1; c = b * 2; return c; }"
+  in
+  let func = P.find_func compiled.Compile.prog "f" in
+  let live = Liveness.compute func in
+  (* parameter (r0) is live at entry; nothing is live at exit *)
+  check_bool "param live at entry" true (List.mem 0 (Liveness.live_in live ~block:0));
+  check_int "nothing live out of the returning block" 0
+    (List.length (Liveness.live_out live ~block:(Array.length func.P.blocks - 1)))
+
+let test_liveness_across_loop () =
+  let compiled =
+    Frontend.compile_string_exn
+      "int f(int n) { int i; int s; s = 0; \
+       for (i = 0; i < n; i = i + 1) s = s + n; return s; }"
+  in
+  let func = P.find_func compiled.Compile.prog "f" in
+  let live = Liveness.compute func in
+  (* n (r0) is used inside the loop, so it is live into the loop header *)
+  let cfg = Ipet_cfg.Cfg.of_func func in
+  let dom = Ipet_cfg.Dominators.compute cfg in
+  let l = List.hd (Ipet_cfg.Loops.detect cfg dom) in
+  check_bool "n live at loop header" true
+    (List.mem 0 (Liveness.live_in live ~block:l.Ipet_cfg.Loops.header))
+
+(* --- individual passes ------------------------------------------------------ *)
+
+let test_constant_folding () =
+  let compiled =
+    Frontend.compile_string_exn "int f() { int a; int b; a = 6; b = a * 7; return b; }"
+  in
+  let func = Optimize.func (P.find_func compiled.Compile.prog "f") in
+  (* everything folds away to [return 42] (or a mov of it) *)
+  check_bool "folded small" true (instr_count func <= 1);
+  let has_mul =
+    Array.exists
+      (fun (b : P.block) ->
+        Array.exists
+          (function I.Alu (I.Mul, _, _, _) -> true | _ -> false)
+          b.P.instrs)
+      func.P.blocks
+  in
+  check_bool "multiply folded" false has_mul
+
+let test_branch_simplification_prunes () =
+  let compiled =
+    Frontend.compile_string_exn
+      "int f() { if (1 < 2) return 10; return 20; }"
+  in
+  let func = Optimize.func (P.find_func compiled.Compile.prog "f") in
+  check_int "single block remains" 1 (Array.length func.P.blocks)
+
+let test_dce_keeps_effects () =
+  let compiled =
+    Frontend.compile_string_exn
+      "int g;\n\
+       void effect(int v) { g = v; }\n\
+       int f(int a) { int dead; dead = a * 3; effect(7); return a; }"
+  in
+  let func = Optimize.func (P.find_func compiled.Compile.prog "f") in
+  let calls =
+    Array.fold_left
+      (fun acc (b : P.block) -> acc + List.length (P.calls_of_block b))
+      0 func.P.blocks
+  in
+  check_int "call kept" 1 calls;
+  let has_mul =
+    Array.exists
+      (fun (b : P.block) ->
+        Array.exists
+          (function I.Alu (I.Mul, _, _, _) -> true | _ -> false)
+          b.P.instrs)
+      func.P.blocks
+  in
+  check_bool "dead multiply removed" false has_mul
+
+let test_division_by_zero_not_folded () =
+  (* 1/0 must not be folded away or crash the optimizer *)
+  let compiled =
+    Frontend.compile_string_exn "int f() { int a; a = 0; return 1 / a; }"
+  in
+  let func = Optimize.func (P.find_func compiled.Compile.prog "f") in
+  let has_div =
+    Array.exists
+      (fun (b : P.block) ->
+        Array.exists
+          (function I.Alu (I.Div, _, _, _) -> true | _ -> false)
+          b.P.instrs)
+      func.P.blocks
+  in
+  check_bool "division preserved" true has_div
+
+(* --- end-to-end semantics ---------------------------------------------------- *)
+
+let sample_programs =
+  [ "int f(int a) { int s; int i; s = 0; \
+     for (i = 0; i < 10; i = i + 1) { s = s + a * 2; } return s; }";
+    "int g;\nint f(int a) { g = 2 * 3; if (g > a) return g; return a; }";
+    "int buf[8];\nint f(int a) { int i; \
+     for (i = 0; i < 8; i = i + 1) buf[i] = i * i; return buf[a & 7]; }";
+    "int f(int a) { int x; int y; x = 5; y = x; x = y + a; return x - y; }" ]
+
+let test_optimized_semantics_preserved () =
+  List.iter
+    (fun src ->
+      let plain, optimized = compile_pair src in
+      List.iter
+        (fun arg ->
+          let r1, n1 = run_f plain [ arg ] in
+          let r2, n2 = run_f optimized [ arg ] in
+          check_bool "same result" true
+            (match (r1, r2) with
+             | Some a, Some b -> V.equal a b
+             | None, None -> true
+             | Some _, None | None, Some _ -> false);
+          check_bool "not slower (instructions)" true (n2 <= n1))
+        [ 0; 1; 7; -3 ])
+    sample_programs
+
+let prop_optimizer_preserves_semantics =
+  QCheck.Test.make ~name:"optimizer preserves semantics on random programs"
+    ~count:60
+    QCheck.(pair (int_bound 1_000_000) (int_range (-4) 12))
+    (fun (seed, arg) ->
+      let src = Test_cfg.random_program_src seed in
+      let plain, optimized = compile_pair src in
+      let r1, n1 = run_f plain [ arg ] in
+      let r2, n2 = run_f optimized [ arg ] in
+      (match (r1, r2) with
+       | Some a, Some b -> V.equal a b
+       | None, None -> true
+       | Some _, None | None, Some _ -> false)
+      && n2 <= n1)
+
+let test_analysis_of_optimized_code_sound () =
+  (* the analysis consumes the optimized program and must still enclose its
+     simulated times *)
+  let src =
+    "int f(int a) { int s; int i; s = 0;\n\
+     for (i = 0; i < 12; i = i + 1) {\n\
+     if (a > i) s = s + 2 * 3; else s = s + 1; }\n\
+     return s; }"
+  in
+  let optimized = Frontend.compile_string_exn ~optimize:true src in
+  let ast, _ = Frontend.parse_and_check src in
+  let loop_bounds = Ipet.Autobound.infer ast in
+  let result =
+    Ipet.Analysis.analyze
+      (Ipet.Analysis.spec optimized.Compile.prog ~root:"f" ~loop_bounds)
+  in
+  List.iter
+    (fun arg ->
+      let m = Interp.create optimized.Compile.prog ~init:optimized.Compile.init_data in
+      Interp.flush_cache m;
+      ignore (Interp.call m "f" [ V.Vint arg ]);
+      let t = Interp.cycles m in
+      check_bool "bound holds on optimized code" true
+        (result.Ipet.Analysis.bcet.Ipet.Analysis.cycles <= t
+         && t <= result.Ipet.Analysis.wcet.Ipet.Analysis.cycles))
+    [ 0; 6; 15 ]
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_optimizer_preserves_semantics ]
+
+let suite =
+  [ ("liveness basics", `Quick, test_liveness_basic);
+    ("liveness across loop", `Quick, test_liveness_across_loop);
+    ("constant folding", `Quick, test_constant_folding);
+    ("branch simplification prunes", `Quick, test_branch_simplification_prunes);
+    ("dce keeps effects", `Quick, test_dce_keeps_effects);
+    ("division by zero not folded", `Quick, test_division_by_zero_not_folded);
+    ("optimized semantics preserved", `Quick, test_optimized_semantics_preserved);
+    ("analysis of optimized code sound", `Quick, test_analysis_of_optimized_code_sound) ]
+  @ props

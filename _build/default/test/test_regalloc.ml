@@ -1,0 +1,145 @@
+(* Register allocator tests: register-file bound respected, semantics
+   preserved (including on random programs), and the expected spill traffic
+   appears. *)
+
+module Frontend = Ipet_lang.Frontend
+module Compile = Ipet_lang.Compile
+module Regalloc = Ipet_lang.Regalloc
+module Interp = Ipet_sim.Interp
+module P = Ipet_isa.Prog
+module I = Ipet_isa.Instr
+module V = Ipet_isa.Value
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let heavy_src = {|int buf[16];
+
+int f(int a, int b) {
+  int c; int d; int e; int g; int h; int i; int j; int k;
+  c = a + b;
+  d = c * 2;
+  e = d - a;
+  g = e + c;
+  h = g * d;
+  i = h - e;
+  j = i + g;
+  k = j * 2 + h - i + c * d - e + g;
+  buf[a & 15] = k;
+  return k + buf[b & 15];
+}
+|}
+
+let run compiled fname args =
+  let m = Interp.create compiled.Compile.prog ~init:compiled.Compile.init_data in
+  let r = Interp.call m fname (List.map (fun i -> V.Vint i) args) in
+  (r, Interp.instructions m)
+
+let test_bound_respected () =
+  let compiled = Frontend.compile_string_exn ~registers:10 heavy_src in
+  let f = P.find_func compiled.Compile.prog "f" in
+  check_bool "max reg < 10" true (Regalloc.max_reg f < 10);
+  check_bool "frame grew for spills" true (f.P.frame_words > 0)
+
+let test_noop_when_fits () =
+  let src = "int f(int a) { return a + 1; }" in
+  let plain = Frontend.compile_string_exn src in
+  let alloc = Frontend.compile_string_exn ~registers:16 src in
+  let count c =
+    let f = P.find_func c.Compile.prog "f" in
+    Array.fold_left (fun acc (b : P.block) -> acc + Array.length b.P.instrs) 0 f.P.blocks
+  in
+  check_int "unchanged when under budget" (count plain) (count alloc)
+
+let test_semantics_preserved () =
+  let plain = Frontend.compile_string_exn heavy_src in
+  let alloc = Frontend.compile_string_exn ~registers:10 heavy_src in
+  List.iter
+    (fun (a, b) ->
+      let r1, n1 = run plain "f" [ a; b ] in
+      let r2, n2 = run alloc "f" [ a; b ] in
+      check_bool "same result" true
+        (match (r1, r2) with
+         | Some x, Some y -> V.equal x y
+         | _ -> false);
+      check_bool "spill traffic costs instructions" true (n2 > n1))
+    [ (1, 2); (0, 0); (-7, 31); (100, 3) ]
+
+let test_too_small_rejected () =
+  check_bool "raises" true
+    (try ignore (Frontend.compile_string_exn ~registers:3 heavy_src); false
+     with Failure _ | Invalid_argument _ -> true)
+
+let test_spills_are_loads_and_stores () =
+  let compiled = Frontend.compile_string_exn ~registers:10 heavy_src in
+  let f = P.find_func compiled.Compile.prog "f" in
+  let frame_ops =
+    Array.fold_left
+      (fun acc (b : P.block) ->
+        Array.fold_left
+          (fun acc instr ->
+            match instr with
+            | I.Load (_, { I.base = I.Frame_base; _ })
+            | I.Store (_, { I.base = I.Frame_base; _ }) -> acc + 1
+            | I.Load _ | I.Store _ | I.Alu _ | I.Fpu _ | I.Icmp _ | I.Fcmp _
+            | I.Mov _ | I.Itof _ | I.Ftoi _ | I.Call _ -> acc)
+          acc b.P.instrs)
+      0 f.P.blocks
+  in
+  check_bool "spill code present" true (frame_ops > 4)
+
+let prop_regalloc_preserves_semantics =
+  QCheck.Test.make ~name:"regalloc preserves semantics on random programs"
+    ~count:60
+    QCheck.(triple (int_bound 1_000_000) (int_range (-4) 12) (int_range 8 14))
+    (fun (seed, arg, nregs) ->
+      let src = Test_cfg.random_program_src seed in
+      let plain = Frontend.compile_string_exn src in
+      match Frontend.compile_string ~registers:nregs src with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok alloc ->
+        let f = P.find_func alloc.Compile.prog "f" in
+        let r1, _ = run plain "f" [ arg ] in
+        let r2, _ = run alloc "f" [ arg ] in
+        Regalloc.max_reg f < nregs
+        && (match (r1, r2) with
+            | Some x, Some y -> V.equal x y
+            | None, None -> true
+            | Some _, None | None, Some _ -> false))
+
+let test_analysis_on_allocated_code () =
+  (* the whole pipeline composes: optimize, allocate, analyze, simulate *)
+  let src =
+    "int f(int a) { int s; int i; s = a;\n\
+     for (i = 0; i < 20; i = i + 1) {\n\
+     s = s * 3 + i - a; s = s - s / 2; }\n\
+     return s; }"
+  in
+  let compiled = Frontend.compile_string_exn ~optimize:true ~registers:8 src in
+  let ast, _ = Frontend.parse_and_check src in
+  let loop_bounds = Ipet.Autobound.infer ast in
+  let result =
+    Ipet.Analysis.analyze
+      (Ipet.Analysis.spec compiled.Compile.prog ~root:"f" ~loop_bounds)
+  in
+  List.iter
+    (fun arg ->
+      let m = Interp.create compiled.Compile.prog ~init:compiled.Compile.init_data in
+      Interp.flush_cache m;
+      ignore (Interp.call m "f" [ V.Vint arg ]);
+      let t = Interp.cycles m in
+      check_bool "bound holds on allocated code" true
+        (result.Ipet.Analysis.bcet.Ipet.Analysis.cycles <= t
+         && t <= result.Ipet.Analysis.wcet.Ipet.Analysis.cycles))
+    [ 0; 5; -9 ]
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_regalloc_preserves_semantics ]
+
+let suite =
+  [ ("register bound respected", `Quick, test_bound_respected);
+    ("no-op when program fits", `Quick, test_noop_when_fits);
+    ("semantics preserved", `Quick, test_semantics_preserved);
+    ("too-small file rejected", `Quick, test_too_small_rejected);
+    ("spill code present", `Quick, test_spills_are_loads_and_stores);
+    ("analysis on allocated code", `Quick, test_analysis_on_allocated_code) ]
+  @ props

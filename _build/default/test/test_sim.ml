@@ -1,0 +1,277 @@
+(* End-to-end simulator tests: compile MC programs and execute them. *)
+
+module Frontend = Ipet_lang.Frontend
+module Compile = Ipet_lang.Compile
+module Interp = Ipet_sim.Interp
+module V = Ipet_isa.Value
+module Icache = Ipet_machine.Icache
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let machine ?cache src =
+  let compiled = Frontend.compile_string_exn src in
+  Interp.create ?cache compiled.Compile.prog ~init:compiled.Compile.init_data
+
+let run_int ?cache src fname args =
+  let m = machine ?cache src in
+  match Interp.call m fname (List.map (fun i -> V.Vint i) args) with
+  | Some (V.Vint i) -> (i, m)
+  | Some (V.Vfloat _) -> Alcotest.fail "expected an int result"
+  | None -> Alcotest.fail "expected a result"
+
+let test_arith () =
+  let r, _ = run_int "int f(int a, int b) { return a * b + a % b - (a / b); }"
+      "f" [ 17; 5 ] in
+  check_int "17*5+17%5-17/5" (85 + 2 - 3) r
+
+let test_fib () =
+  let src = "int fib(int n) { int a; int b; int i; int t; a = 0; b = 1; \
+             for (i = 0; i < n; i = i + 1) { t = a + b; a = b; b = t; } return a; }" in
+  let r, _ = run_int src "fib" [ 10 ] in
+  check_int "fib 10" 55 r
+
+let test_float_math () =
+  let src = "float avg(int n) { float s; int i; s = 0.0; \
+             for (i = 1; i <= n; i = i + 1) s = s + i; return s / n; }" in
+  let m = machine src in
+  match Interp.call m "avg" [ V.Vint 10 ] with
+  | Some (V.Vfloat f) -> check_bool "avg 1..10 = 5.5" true (Float.equal f 5.5)
+  | Some (V.Vint _) | None -> Alcotest.fail "expected float"
+
+let test_arrays_and_globals () =
+  let src = {|
+    int data[8];
+    int sum;
+    void fill(int n) {
+      int i;
+      for (i = 0; i < n; i = i + 1) data[i] = i * i;
+    }
+    void total(int n) {
+      int i;
+      sum = 0;
+      for (i = 0; i < n; i = i + 1) sum = sum + data[i];
+    }
+  |} in
+  let m = machine src in
+  ignore (Interp.call m "fill" [ V.Vint 8 ]);
+  ignore (Interp.call m "total" [ V.Vint 8 ]);
+  check_int "sum of squares" 140 (V.as_int (Interp.read_global m "sum" 0));
+  check_int "data[3]" 9 (V.as_int (Interp.read_global m "data" 3))
+
+let test_local_arrays () =
+  let src = {|
+    int rev3(int a, int b, int c) {
+      int t[3];
+      t[0] = a; t[1] = b; t[2] = c;
+      return t[2] * 100 + t[1] * 10 + t[0];
+    }
+  |} in
+  let r, _ = run_int src "rev3" [ 1; 2; 3 ] in
+  check_int "reversed digits" 321 r
+
+let test_global_initializers () =
+  let src = {|
+    int lut[5] = { 10, 20, 30, 40, 50 };
+    float pi = 3.25;
+    int get(int i) { return lut[i]; }
+  |} in
+  let m = machine src in
+  check_int "lut[2]" 30
+    (match Interp.call m "get" [ V.Vint 2 ] with
+     | Some (V.Vint i) -> i
+     | _ -> -1);
+  check_bool "float global" true
+    (Float.equal (V.as_float (Interp.read_global m "pi" 0)) 3.25)
+
+let test_short_circuit_semantics () =
+  (* b() must not run when a() is false: a() would trap on division by zero
+     if evaluation were eager *)
+  let src = {|
+    int safe(int x) {
+      if (x != 0 && 100 / x > 5) return 1;
+      return 0;
+    }
+  |} in
+  let r, _ = run_int src "safe" [ 0 ] in
+  check_int "short circuit avoids division by zero" 0 r;
+  let r, _ = run_int src "safe" [ 10 ] in
+  check_int "10 -> 100/10=10>5" 1 r
+
+let test_break_continue () =
+  let src = {|
+    int f(int n) {
+      int i;
+      int s;
+      s = 0;
+      for (i = 0; i < n; i = i + 1) {
+        if (i == 3) continue;
+        if (i == 7) break;
+        s = s + i;
+      }
+      return s;
+    }
+  |} in
+  let r, _ = run_int src "f" [ 100 ] in
+  check_int "0+1+2+4+5+6" 18 r
+
+let test_calls_and_recursion_free () =
+  let src = {|
+    int square(int x) { return x * x; }
+    int sumsq(int n) {
+      int i; int s;
+      s = 0;
+      for (i = 1; i <= n; i = i + 1) s = s + square(i);
+      return s;
+    }
+  |} in
+  let r, m = run_int src "sumsq" [ 4 ] in
+  check_int "1+4+9+16" 30 r;
+  (* f-edge execution count: square called once per iteration *)
+  let f = Ipet_isa.Prog.find_func (Interp.program m) "sumsq" in
+  let body_with_call =
+    Array.to_list f.Ipet_isa.Prog.blocks
+    |> List.find (fun b -> Ipet_isa.Prog.calls_of_block b <> [])
+  in
+  check_int "call count" 4
+    (Interp.call_count m ~caller:"sumsq" ~block:body_with_call.Ipet_isa.Prog.id
+       ~occurrence:0)
+
+let test_counters_match_semantics () =
+  let src = "int f(int n) { int i; int s; s = 0; \
+             while (i < n) { i = i + 1; s = s + i; } return s; }" in
+  (* note: i starts uninitialized = 0 in our semantics *)
+  let _, m = run_int src "f" [ 5 ] in
+  let counts = Interp.block_counts m in
+  (* header runs n+1 times, body n times *)
+  let f = Ipet_isa.Prog.find_func (Interp.program m) "f" in
+  let header =
+    (* block with a Branch terminator *)
+    Array.to_list f.Ipet_isa.Prog.blocks
+    |> List.find (fun (b : Ipet_isa.Prog.block) ->
+      match b.Ipet_isa.Prog.term with
+      | Ipet_isa.Instr.Branch _ -> true
+      | _ -> false)
+  in
+  check_int "header count" 6
+    (Interp.block_count m ~func:"f" ~block:header.Ipet_isa.Prog.id);
+  check_bool "entry executed once" true
+    (List.assoc ("f", 0) counts = 1)
+
+let test_division_by_zero_traps () =
+  check_bool "trap" true
+    (try ignore (run_int "int f(int a) { return 1 / a; }" "f" [ 0 ]); false
+     with Interp.Runtime_error _ -> true)
+
+let test_out_of_fuel () =
+  let src = "int f() { while (1) { } return 0; }" in
+  let compiled = Frontend.compile_string_exn src in
+  let m = Interp.create ~fuel:1000 compiled.Compile.prog ~init:[] in
+  check_bool "infinite loop detected" true
+    (try ignore (Interp.call m "f" []); false with Interp.Out_of_fuel -> true)
+
+let test_cycle_accounting () =
+  let src = "int f(int n) { int i; int s; s = 0; \
+             for (i = 0; i < n; i = i + 1) s = s + i; return s; }" in
+  let _, m = run_int src "f" [ 100 ] in
+  let cycles = Interp.cycles m in
+  let instrs = Interp.instructions m in
+  check_bool "cycles >= instructions" true (cycles >= instrs);
+  check_bool "ran hundreds of instructions" true (instrs > 400);
+  (* a tiny loop fits in the cache: mostly hits after the first iteration *)
+  check_bool "warm loop mostly hits" true
+    (Interp.cache_hits m > 10 * Interp.cache_misses m)
+
+let test_cold_vs_warm_cache () =
+  let src = "int f(int n) { int i; int s; s = 0; \
+             for (i = 0; i < n; i = i + 1) s = s + i; return s; }" in
+  let compiled = Frontend.compile_string_exn src in
+  let m = Interp.create compiled.Compile.prog ~init:compiled.Compile.init_data in
+  ignore (Interp.call m "f" [ V.Vint 50 ]);
+  let cold = Interp.cycles m in
+  Interp.reset_stats m;  (* keep cache contents *)
+  ignore (Interp.call m "f" [ V.Vint 50 ]);
+  let warm = Interp.cycles m in
+  check_bool "warm run is faster" true (warm < cold)
+
+let test_flush_cache_restores_cold () =
+  let src = "int f(int n) { int i; int s; s = 0; \
+             for (i = 0; i < n; i = i + 1) s = s + i; return s; }" in
+  let compiled = Frontend.compile_string_exn src in
+  let m = Interp.create compiled.Compile.prog ~init:compiled.Compile.init_data in
+  ignore (Interp.call m "f" [ V.Vint 50 ]);
+  let cold1 = Interp.cycles m in
+  Interp.reset_stats m;
+  Interp.flush_cache m;
+  ignore (Interp.call m "f" [ V.Vint 50 ]);
+  let cold2 = Interp.cycles m in
+  check_int "flushed run repeats cold timing" cold1 cold2
+
+let suite =
+  [ ("integer arithmetic", `Quick, test_arith);
+    ("fibonacci loop", `Quick, test_fib);
+    ("float math", `Quick, test_float_math);
+    ("global arrays", `Quick, test_arrays_and_globals);
+    ("local arrays", `Quick, test_local_arrays);
+    ("global initializers", `Quick, test_global_initializers);
+    ("short-circuit semantics", `Quick, test_short_circuit_semantics);
+    ("break and continue", `Quick, test_break_continue);
+    ("function calls and f-edges", `Quick, test_calls_and_recursion_free);
+    ("block counters", `Quick, test_counters_match_semantics);
+    ("division by zero traps", `Quick, test_division_by_zero_traps);
+    ("out of fuel", `Quick, test_out_of_fuel);
+    ("cycle accounting sanity", `Quick, test_cycle_accounting);
+    ("cold vs warm cache", `Quick, test_cold_vs_warm_cache);
+    ("flush restores cold timing", `Quick, test_flush_cache_restores_cold) ]
+
+(* --- tracing and profiling ---------------------------------------------- *)
+
+module Trace = Ipet_sim.Trace
+
+let test_trace_events () =
+  let src = "int f(int n) { int i; int s; s = 0; \
+             for (i = 0; i < n; i = i + 1) s = s + i; return s; }" in
+  let compiled = Frontend.compile_string_exn src in
+  let m = Interp.create compiled.Compile.prog ~init:compiled.Compile.init_data in
+  let _, events = Trace.record m (fun () -> Interp.call m "f" [ V.Vint 5 ]) in
+  (* every block execution produced exactly one event *)
+  let total_counts =
+    List.fold_left (fun acc (_, c) -> acc + c) 0 (Interp.block_counts m)
+  in
+  check_int "one event per block execution" total_counts (List.length events);
+  (* timestamps are non-decreasing *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+      a.Trace.at_cycle <= b.Trace.at_cycle && monotone rest
+    | [ _ ] | [] -> true
+  in
+  check_bool "monotone timestamps" true (monotone events)
+
+let test_profile_accounts_all_cycles () =
+  let src = {|
+    int helper(int x) { int i; int s; s = 0;
+      for (i = 0; i < 50; i = i + 1) s = s + x;
+      return s; }
+    int f(int n) { return helper(n) + helper(n + 1); }
+  |} in
+  let compiled = Frontend.compile_string_exn src in
+  let m = Interp.create compiled.Compile.prog ~init:compiled.Compile.init_data in
+  let _, rows = Trace.profile m (fun () -> Interp.call m "f" [ V.Vint 2 ]) in
+  let attributed = List.fold_left (fun acc r -> acc + r.Trace.cycles) 0 rows in
+  check_int "all cycles attributed" (Interp.cycles m) attributed;
+  (* the helper's loop dominates the profile *)
+  (match Trace.by_function rows with
+   | (hottest, _) :: _ -> check_bool "helper is hottest" true (hottest = "helper")
+   | [] -> Alcotest.fail "empty profile");
+  (* rendering does not raise and mentions the hot function *)
+  let text = Format.asprintf "%a" Trace.pp_profile rows in
+  check_bool "render mentions helper" true
+    (let nn = String.length "helper" in
+     let rec go i = i + nn <= String.length text
+                    && (String.sub text i nn = "helper" || go (i + 1)) in
+     go 0)
+
+let suite =
+  suite
+  @ [ ("trace events", `Quick, test_trace_events);
+      ("profile accounts all cycles", `Quick, test_profile_accounts_all_cycles) ]

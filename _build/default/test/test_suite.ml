@@ -1,0 +1,88 @@
+(* Per-benchmark integration tests: every Table I routine compiles,
+   analyzes, and satisfies the paper's enclosure invariants:
+     estimated.lo <= calculated.lo <= measured.lo
+                 <= measured.hi <= calculated.hi <= estimated.hi *)
+
+module E = Ipet_suite.Experiments
+module Bspec = Ipet_suite.Bspec
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let rows : (string, E.row) Hashtbl.t = Hashtbl.create 16
+
+let row name =
+  match Hashtbl.find_opt rows name with
+  | Some r -> r
+  | None ->
+    let r = E.run (Ipet_suite.Suite.find name) in
+    Hashtbl.replace rows name r;
+    r
+
+let paper_benchmarks =
+  List.map (fun (b : Bspec.t) -> b.Bspec.name) Ipet_suite.Suite.all
+
+let assert_invariants name =
+  let r = row name in
+  let e = r.E.estimated and c = r.E.calculated and m = r.E.measured in
+  check_bool (Printf.sprintf "%s: estimated.lo <= calculated.lo (%d <= %d)" name
+                e.E.lo c.E.lo) true (e.E.lo <= c.E.lo);
+  check_bool (Printf.sprintf "%s: calculated.hi <= estimated.hi (%d <= %d)" name
+                c.E.hi e.E.hi) true (c.E.hi <= e.E.hi);
+  check_bool (Printf.sprintf "%s: measured.lo within calculated (%d <= %d)" name
+                c.E.lo m.E.lo) true (c.E.lo <= m.E.lo);
+  check_bool (Printf.sprintf "%s: measured.hi within calculated (%d <= %d)" name
+                m.E.hi c.E.hi) true (m.E.hi <= c.E.hi);
+  check_bool (Printf.sprintf "%s: measured.lo <= measured.hi" name) true
+    (m.E.lo <= m.E.hi);
+  (* the Section VI first-LP-integral observation is the paper's, about its
+     own benchmark set; extended benchmarks may legitimately branch (ludcmp's
+     triangular-loop constraints do) *)
+  if List.mem name paper_benchmarks then
+    check_bool (name ^ ": first LP integral (paper section VI)") true
+      r.E.all_first_lp_integral
+
+let invariant_test name = (name, `Slow, fun () -> assert_invariants name)
+
+(* path analysis must be exact (pessimism 0.00) for these, as in Table II *)
+let assert_exact name =
+  let r = row name in
+  let plo, phi = E.pessimism ~estimated:r.E.estimated ~reference:r.E.calculated in
+  check_bool (Printf.sprintf "%s: lower pessimism %.4f < 0.005" name plo) true
+    (plo < 0.005);
+  check_bool (Printf.sprintf "%s: upper pessimism %.4f < 0.005" name phi) true
+    (phi < 0.005)
+
+let exact_test name = (name ^ " path-exact", `Slow, fun () -> assert_exact name)
+
+let test_dhry_pruning () =
+  let r = row "dhry" in
+  check_int "8 sets before pruning" 8 r.E.sets_total;
+  check_int "5 pruned" 5 r.E.sets_pruned
+
+let test_check_data_sets () =
+  let r = row "check_data" in
+  check_int "2 sets" 2 r.E.sets_total
+
+let test_all_benchmarks_present () =
+  check_int "13 benchmarks" 13 (List.length Ipet_suite.Suite.all);
+  check_int "8 extended benchmarks" 8 (List.length Ipet_suite.Suite.extended);
+  List.iter
+    (fun (b : Bspec.t) ->
+      check_bool (b.Bspec.name ^ " has worst data") true (b.Bspec.worst_data <> []);
+      check_bool (b.Bspec.name ^ " has best data") true (b.Bspec.best_data <> []))
+    (Ipet_suite.Suite.all @ Ipet_suite.Suite.extended)
+
+let exact_names =
+  (* Table II reports [0.00, 0.00] for these *)
+  [ "check_data"; "piksrt"; "line"; "jpeg_fdct_islow"; "jpeg_idct_islow";
+    "recon"; "fullsearch"; "whetstone"; "dhry"; "matgen"; "des" ]
+
+let suite =
+  [ ("13 benchmarks present", `Quick, test_all_benchmarks_present) ]
+  @ List.map invariant_test
+      (List.map (fun (b : Bspec.t) -> b.Bspec.name)
+         (Ipet_suite.Suite.all @ Ipet_suite.Suite.extended))
+  @ List.map exact_test exact_names
+  @ [ ("dhry 8->3 pruning", `Slow, test_dhry_pruning);
+      ("check_data 2 sets", `Slow, test_check_data_sets) ]
