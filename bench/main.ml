@@ -410,6 +410,75 @@ let ablation_compile () =
     \  optimizer shrinks both the WCET and the measured time, while an
     \  8-register file adds spill traffic that both numbers track."
 
+(* --- machine-readable perf snapshot ------------------------------------- *)
+
+(* Writes BENCH_ipet.json: per-benchmark wall time of the full analysis with
+   and without presolve, LP calls, and the presolve variable/constraint
+   reductions (WCET and BCET stats summed) — a perf trajectory future
+   changes can be compared against. *)
+let json () =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let entries =
+    List.map
+      (fun (bench : Bspec.t) ->
+        let spec = Bspec.spec bench in
+        let run presolve =
+          time (fun () ->
+            Analysis.analyze { spec with Analysis.presolve })
+        in
+        let with_pre, t_pre = run true in
+        let _, t_plain = run false in
+        let sum f =
+          f with_pre.Analysis.wcet_stats + f with_pre.Analysis.bcet_stats
+        in
+        let vars_before = sum (fun s -> s.Analysis.presolve_vars_before) in
+        let vars_after = sum (fun s -> s.Analysis.presolve_vars_after) in
+        let reduction =
+          if vars_before = 0 then 0.0
+          else float_of_int (vars_before - vars_after) /. float_of_int vars_before
+        in
+        ( bench.Bspec.name,
+          Printf.sprintf
+            "    { \"name\": %S, \"wall_s_presolve\": %.4f, \
+             \"wall_s_no_presolve\": %.4f, \"lp_calls\": %d, \
+             \"vars_before\": %d, \"vars_after\": %d, \
+             \"constrs_before\": %d, \"constrs_after\": %d, \
+             \"var_reduction\": %.3f }"
+            bench.Bspec.name t_pre t_plain
+            (sum (fun s -> s.Analysis.lp_calls))
+            vars_before vars_after
+            (sum (fun s -> s.Analysis.presolve_constrs_before))
+            (sum (fun s -> s.Analysis.presolve_constrs_after))
+            reduction,
+          reduction, t_pre, t_plain ))
+      Ipet_suite.Suite.all
+  in
+  let reductions =
+    List.sort compare (List.map (fun (_, _, r, _, _) -> r) entries)
+  in
+  let median = List.nth reductions (List.length reductions / 2) in
+  let total f = List.fold_left (fun acc e -> acc +. f e) 0.0 entries in
+  let out =
+    Printf.sprintf
+      "{\n  \"suite\": \"ipet\",\n  \"benchmarks\": [\n%s\n  ],\n  \
+       \"median_var_reduction\": %.3f,\n  \"total_wall_s_presolve\": %.4f,\n  \
+       \"total_wall_s_no_presolve\": %.4f\n}\n"
+      (String.concat ",\n" (List.map (fun (_, j, _, _, _) -> j) entries))
+      median
+      (total (fun (_, _, _, t, _) -> t))
+      (total (fun (_, _, _, _, t) -> t))
+  in
+  let oc = open_out "BENCH_ipet.json" in
+  output_string oc out;
+  close_out oc;
+  Printf.printf "wrote BENCH_ipet.json (%d benchmarks, median variable \
+                 reduction %.0f%%)\n"
+    (List.length entries) (100.0 *. median)
+
 (* --- bechamel micro-benchmarks ------------------------------------------ *)
 
 let bechamel () =
@@ -464,7 +533,7 @@ let usage () =
   print_endline
     "usage: main.exe \
      [fig1|..|fig6|table1|table2|table3|stats|ablation-cache|ablation-refine|\
-      bechamel|all]"
+      bechamel|json|all]"
 
 let rec run_target = function
   | "fig1" -> fig1 ()
@@ -482,6 +551,7 @@ let rec run_target = function
   | "ablation-compile" -> ablation_compile ()
   | "ablation-dcache" -> ablation_dcache ()
   | "table-extra" -> table_extra ()
+  | "json" -> json ()
   | "bechamel" -> bechamel ()
   | "all" ->
     List.iter run_target

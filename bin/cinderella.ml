@@ -50,7 +50,7 @@ let load_program path =
 (* --- analyze ------------------------------------------------------------- *)
 
 let analyze_cmd source_path annot_path root_flag cache_size line_size
-    miss_penalty verbose auto_bounds dump_lp sensitivity =
+    miss_penalty verbose auto_bounds dump_lp sensitivity no_presolve lp_stats =
   let src, compiled = load_program source_path in
   let annotations =
     match annot_path with
@@ -99,7 +99,7 @@ let analyze_cmd source_path annot_path root_flag cache_size line_size
     else []
   in
   let spec =
-    Ipet.Analysis.spec ~cache
+    Ipet.Analysis.spec ~cache ~presolve:(not no_presolve)
       ~loop_bounds:(annotations.Ipet.Constraint_parser.loop_bounds @ inferred)
       ~functional:annotations.Ipet.Constraint_parser.functional ~root prog
   in
@@ -125,6 +125,10 @@ let analyze_cmd source_path annot_path root_flag cache_size line_size
   | result ->
     print_newline ();
     print_string (Ipet.Report.bound_summary result);
+    if lp_stats then begin
+      print_newline ();
+      print_string (Ipet.Report.lp_stats result)
+    end;
     if sensitivity then begin
       print_endline "\nWCET sensitivity to loop bounds (hi reduced by 1):";
       List.iter
@@ -308,10 +312,21 @@ let sensitivity_arg =
        & info [ "sensitivity" ]
            ~doc:"Report how much each loop bound contributes to the WCET.")
 
+let no_presolve_arg =
+  Arg.(value & flag
+       & info [ "no-presolve" ]
+           ~doc:"Hand the ILPs to the solver without presolve reductions.")
+
+let lp_stats_arg =
+  Arg.(value & flag
+       & info [ "lp-stats" ]
+           ~doc:"Print detailed solver statistics (LP calls, presolve \
+                 variable/constraint reductions).")
+
 let analyze_term =
   Term.(const analyze_cmd $ source_arg $ annot_arg $ root_arg $ cache_size_arg
         $ line_size_arg $ miss_penalty_arg $ verbose_arg $ auto_bounds_arg
-        $ dump_lp_arg $ sensitivity_arg)
+        $ dump_lp_arg $ sensitivity_arg $ no_presolve_arg $ lp_stats_arg)
 
 let analyze =
   Cmd.v

@@ -19,11 +19,13 @@ type spec = {
   loop_bounds : Annotation.t list;
   functional : Functional.t list;
   first_miss_refinement : bool;
+  presolve : bool;
 }
 
 let spec ?(cache = Icache.i960kb) ?dcache ?(loop_bounds = []) ?(functional = [])
-    ?(first_miss_refinement = false) ~root prog =
-  { prog; root; cache; dcache; loop_bounds; functional; first_miss_refinement }
+    ?(first_miss_refinement = false) ?(presolve = true) ~root prog =
+  { prog; root; cache; dcache; loop_bounds; functional; first_miss_refinement;
+    presolve }
 
 type solver_stats = {
   sets_total : int;
@@ -32,6 +34,11 @@ type solver_stats = {
   sets_infeasible : int;
   lp_calls : int;
   all_first_lp_integral : bool;
+  presolve_vars_before : int;
+  presolve_vars_after : int;
+  presolve_constrs_before : int;
+  presolve_constrs_after : int;
+  presolve_rounds : int;
 }
 
 type extreme = {
@@ -220,6 +227,25 @@ let binding_constraints constraints assignment =
     constraints
   |> List.sort_uniq compare
 
+(* A canonical optimal witness: re-solve the winning ILP restricted to its
+   optimal face (objective pinned to the optimal value) with a fixed
+   pipeline. Optima of these flow systems are often degenerate — symmetric
+   branches of equal cost admit several optimal vertices — and which one a
+   simplex run lands on depends on incidental pivoting order. The face
+   re-solve makes the reported witness a function of the problem and its
+   optimal value only, so block counts are identical however the optimum
+   was found (in particular, with and without presolve). *)
+let canonical_witness problem value fallback =
+  let face =
+    Lp.make problem.Lp.direction problem.Lp.objective
+      (problem.Lp.constraints
+       @ [ Lp.eq ~origin:"optimal-face" problem.Lp.objective
+             (L.const value) ])
+  in
+  match Ilp.solve ~presolve:true face with
+  | Ilp.Optimal { assignment; _ } -> assignment
+  | Ilp.Infeasible _ | Ilp.Unbounded _ -> fallback
+
 let solve_extreme spec insts base_constraints sets ~direction ~select =
   let obj =
     if spec.first_miss_refinement && direction = Lp.Maximize then
@@ -236,6 +262,24 @@ let solve_extreme spec insts base_constraints sets ~direction ~select =
   let infeasible = ref 0 in
   let all_first = ref true in
   let solved = ref 0 in
+  let pv_before = ref 0 and pv_after = ref 0 in
+  let pc_before = ref 0 and pc_after = ref 0 in
+  let p_rounds = ref 0 in
+  let record_presolve problem (stats : Ilp.stats) =
+    match stats.Ilp.presolve with
+    | Some p ->
+      pv_before := !pv_before + p.Ipet_lp.Presolve.vars_before;
+      pv_after := !pv_after + p.Ipet_lp.Presolve.vars_after;
+      pc_before := !pc_before + p.Ipet_lp.Presolve.constrs_before;
+      pc_after := !pc_after + p.Ipet_lp.Presolve.constrs_after;
+      p_rounds := !p_rounds + p.Ipet_lp.Presolve.rounds
+    | None ->
+      let nv = Lp.num_variables problem and nc = Lp.num_constraints problem in
+      pv_before := !pv_before + nv;
+      pv_after := !pv_after + nv;
+      pc_before := !pc_before + nc;
+      pc_after := !pc_after + nc
+  in
   List.iter
     (fun set ->
       let set_constraints =
@@ -246,15 +290,18 @@ let solve_extreme spec insts base_constraints sets ~direction ~select =
       let all_constraints = set_constraints @ base_constraints in
       let problem = Lp.make direction obj all_constraints in
       incr solved;
-      match Ilp.solve problem with
+      match Ilp.solve ~presolve:spec.presolve problem with
       | Ilp.Optimal { value; assignment; stats } ->
         lp_calls := !lp_calls + stats.Ilp.lp_calls;
+        record_presolve problem stats;
         if not stats.Ilp.first_lp_integral then all_first := false;
         (match !best with
-         | Some (v, _, _) when not (better value v) -> ()
-         | Some _ | None -> best := Some (value, assignment, all_constraints))
+         | Some (v, _, _, _) when not (better value v) -> ()
+         | Some _ | None ->
+           best := Some (value, assignment, all_constraints, problem))
       | Ilp.Infeasible stats ->
         lp_calls := !lp_calls + stats.Ilp.lp_calls;
+        record_presolve problem stats;
         incr infeasible
       | Ilp.Unbounded _ ->
         fail
@@ -264,14 +311,20 @@ let solve_extreme spec insts base_constraints sets ~direction ~select =
     sets;
   match !best with
   | None -> fail "every functionality constraint set is infeasible"
-  | Some (value, assignment, constraints) ->
+  | Some (value, assignment, constraints, problem) ->
+    let assignment = canonical_witness problem value assignment in
     let stats =
       { sets_total = 0;  (* filled by caller *)
         sets_pruned = 0;
         sets_solved = !solved;
         sets_infeasible = !infeasible;
         lp_calls = !lp_calls;
-        all_first_lp_integral = !all_first }
+        all_first_lp_integral = !all_first;
+        presolve_vars_before = !pv_before;
+        presolve_vars_after = !pv_after;
+        presolve_constrs_before = !pc_before;
+        presolve_constrs_after = !pc_after;
+        presolve_rounds = !p_rounds }
     in
     ( { cycles = Rat.to_int value;
         counts = counts_of_assignment insts assignment;
@@ -300,11 +353,14 @@ let prepare spec =
   if sets = [] then fail "all %d functionality constraint sets are null" total;
   (insts, structural @ loop_cs, sets, total, pruned)
 
-let wcet_problems spec =
+let problems spec ~direction =
   let insts, base, sets, _, _ = prepare spec in
   let obj =
-    if spec.first_miss_refinement then refined_wcet_objective spec insts
-    else objective spec insts ~select:(fun b -> b.Cost.worst)
+    match direction with
+    | Lp.Maximize ->
+      if spec.first_miss_refinement then refined_wcet_objective spec insts
+      else objective spec insts ~select:(fun b -> b.Cost.worst)
+    | Lp.Minimize -> objective spec insts ~select:(fun b -> b.Cost.best)
   in
   List.map
     (fun set ->
@@ -313,8 +369,11 @@ let wcet_problems spec =
           (fun atom -> Functional.atom_to_constr spec.prog insts ~root:spec.root atom)
           set
       in
-      Lp.make Lp.Maximize obj (cs @ base))
+      Lp.make direction obj (cs @ base))
     sets
+
+let wcet_problems spec = problems spec ~direction:Lp.Maximize
+let bcet_problems spec = problems spec ~direction:Lp.Minimize
 
 let analyze spec =
   let insts, base, sets, total, pruned = prepare spec in

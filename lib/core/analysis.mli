@@ -33,6 +33,10 @@ type spec = {
           and it makes no calls), charge each block its all-hit worst cost
           per execution plus one full line fill per {e loop entry} instead
           of per iteration. Off by default (the paper's baseline model). *)
+  presolve : bool;
+      (** run {!Ipet_lp.Presolve} on every ILP before the branch and bound
+          (on by default); semantics-preserving, only affects solve time
+          and the reduction statistics *)
 }
 
 val spec :
@@ -41,6 +45,7 @@ val spec :
   ?loop_bounds:Annotation.t list ->
   ?functional:Functional.t list ->
   ?first_miss_refinement:bool ->
+  ?presolve:bool ->
   root:string ->
   Ipet_isa.Prog.t ->
   spec
@@ -53,13 +58,25 @@ type solver_stats = {
   lp_calls : int;        (** total LP relaxations over all ILPs *)
   all_first_lp_integral : bool;
       (** the paper's observation: every first relaxation was integral *)
+  presolve_vars_before : int;
+      (** ILP variables handed to presolve, summed over the solved sets;
+          when presolve is disabled, the raw problem sizes (and the
+          [_after] fields repeat them) *)
+  presolve_vars_after : int;   (** variables left for the simplex *)
+  presolve_constrs_before : int;
+  presolve_constrs_after : int;
+  presolve_rounds : int;       (** total presolve fixpoint rounds *)
 }
 
 type extreme = {
   cycles : int;
   counts : ((string * int) * int) list;
       (** witness execution counts per (function, block), aggregated over
-          instances; zero counts omitted *)
+          instances; zero counts omitted. The witness is canonical: the
+          winning ILP is re-solved on its optimal face with a fixed
+          pipeline, so among alternate optima the reported counts depend
+          only on the problem and the extreme value — not on solver
+          configuration such as {!spec.presolve} *)
   binding : string list;
       (** origins of the inequality constraints that are tight at the
           optimum — the loop bounds and path facts that determine this
@@ -106,6 +123,9 @@ val wcet_problems : spec -> Ipet_lp.Lp_problem.t list
 (** The complete ILPs the WCET computation solves, one per surviving
     conjunctive constraint set — exportable with {!Ipet_lp.Lp_format}.
     @raise Analysis_error under the same conditions as {!analyze}. *)
+
+val bcet_problems : spec -> Ipet_lp.Lp_problem.t list
+(** The minimization counterparts of {!wcet_problems}. *)
 
 val block_costs : spec -> func:string -> Ipet_machine.Cost.bounds array
 (** Per-block cost bounds used for the objective. *)

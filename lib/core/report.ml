@@ -58,4 +58,39 @@ let bound_summary (r : Analysis.result) =
   Buffer.add_string buf
     (Printf.sprintf "LP calls: %d; first relaxation integral in every ILP: %b\n"
        s.Analysis.lp_calls s.Analysis.all_first_lp_integral);
+  if s.Analysis.presolve_vars_before > s.Analysis.presolve_vars_after then
+    Buffer.add_string buf
+      (Printf.sprintf "presolve: %d -> %d variables, %d -> %d constraints\n"
+         s.Analysis.presolve_vars_before s.Analysis.presolve_vars_after
+         s.Analysis.presolve_constrs_before s.Analysis.presolve_constrs_after);
+  Buffer.contents buf
+
+let lp_stats (r : Analysis.result) =
+  let buf = Buffer.create 256 in
+  let pct before after =
+    if before = 0 then 0.0
+    else 100.0 *. float_of_int (before - after) /. float_of_int before
+  in
+  let section name (s : Analysis.solver_stats) =
+    Buffer.add_string buf (Printf.sprintf "%s solver:\n" name);
+    Buffer.add_string buf
+      (Printf.sprintf "  ILPs solved:    %d (%d infeasible)\n"
+         s.Analysis.sets_solved s.Analysis.sets_infeasible);
+    Buffer.add_string buf
+      (Printf.sprintf "  LP calls:       %d (first relaxation integral: %b)\n"
+         s.Analysis.lp_calls s.Analysis.all_first_lp_integral);
+    Buffer.add_string buf
+      (Printf.sprintf "  variables:      %d -> %d  (-%.0f%%)\n"
+         s.Analysis.presolve_vars_before s.Analysis.presolve_vars_after
+         (pct s.Analysis.presolve_vars_before s.Analysis.presolve_vars_after));
+    Buffer.add_string buf
+      (Printf.sprintf "  constraints:    %d -> %d  (-%.0f%%)\n"
+         s.Analysis.presolve_constrs_before s.Analysis.presolve_constrs_after
+         (pct s.Analysis.presolve_constrs_before
+            s.Analysis.presolve_constrs_after));
+    Buffer.add_string buf
+      (Printf.sprintf "  presolve rounds: %d\n" s.Analysis.presolve_rounds)
+  in
+  section "WCET" r.Analysis.wcet_stats;
+  section "BCET" r.Analysis.bcet_stats;
   Buffer.contents buf

@@ -12,3 +12,8 @@ val constraints_listing : Ipet_lp.Lp_problem.constr list -> string
 val bound_summary :
   Analysis.result -> string
 (** Human-readable estimated bound, witness counts and solver statistics. *)
+
+val lp_stats : Analysis.result -> string
+(** Detailed solver statistics for both extremes: ILPs and LP relaxations
+    solved, and the presolve variable/constraint reductions
+    (cinderella's [--lp-stats]). *)

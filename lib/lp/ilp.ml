@@ -3,11 +3,21 @@
    relaxation. Pruning uses the incumbent: for maximization a node whose
    relaxation value is <= the incumbent objective cannot improve it (the
    objective need not be integral in general, so we prune on <=, not on
-   floor). *)
+   floor).
+
+   By default the problem first goes through {!Presolve}, which eliminates
+   the variables pinned down by flow-conservation equalities and tightens
+   the rest; the branch and bound then runs on the reduced problem and the
+   winning assignment is mapped back through the postsolve closure. *)
 
 open Ipet_num
 
-type stats = { lp_calls : int; nodes : int; first_lp_integral : bool }
+type stats = {
+  lp_calls : int;
+  nodes : int;
+  first_lp_integral : bool;
+  presolve : Presolve.stats option;
+}
 
 type result =
   | Optimal of { value : Rat.t; assignment : (string * Rat.t) list; stats : stats }
@@ -23,7 +33,7 @@ let fractional_var assignment =
   in
   go assignment
 
-let solve ?(max_nodes = 100_000) problem =
+let solve_raw ~max_nodes problem =
   let maximize = problem.Lp_problem.direction = Lp_problem.Maximize in
   (* normalize to maximization so that bounding logic is uniform *)
   let base = { problem with
@@ -31,6 +41,9 @@ let solve ?(max_nodes = 100_000) problem =
                objective = (if maximize then problem.Lp_problem.objective
                             else Linexpr.neg problem.Lp_problem.objective) }
   in
+  (* branch constraints only mention existing variables, so one sort-dedup
+     serves every node's LP *)
+  let vars = Lp_problem.variables base in
   let lp_calls = ref 0 in
   let nodes = ref 0 in
   let first_lp_integral = ref false in
@@ -41,7 +54,8 @@ let solve ?(max_nodes = 100_000) problem =
     | Some (best, _) -> Rat.compare value best > 0
   in
   let stats () =
-    { lp_calls = !lp_calls; nodes = !nodes; first_lp_integral = !first_lp_integral }
+    { lp_calls = !lp_calls; nodes = !nodes;
+      first_lp_integral = !first_lp_integral; presolve = None }
   in
   let unbounded = ref false in
   let rec explore extra depth =
@@ -53,7 +67,7 @@ let solve ?(max_nodes = 100_000) problem =
       let node_problem =
         { base with Lp_problem.constraints = extra @ base.Lp_problem.constraints }
       in
-      match Simplex.solve node_problem with
+      match Simplex.solve ~vars node_problem with
       | Simplex.Infeasible -> ()
       | Simplex.Unbounded ->
         (* The relaxation being unbounded at the root means the ILP is
@@ -87,3 +101,21 @@ let solve ?(max_nodes = 100_000) problem =
     | Some (value, assignment) ->
       let value = if maximize then value else Rat.neg value in
       Optimal { value; assignment; stats = stats () }
+
+let solve ?(max_nodes = 100_000) ?(presolve = true) problem =
+  if not presolve then solve_raw ~max_nodes problem
+  else
+    match Presolve.run ~integer:true problem with
+    | Presolve.Proved_infeasible { stats; reason = _ } ->
+      Infeasible
+        { lp_calls = 0; nodes = 0; first_lp_integral = false;
+          presolve = Some stats }
+    | Presolve.Reduced { problem = reduced; postsolve; stats = pstats } ->
+      (match solve_raw ~max_nodes reduced with
+       | Optimal { value; assignment; stats } ->
+         Optimal
+           { value;
+             assignment = postsolve assignment;
+             stats = { stats with presolve = Some pstats } }
+       | Infeasible stats -> Infeasible { stats with presolve = Some pstats }
+       | Unbounded stats -> Unbounded { stats with presolve = Some pstats })

@@ -4,7 +4,13 @@
     statistics the paper reports in Section VI: how many LP relaxations were
     solved and whether the very first relaxation was already integral (which
     the paper observed to always be the case in practice for IPET
-    problems). *)
+    problems).
+
+    Unless disabled, every problem is first reduced by {!Presolve}: flow
+    equalities are eliminated by substitution, bounds are propagated, and
+    redundant rows dropped, after which the branch and bound runs on the
+    (much smaller) residual problem. The reported assignment is always over
+    the original variables. *)
 
 open Ipet_num
 
@@ -13,6 +19,8 @@ type stats = {
   nodes : int;             (** branch-and-bound nodes explored *)
   first_lp_integral : bool;
       (** the root relaxation was already integer-valued *)
+  presolve : Presolve.stats option;
+      (** reduction statistics; [None] when presolve was disabled *)
 }
 
 type result =
@@ -26,7 +34,10 @@ type result =
 
 exception Node_limit_exceeded
 
-val solve : ?max_nodes:int -> Lp_problem.t -> result
+val solve : ?max_nodes:int -> ?presolve:bool -> Lp_problem.t -> result
 (** [solve problem] maximizes or minimizes the objective over non-negative
-    integer assignments. [max_nodes] (default [100_000]) bounds the search.
+    integer assignments. [max_nodes] (default [100_000]) bounds the search;
+    [presolve] (default [true]) runs {!Presolve.run} first. The optimal
+    value, and the witness assignment modulo alternative optima, do not
+    depend on [presolve].
     @raise Node_limit_exceeded if the bound is hit. *)

@@ -19,16 +19,22 @@ type t = {
 
 let make direction objective constraints = { direction; objective; constraints }
 
-let variables problem =
+module Names = Set.Make (String)
+
+let variable_set problem =
   let add_vars expr acc =
-    List.fold_left (fun acc v -> v :: acc) acc (Linexpr.vars expr)
+    Linexpr.fold_terms (fun v _ acc -> Names.add v acc) expr acc
   in
-  let all =
-    List.fold_left
-      (fun acc c -> add_vars c.expr acc)
-      (add_vars problem.objective []) problem.constraints
-  in
-  List.sort_uniq String.compare all
+  List.fold_left
+    (fun acc c -> add_vars c.expr acc)
+    (add_vars problem.objective Names.empty)
+    problem.constraints
+
+let variables problem = Names.elements (variable_set problem)
+
+let num_variables problem = Names.cardinal (variable_set problem)
+
+let num_constraints problem = List.length problem.constraints
 
 let satisfies env c =
   let v = Linexpr.eval env c.expr in

@@ -32,8 +32,19 @@ type t = {
 
 val make : direction -> Linexpr.t -> constr list -> t
 
+module Names : Set.S with type elt = string
+
+val variable_set : t -> Names.t
+(** Every variable mentioned in the objective or a constraint. Built in one
+    pass; prefer this (or pass {!variables} down explicitly, as
+    {!Ilp.solve} does for its per-node LPs) over calling {!variables}
+    repeatedly in hot paths. *)
+
 val variables : t -> string list
 (** All variables mentioned anywhere, sorted, without duplicates. *)
+
+val num_variables : t -> int
+val num_constraints : t -> int
 
 val satisfies : (string -> Rat.t) -> constr -> bool
 (** Does the assignment satisfy the constraint? *)

@@ -1,0 +1,554 @@
+(* Fixpoint presolve over exact rationals.
+
+   Rows are normalized to [expr <= 0] / [expr = 0] (Ge rows are negated on
+   intake). Three bound stores drive the reductions: explicit bounds come
+   from singleton rows that were folded away (and are re-emitted on output,
+   so dropping their rows never loses information), implied bounds come
+   from propagation over multi-variable rows (valid consequences, used for
+   forcing, fixing and infeasibility detection but never to justify
+   dropping a row — that asymmetry is what makes removal safe), and the
+   implicit [x >= 0] of every variable.
+
+   Variable elimination records definitions most-recent-first; postsolve
+   replays them in that order, so a definition may freely mention variables
+   that were eliminated later. *)
+
+open Ipet_num
+
+type stats = {
+  vars_before : int;
+  vars_after : int;
+  constrs_before : int;
+  constrs_after : int;
+  rounds : int;
+  substituted : int;
+  fixed : int;
+}
+
+type reduction = {
+  problem : Lp_problem.t;
+  postsolve : (string * Rat.t) list -> (string * Rat.t) list;
+  stats : stats;
+}
+
+type outcome =
+  | Reduced of reduction
+  | Proved_infeasible of { stats : stats; reason : string }
+
+exception Infeasible of string
+
+let max_rounds = 20
+let max_def_terms = 64
+
+type row = {
+  mutable expr : Linexpr.t;
+  rel : Lp_problem.relation;  (* Le or Eq; never Ge *)
+  origin : string;
+  idx : int;  (* intake position, for order-preserving emission *)
+  mutable live : bool;
+}
+
+type state = {
+  integer : bool;
+  mutable rows : row list;  (* in original order; killed rows keep their slot *)
+  mutable objective : Linexpr.t;
+  mutable defs : (string * Linexpr.t) list;  (* most recent first *)
+  exp_ub : (string, Rat.t * string * int) Hashtbl.t;
+  exp_lb : (string, Rat.t * string * int) Hashtbl.t;  (* always > 0 *)
+  imp_ub : (string, Rat.t) Hashtbl.t;
+  imp_lb : (string, Rat.t) Hashtbl.t;
+  mutable changed : bool;
+  mutable substituted : int;
+  mutable fixed : int;
+}
+
+let round_down st b = if st.integer then Rat.of_bigint (Rat.floor b) else b
+let round_up st b = if st.integer then Rat.of_bigint (Rat.ceil b) else b
+
+(* --- bounds -------------------------------------------------------------- *)
+
+let eff_lb st v =
+  let l =
+    match Hashtbl.find_opt st.exp_lb v with
+    | Some (x, _, _) -> x
+    | None -> Rat.zero
+  in
+  match Hashtbl.find_opt st.imp_lb v with Some x -> Rat.max l x | None -> l
+
+let eff_ub st v =
+  let meet a b = match a with None -> Some b | Some x -> Some (Rat.min x b) in
+  let u =
+    match Hashtbl.find_opt st.exp_ub v with
+    | Some (x, _, _) -> Some x
+    | None -> None
+  in
+  match Hashtbl.find_opt st.imp_ub v with Some x -> meet u x | None -> u
+
+(* bounds safe for redundancy checks: only what the output re-emits *)
+let safe_lb st v =
+  match Hashtbl.find_opt st.exp_lb v with Some (x, _, _) -> x | None -> Rat.zero
+
+let safe_ub st v =
+  match Hashtbl.find_opt st.exp_ub v with Some (x, _, _) -> Some x | None -> None
+
+let term_count e = Linexpr.fold_terms (fun _ _ n -> n + 1) e 0
+
+let integral_expr e =
+  Rat.is_integer (Linexpr.constant e)
+  && Linexpr.fold_terms (fun _ c ok -> ok && Rat.is_integer c) e true
+
+(* --- substitution -------------------------------------------------------- *)
+
+let subst_expr expr v e =
+  let c = Linexpr.coeff expr v in
+  if Rat.is_zero c then expr
+  else Linexpr.add expr (Linexpr.scale c (Linexpr.sub e (Linexpr.var v)))
+
+let substitute st v e =
+  st.defs <- (v, e) :: st.defs;
+  Hashtbl.remove st.exp_ub v;
+  Hashtbl.remove st.exp_lb v;
+  Hashtbl.remove st.imp_ub v;
+  Hashtbl.remove st.imp_lb v;
+  st.objective <- subst_expr st.objective v e;
+  List.iter (fun r -> if r.live then r.expr <- subst_expr r.expr v e) st.rows;
+  st.changed <- true
+
+let fix st v value ~why =
+  if st.integer && not (Rat.is_integer value) then
+    raise
+      (Infeasible
+         (Printf.sprintf "%s fixes %s to the fractional value %s" why v
+            (Rat.to_string value)));
+  if Rat.sign value < 0 then
+    raise (Infeasible (Printf.sprintf "%s fixes %s to a negative value" why v));
+  if Rat.compare value (eff_lb st v) < 0 then
+    raise (Infeasible (Printf.sprintf "%s fixes %s below its lower bound" why v));
+  (match eff_ub st v with
+   | Some u when Rat.compare value u > 0 ->
+     raise (Infeasible (Printf.sprintf "%s fixes %s above its upper bound" why v))
+   | Some _ | None -> ());
+  substitute st v (Linexpr.const value);
+  st.fixed <- st.fixed + 1
+
+(* after a bound update: detect conflicts and pinch-fixed variables *)
+let check_bounds st v ~why =
+  match eff_ub st v with
+  | None -> ()
+  | Some u ->
+    let l = eff_lb st v in
+    let c = Rat.compare u l in
+    if c < 0 then
+      raise
+        (Infeasible (Printf.sprintf "%s leaves %s with an empty range" why v))
+    else if c = 0 then fix st v l ~why
+
+let tighten_exp_ub st v b ~origin ~idx =
+  let b = round_down st b in
+  (match Hashtbl.find_opt st.exp_ub v with
+   | Some (cur, _, _) when Rat.compare cur b <= 0 -> ()
+   | Some _ | None ->
+     Hashtbl.replace st.exp_ub v (b, origin, idx);
+     st.changed <- true);
+  check_bounds st v ~why:origin
+
+let tighten_exp_lb st v b ~origin ~idx =
+  let b = round_up st b in
+  if Rat.sign b > 0 then begin
+    (match Hashtbl.find_opt st.exp_lb v with
+     | Some (cur, _, _) when Rat.compare cur b >= 0 -> ()
+     | Some _ | None ->
+       Hashtbl.replace st.exp_lb v (b, origin, idx);
+       st.changed <- true);
+    check_bounds st v ~why:origin
+  end
+
+let tighten_imp_ub st v b ~why =
+  let b = round_down st b in
+  let improves = match eff_ub st v with
+    | None -> true
+    | Some cur -> Rat.compare b cur < 0
+  in
+  if improves then begin
+    Hashtbl.replace st.imp_ub v b;
+    st.changed <- true;
+    check_bounds st v ~why
+  end
+
+let tighten_imp_lb st v b ~why =
+  let b = round_up st b in
+  if Rat.compare b (eff_lb st v) > 0 then begin
+    Hashtbl.replace st.imp_lb v b;
+    st.changed <- true;
+    check_bounds st v ~why
+  end
+
+(* --- activities ---------------------------------------------------------- *)
+
+(* min/max of [expr] over the box given by the bound accessors; [None] is
+   the corresponding infinity *)
+let min_activity lbf ubf expr =
+  Linexpr.fold_terms
+    (fun v c acc ->
+      match acc with
+      | None -> None
+      | Some s ->
+        if Rat.sign c > 0 then Some (Rat.add s (Rat.mul c (lbf v)))
+        else (
+          match ubf v with
+          | None -> None
+          | Some u -> Some (Rat.add s (Rat.mul c u))))
+    expr
+    (Some (Linexpr.constant expr))
+
+let max_activity lbf ubf expr =
+  Linexpr.fold_terms
+    (fun v c acc ->
+      match acc with
+      | None -> None
+      | Some s ->
+        if Rat.sign c < 0 then Some (Rat.add s (Rat.mul c (lbf v)))
+        else (
+          match ubf v with
+          | None -> None
+          | Some u -> Some (Rat.add s (Rat.mul c u))))
+    expr
+    (Some (Linexpr.constant expr))
+
+(* --- row processing ------------------------------------------------------ *)
+
+let kill st r =
+  r.live <- false;
+  st.changed <- true
+
+(* [expr <= 0] forces every variable to its min-side bound *)
+let force_min st r =
+  let pins =
+    Linexpr.fold_terms
+      (fun v c acc ->
+        let value =
+          if Rat.sign c > 0 then eff_lb st v
+          else match eff_ub st v with Some u -> u | None -> assert false
+        in
+        (v, value) :: acc)
+      r.expr []
+  in
+  kill st r;
+  List.iter (fun (v, value) -> fix st v value ~why:("forcing row " ^ r.origin)) pins
+
+let force_max st r =
+  let pins =
+    Linexpr.fold_terms
+      (fun v c acc ->
+        let value =
+          if Rat.sign c < 0 then eff_lb st v
+          else match eff_ub st v with Some u -> u | None -> assert false
+        in
+        (v, value) :: acc)
+      r.expr []
+  in
+  kill st r;
+  List.iter (fun (v, value) -> fix st v value ~why:("forcing row " ^ r.origin)) pins
+
+(* propagate one direction of [expr <= 0] into implied bounds *)
+let propagate_le st origin expr =
+  let inf = ref 0 and sum_fin = ref (Linexpr.constant expr) in
+  Linexpr.fold_terms
+    (fun v c () ->
+      if Rat.sign c > 0 then sum_fin := Rat.add !sum_fin (Rat.mul c (eff_lb st v))
+      else
+        match eff_ub st v with
+        | Some u -> sum_fin := Rat.add !sum_fin (Rat.mul c u)
+        | None -> incr inf)
+    expr ();
+  Linexpr.fold_terms
+    (fun v c () ->
+      let contrib =
+        if Rat.sign c > 0 then Some (Rat.mul c (eff_lb st v))
+        else
+          match eff_ub st v with
+          | Some u -> Some (Rat.mul c u)
+          | None -> None
+      in
+      let residual =
+        match contrib with
+        | Some m when !inf = 0 -> Some (Rat.sub !sum_fin m)
+        | None when !inf = 1 -> Some !sum_fin
+        | Some _ | None -> None
+      in
+      match residual with
+      | None -> ()
+      | Some s ->
+        let bound = Rat.div (Rat.neg s) c in
+        let why = "propagation from " ^ origin in
+        if Rat.sign c > 0 then tighten_imp_ub st v bound ~why
+        else tighten_imp_lb st v bound ~why)
+    expr ()
+
+let process_le st r =
+  (match min_activity (eff_lb st) (eff_ub st) r.expr with
+   | Some m when Rat.sign m > 0 ->
+     raise (Infeasible ("row cannot be satisfied: " ^ r.origin))
+   | Some m when Rat.is_zero m -> force_min st r
+   | Some _ | None -> ());
+  if r.live then begin
+    (match max_activity (safe_lb st) (safe_ub st) r.expr with
+     | Some m when Rat.sign m <= 0 -> kill st r  (* implied by emitted bounds *)
+     | Some _ | None -> ());
+    if r.live then propagate_le st r.origin r.expr
+  end
+
+let process_eq st r =
+  (match min_activity (eff_lb st) (eff_ub st) r.expr with
+   | Some m when Rat.sign m > 0 ->
+     raise (Infeasible ("row cannot be satisfied: " ^ r.origin))
+   | Some m when Rat.is_zero m -> force_min st r
+   | Some _ | None -> ());
+  if r.live then begin
+    match max_activity (eff_lb st) (eff_ub st) r.expr with
+    | Some m when Rat.sign m < 0 ->
+      raise (Infeasible ("row cannot be satisfied: " ^ r.origin))
+    | Some m when Rat.is_zero m -> force_max st r
+    | Some _ | None ->
+      propagate_le st r.origin r.expr;
+      propagate_le st r.origin (Linexpr.neg r.expr)
+  end
+
+let process_row st r =
+  if r.live then begin
+    if Linexpr.is_const r.expr then begin
+      let c = Linexpr.constant r.expr in
+      let sat =
+        match r.rel with
+        | Lp_problem.Le -> Rat.sign c <= 0
+        | Lp_problem.Eq -> Rat.is_zero c
+        | Lp_problem.Ge -> assert false
+      in
+      if not sat then
+        raise (Infeasible ("row reduced to a false constant: " ^ r.origin));
+      kill st r
+    end
+    else
+      match Linexpr.vars r.expr with
+      | [ v ] ->
+        (* singleton: fold into the bound tables *)
+        let a = Linexpr.coeff r.expr v in
+        let b = Rat.div (Rat.neg (Linexpr.constant r.expr)) a in
+        kill st r;
+        (match r.rel with
+         | Lp_problem.Eq -> fix st v b ~why:("row " ^ r.origin)
+         | Lp_problem.Le ->
+           if Rat.sign a > 0 then tighten_exp_ub st v b ~origin:r.origin ~idx:r.idx
+           else tighten_exp_lb st v b ~origin:r.origin ~idx:r.idx
+         | Lp_problem.Ge -> assert false)
+      | _ ->
+        (match r.rel with
+         | Lp_problem.Le -> process_le st r
+         | Lp_problem.Eq -> process_eq st r
+         | Lp_problem.Ge -> assert false)
+  end
+
+(* --- variable elimination ------------------------------------------------ *)
+
+(* the definition of [v] from equality row [expr = 0] *)
+let definition_of expr v =
+  let a = Linexpr.coeff expr v in
+  Linexpr.scale
+    (Rat.div Rat.minus_one a)
+    (Linexpr.sub expr (Linexpr.var ~coeff:a v))
+
+let try_eliminate st r =
+  if r.live && r.rel = Lp_problem.Eq && term_count r.expr >= 2 then begin
+    let candidates =
+      Linexpr.fold_terms
+        (fun v _ acc ->
+          let e = definition_of r.expr v in
+          if term_count e <= max_def_terms
+             && ((not st.integer) || integral_expr e)
+          then (v, e) :: acc
+          else acc)
+        r.expr []
+      |> List.rev
+    in
+    (* [e >= 0] must be justified by bounds the output preserves (emitted
+       explicit-bound rows, or postsolve defaults for vanished variables) —
+       implied bounds may circularly depend on [v >= 0] itself *)
+    let nonneg (_, e) =
+      match min_activity (safe_lb st) (safe_ub st) e with
+      | Some m -> Rat.sign m >= 0
+      | None -> false
+    in
+    let choice =
+      match List.find_opt nonneg candidates with
+      | Some c -> Some (c, false)
+      | None ->
+        (match candidates with c :: _ -> Some (c, true) | [] -> None)
+    in
+    match choice with
+    | None -> ()
+    | Some ((v, e), needs_guard) ->
+      kill st r;
+      (* the eliminated variable's constraints move onto its definition *)
+      let extra = ref [] in
+      if needs_guard then
+        extra :=
+          { expr = Linexpr.neg e; rel = Lp_problem.Le; origin = r.origin;
+            idx = r.idx; live = true }
+          :: !extra;
+      (match Hashtbl.find_opt st.exp_ub v with
+       | Some (u, origin, idx) ->
+         extra :=
+           { expr = Linexpr.sub e (Linexpr.const u); rel = Lp_problem.Le;
+             origin; idx; live = true }
+           :: !extra
+       | None -> ());
+      (match Hashtbl.find_opt st.exp_lb v with
+       | Some (l, origin, idx) ->
+         extra :=
+           { expr = Linexpr.sub (Linexpr.const l) e; rel = Lp_problem.Le;
+             origin; idx; live = true }
+           :: !extra
+       | None -> ());
+      st.rows <- st.rows @ !extra;
+      substitute st v e;
+      st.substituted <- st.substituted + 1
+  end
+
+(* --- driver -------------------------------------------------------------- *)
+
+let dedup st =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      if r.live then begin
+        let key =
+          (match r.rel with Lp_problem.Le -> "L" | Lp_problem.Eq -> "E"
+                          | Lp_problem.Ge -> assert false)
+          ^ Linexpr.to_string r.expr
+        in
+        if Hashtbl.mem seen key then kill st r else Hashtbl.add seen key ()
+      end)
+    st.rows
+
+let intake idx (c : Lp_problem.constr) =
+  match c.Lp_problem.rel with
+  | Lp_problem.Le ->
+    { expr = c.Lp_problem.expr; rel = Lp_problem.Le;
+      origin = c.Lp_problem.origin; idx; live = true }
+  | Lp_problem.Ge ->
+    { expr = Linexpr.neg c.Lp_problem.expr; rel = Lp_problem.Le;
+      origin = c.Lp_problem.origin; idx; live = true }
+  | Lp_problem.Eq ->
+    { expr = c.Lp_problem.expr; rel = Lp_problem.Eq;
+      origin = c.Lp_problem.origin; idx; live = true }
+
+(* Emission preserves the original constraint order: every output row —
+   including a re-emitted bound — is placed at the intake position of the
+   row it descends from. Keeping the reduced problem a subsequence of the
+   original (same variable order, same row order) keeps the simplex
+   pivoting deterministic in the same way with and without presolve, which
+   is what lets an alternate-optima witness agree between the two paths. *)
+let emit st =
+  let rows =
+    List.filter_map
+      (fun r -> if r.live then Some (r.idx, r.expr, r.rel, r.origin) else None)
+      st.rows
+  in
+  (* re-emit the explicit bounds of the variables that survived *)
+  let live = Hashtbl.create 64 in
+  let note e = Linexpr.fold_terms (fun v _ () -> Hashtbl.replace live v ()) e () in
+  List.iter (fun (_, e, _, _) -> note e) rows;
+  note st.objective;
+  let bound_rows = ref [] in
+  Hashtbl.iter
+    (fun v (u, origin, idx) ->
+      if Hashtbl.mem live v then
+        bound_rows :=
+          (idx, Linexpr.sub (Linexpr.var v) (Linexpr.const u), Lp_problem.Le,
+           origin)
+          :: !bound_rows)
+    st.exp_ub;
+  Hashtbl.iter
+    (fun v (l, origin, idx) ->
+      if Hashtbl.mem live v then
+        bound_rows :=
+          (idx, Linexpr.sub (Linexpr.const l) (Linexpr.var v), Lp_problem.Le,
+           origin)
+          :: !bound_rows)
+    st.exp_lb;
+  List.sort
+    (fun (i, e1, _, _) (j, e2, _, _) ->
+      match compare i j with
+      | 0 -> compare (Linexpr.to_string e1) (Linexpr.to_string e2)
+      | c -> c)
+    (rows @ !bound_rows)
+  |> List.map (fun (_, expr, rel, origin) -> Lp_problem.constr ~origin expr rel)
+
+let run ?(integer = true) (problem : Lp_problem.t) =
+  let vars_before = Lp_problem.num_variables problem in
+  let constrs_before = Lp_problem.num_constraints problem in
+  let st =
+    { integer;
+      rows = List.mapi intake problem.Lp_problem.constraints;
+      objective = problem.Lp_problem.objective;
+      defs = [];
+      exp_ub = Hashtbl.create 64;
+      exp_lb = Hashtbl.create 64;
+      imp_ub = Hashtbl.create 64;
+      imp_lb = Hashtbl.create 64;
+      changed = true;
+      substituted = 0;
+      fixed = 0 }
+  in
+  let rounds = ref 0 in
+  let stats_at ~vars_after ~constrs_after =
+    { vars_before; vars_after; constrs_before; constrs_after;
+      rounds = !rounds; substituted = st.substituted; fixed = st.fixed }
+  in
+  match
+    while st.changed && !rounds < max_rounds do
+      st.changed <- false;
+      incr rounds;
+      dedup st;
+      List.iter (process_row st) st.rows;
+      List.iter (try_eliminate st) st.rows
+    done
+  with
+  | () ->
+    let constraints = emit st in
+    let reduced =
+      Lp_problem.make problem.Lp_problem.direction st.objective constraints
+    in
+    let original_vars = Lp_problem.variables problem in
+    let defs = st.defs in
+    (* a variable that vanished from the reduced problem is unconstrained
+       there, but its recorded explicit lower bound must still hold in the
+       reconstruction *)
+    let lb_defaults =
+      Hashtbl.fold (fun v (l, _, _) acc -> (v, l) :: acc) st.exp_lb []
+    in
+    let postsolve assignment =
+      let env = Hashtbl.create 64 in
+      List.iter (fun (v, l) -> Hashtbl.replace env v l) lb_defaults;
+      List.iter (fun (v, x) -> Hashtbl.replace env v x) assignment;
+      let get v =
+        match Hashtbl.find_opt env v with Some x -> x | None -> Rat.zero
+      in
+      List.iter (fun (v, e) -> Hashtbl.replace env v (Linexpr.eval get e)) defs;
+      List.filter_map
+        (fun v ->
+          let x = get v in
+          if Rat.is_zero x then None else Some (v, x))
+        original_vars
+    in
+    Reduced
+      { problem = reduced;
+        postsolve;
+        stats =
+          stats_at
+            ~vars_after:(Lp_problem.num_variables reduced)
+            ~constrs_after:(List.length constraints) }
+  | exception Infeasible reason ->
+    let live_rows = List.length (List.filter (fun r -> r.live) st.rows) in
+    Proved_infeasible
+      { stats = stats_at ~vars_after:0 ~constrs_after:live_rows; reason }

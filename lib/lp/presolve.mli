@@ -1,0 +1,60 @@
+(** Exact presolve for IPET-style (integer) linear programs.
+
+    The ILPs of the paper are dominated by flow-conservation equalities
+    [x_i = Σ d_in = Σ d_out]: most variables are determined by a small
+    independent set, and the simplex spends its pivots walking through that
+    redundancy. This module removes it up front, iterating to a fixpoint:
+
+    + {b substitution} of variables defined by an equality row (Gaussian
+      elimination restricted to definitions with integral coefficients, so
+      integrality of the remaining variables implies integrality of the
+      eliminated ones);
+    + {b bound propagation} over inequality rows, deriving and tightening
+      implied bounds on the remaining variables (rounded to integers when
+      [integer] holds);
+    + removal of {b empty}, {b duplicate}, {b redundant} and {b forcing}
+      rows (a forcing row pins every variable it mentions, e.g. a loop
+      bound of zero);
+    + early {b infeasibility} detection (conflicting bounds, unsatisfiable
+      rows, and — in integer mode — variables fixed to fractional values).
+
+    All arithmetic is exact ({!Ipet_num.Rat}), every surviving row keeps its
+    [origin] provenance label, and the transformation is reversible: the
+    returned postsolve closure rebuilds a full assignment over the original
+    variables from any solution of the reduced problem, so the objective
+    value, the witness block counts and the binding-constraint report of the
+    analysis are unchanged. *)
+
+open Ipet_num
+
+type stats = {
+  vars_before : int;
+  vars_after : int;
+  constrs_before : int;
+  constrs_after : int;
+  rounds : int;        (** fixpoint iterations until nothing changed *)
+  substituted : int;   (** variables eliminated via an equality row *)
+  fixed : int;         (** variables pinned to a constant *)
+}
+
+type reduction = {
+  problem : Lp_problem.t;  (** the reduced, equivalent problem *)
+  postsolve : (string * Rat.t) list -> (string * Rat.t) list;
+      (** maps an assignment of the reduced problem (zero-valued variables
+          may be omitted) to a full assignment over the original variables,
+          zero values filtered, sorted by name *)
+  stats : stats;
+}
+
+type outcome =
+  | Reduced of reduction
+  | Proved_infeasible of { stats : stats; reason : string }
+      (** the problem has no (integer) solution; [reason] names the
+          conflicting row or variable *)
+
+val run : ?integer:bool -> Lp_problem.t -> outcome
+(** [run problem] presolves [problem]. With [integer] (the default) the
+    reductions assume every variable ranges over non-negative integers, as
+    in {!Ilp.solve}: derived bounds are rounded and a variable forced to a
+    fractional value proves infeasibility. With [~integer:false] only
+    relaxation-safe reductions are applied. *)

@@ -96,8 +96,7 @@ let rec run_phase t cost ~allowed =
 
 (* Build the tableau from a problem; returns the tableau and the index of
    each structural variable. *)
-let build problem =
-  let vars = Lp_problem.variables problem in
+let build ~vars problem =
   let n_struct = List.length vars in
   let var_index = Hashtbl.create 16 in
   List.iteri (fun i v -> Hashtbl.add var_index v i) vars;
@@ -164,8 +163,11 @@ let build problem =
     rows;
   ({ a; b; basis; ncols; art_start }, vars)
 
-let solve problem =
-  let t, vars = build problem in
+let solve ?vars problem =
+  let vars =
+    match vars with Some vs -> vs | None -> Lp_problem.variables problem
+  in
+  let t, vars = build ~vars problem in
   let m = Array.length t.a in
   let n_struct = List.length vars in
   (* phase 1: maximize -sum(artificials) up to 0 *)

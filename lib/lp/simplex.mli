@@ -14,7 +14,11 @@ type result =
   | Infeasible
   | Unbounded
 
-val solve : Lp_problem.t -> result
+val solve : ?vars:string list -> Lp_problem.t -> result
+(** [vars], when given, must be {!Lp_problem.variables} of the problem (or
+    a sorted superset of it); callers that solve many closely related
+    problems — {!Ilp.solve}'s branch-and-bound nodes — pass it to avoid
+    recomputing the sort-dedup per LP call. *)
 
 val assignment_env : (string * Rat.t) list -> string -> Rat.t
 (** Turn an assignment into a total environment (absent variables are 0). *)

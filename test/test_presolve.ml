@@ -1,0 +1,251 @@
+(* Tests for the ILP presolve engine: unit tests for the individual
+   reductions, and an equivalence sweep asserting that presolve never
+   changes what the analysis computes on the full benchmark suite. *)
+
+open Ipet_num
+module L = Ipet_lp.Linexpr
+module P = Ipet_lp.Lp_problem
+module Pre = Ipet_lp.Presolve
+module I = Ipet_lp.Ilp
+module Analysis = Ipet.Analysis
+module Bspec = Ipet_suite.Bspec
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let rat_testable = Alcotest.testable Rat.pp Rat.equal
+
+let lp_max objective constraints = P.make P.Maximize objective constraints
+
+let reduced = function
+  | Pre.Reduced r -> r
+  | Pre.Proved_infeasible { reason; _ } ->
+    Alcotest.failf "unexpected infeasible: %s" reason
+
+let ilp_value p ~presolve =
+  match I.solve ~presolve p with
+  | I.Optimal { value; _ } -> value
+  | I.Infeasible _ -> Alcotest.fail "unexpected infeasible"
+  | I.Unbounded _ -> Alcotest.fail "unexpected unbounded"
+
+(* --- substitution ------------------------------------------------------- *)
+
+let test_substitution_chain () =
+  (* flow-style chain: e = 1, x = e, y = x; only the loop-bounded tail
+     survives. max 2x + 3y s.t. y <= 4y' is nonsense; use y <= 4. *)
+  let open L.Infix in
+  let p =
+    lp_max
+      ((2 * v "x") + (3 * v "y"))
+      [ P.eq (v "e") (int 1);
+        P.eq (v "x") (10 * v "e");
+        P.eq (v "y") (v "x") ]
+  in
+  let r = reduced (Pre.run p) in
+  check_int "all variables eliminated" 0 (P.num_variables r.Pre.problem);
+  check_int "no constraints left" 0 (P.num_constraints r.Pre.problem);
+  (* the reduced objective carries the whole answer as its constant *)
+  Alcotest.check rat_testable "objective constant" (Rat.of_int 50)
+    (L.constant r.Pre.problem.P.objective);
+  (* postsolve reconstructs every original variable *)
+  let full = r.Pre.postsolve [] in
+  let env = Ipet_lp.Simplex.assignment_env full in
+  Alcotest.check rat_testable "e" Rat.one (env "e");
+  Alcotest.check rat_testable "x" (Rat.of_int 10) (env "x");
+  Alcotest.check rat_testable "y" (Rat.of_int 10) (env "y");
+  check_bool "reconstruction feasible" true (P.feasible env p)
+
+let test_substitution_keeps_nonnegativity () =
+  (* x = y - 3 must not lose x >= 0: without the guard, max -y would pick
+     y = 0. The true optimum is y = 3 (x = 0). *)
+  let open L.Infix in
+  let p =
+    P.make P.Minimize (v "y")
+      [ P.eq (v "x") (v "y" - int 3) ]
+  in
+  Alcotest.check rat_testable "guarded minimum" (Rat.of_int 3)
+    (ilp_value p ~presolve:true);
+  Alcotest.check rat_testable "baseline agrees" (Rat.of_int 3)
+    (ilp_value p ~presolve:false)
+
+let test_substitution_skips_fractional_defs () =
+  (* 2x = y would define x = y/2 — not integral, so presolve must keep it
+     rather than let the reduced problem report fractional solutions *)
+  let open L.Infix in
+  let p =
+    lp_max (v "x")
+      [ P.eq (2 * v "x") (v "y"); P.le (v "y") (int 5) ]
+  in
+  (* optimum: y even, y = 4, x = 2 *)
+  Alcotest.check rat_testable "with presolve" (Rat.of_int 2)
+    (ilp_value p ~presolve:true);
+  Alcotest.check rat_testable "without presolve" (Rat.of_int 2)
+    (ilp_value p ~presolve:false)
+
+(* --- bounds ------------------------------------------------------------- *)
+
+let test_bound_tightening () =
+  (* singleton rows fold into one bound; the integer bound is floored *)
+  let open L.Infix in
+  let p =
+    lp_max (v "x")
+      [ P.le (2 * v "x") (int 7); P.le (v "x") (int 9) ]
+  in
+  let r = reduced (Pre.run p) in
+  (* x <= 7/2 floors to x <= 3 and the weaker x <= 9 is gone *)
+  check_int "one bound row" 1 (P.num_constraints r.Pre.problem);
+  Alcotest.check rat_testable "solved directly" (Rat.of_int 3)
+    (ilp_value p ~presolve:true);
+  Alcotest.check rat_testable "baseline agrees" (Rat.of_int 3)
+    (ilp_value p ~presolve:false)
+
+let test_forcing_row () =
+  (* a zero loop bound: x + y <= 0 pins both counts to zero *)
+  let open L.Infix in
+  let p =
+    lp_max
+      ((5 * v "x") + (7 * v "y") + v "z")
+      [ P.le (v "x" + v "y") (int 0); P.le (v "z") (int 2) ]
+  in
+  let r = reduced (Pre.run p) in
+  check_bool "x and y eliminated" true (P.num_variables r.Pre.problem <= 1);
+  Alcotest.check rat_testable "value" (Rat.of_int 2) (ilp_value p ~presolve:true);
+  let full =
+    match I.solve p with
+    | I.Optimal { assignment; _ } -> assignment
+    | _ -> Alcotest.fail "expected optimal"
+  in
+  let env = Ipet_lp.Simplex.assignment_env full in
+  Alcotest.check rat_testable "x forced to 0" Rat.zero (env "x");
+  Alcotest.check rat_testable "y forced to 0" Rat.zero (env "y")
+
+let test_infeasible_bounds () =
+  let open L.Infix in
+  let p = lp_max (v "x") [ P.ge (v "x") (int 5); P.le (v "x") (int 3) ] in
+  (match Pre.run p with
+   | Pre.Proved_infeasible _ -> ()
+   | Pre.Reduced _ -> Alcotest.fail "expected infeasibility proof");
+  check_bool "Ilp agrees" true
+    (match I.solve p with I.Infeasible _ -> true | _ -> false)
+
+let test_infeasible_integer_fix () =
+  (* 3 <= 2x <= 3 fixes x = 3/2: integer-infeasible, LP-feasible *)
+  let open L.Infix in
+  let p =
+    lp_max (v "x") [ P.ge (2 * v "x") (int 3); P.le (2 * v "x") (int 3) ]
+  in
+  (match Pre.run p with
+   | Pre.Proved_infeasible _ -> ()
+   | Pre.Reduced _ -> Alcotest.fail "expected integer infeasibility");
+  (match Pre.run ~integer:false p with
+   | Pre.Reduced _ -> ()
+   | Pre.Proved_infeasible _ -> Alcotest.fail "LP relaxation is feasible")
+
+let test_infeasible_propagated () =
+  (* x >= 4 conflicts with x <= 2y, y <= 1 only through propagation *)
+  let open L.Infix in
+  let p =
+    lp_max (v "x")
+      [ P.ge (v "x") (int 4);
+        P.le (v "x" - (2 * v "y")) (int 0);
+        P.le (v "y") (int 1) ]
+  in
+  (match Pre.run p with
+   | Pre.Proved_infeasible _ -> ()
+   | Pre.Reduced _ -> Alcotest.fail "expected infeasibility proof")
+
+(* --- equivalence on the benchmark suite --------------------------------- *)
+
+(* Every ILP of every benchmark (both extremes, every surviving conjunctive
+   set) must have the same optimum with and without presolve, and the
+   postsolved witness must be feasible for the original problem. *)
+let test_suite_problem_equivalence () =
+  let total = ref 0 in
+  let reductions = ref [] in
+  List.iter
+    (fun (bench : Bspec.t) ->
+      let spec = Bspec.spec bench in
+      let problems = Analysis.wcet_problems spec @ Analysis.bcet_problems spec in
+      List.iter
+        (fun p ->
+          incr total;
+          let plain = I.solve ~presolve:false p in
+          let pre = I.solve ~presolve:true p in
+          (match (plain, pre) with
+           | ( I.Optimal { value = v1; stats = s1; _ },
+               I.Optimal { value = v2; assignment = a2; stats = s2 } ) ->
+             if not (Rat.equal v1 v2) then
+               Alcotest.failf "%s: value %s with presolve, %s without"
+                 bench.Bspec.name (Rat.to_string v2) (Rat.to_string v1);
+             check_bool
+               (bench.Bspec.name ^ ": first LP integrality preserved")
+               s1.I.first_lp_integral s2.I.first_lp_integral;
+             let env = Ipet_lp.Simplex.assignment_env a2 in
+             if not (P.feasible env p) then
+               Alcotest.failf "%s: postsolved witness violates the original"
+                 bench.Bspec.name;
+             (match s2.I.presolve with
+              | Some ps ->
+                reductions :=
+                  (ps.Pre.vars_before, ps.Pre.vars_after) :: !reductions
+              | None -> Alcotest.fail "presolve stats missing")
+           | I.Infeasible _, I.Infeasible _ -> ()
+           | _ ->
+             Alcotest.failf "%s: presolve changed the outcome kind"
+               bench.Bspec.name))
+        problems)
+    Ipet_suite.Suite.all;
+  check_bool "solved a meaningful number of ILPs" true (!total >= 13);
+  (* the paper's flow systems are dominated by eliminable equalities: the
+     median reduction must remove at least half the variables *)
+  let ratios =
+    List.map
+      (fun (before, after) ->
+        if before = 0 then 0.0
+        else float_of_int (before - after) /. float_of_int before)
+      !reductions
+    |> List.sort compare
+  in
+  let median = List.nth ratios (List.length ratios / 2) in
+  check_bool
+    (Printf.sprintf "median variable reduction %.0f%% >= 50%%"
+       (100.0 *. median))
+    true (median >= 0.5)
+
+(* The end-to-end guarantee: cycles, witness counts and solver observations
+   are identical with and without presolve. *)
+let test_suite_analysis_equivalence () =
+  List.iter
+    (fun (bench : Bspec.t) ->
+      let spec = Bspec.spec bench in
+      let with_pre = Analysis.analyze { spec with Analysis.presolve = true } in
+      let without = Analysis.analyze { spec with Analysis.presolve = false } in
+      let check_extreme what (a : Analysis.extreme) (b : Analysis.extreme) =
+        check_int
+          (Printf.sprintf "%s %s cycles" bench.Bspec.name what)
+          b.Analysis.cycles a.Analysis.cycles;
+        check_bool
+          (Printf.sprintf "%s %s witness counts" bench.Bspec.name what)
+          true (a.Analysis.counts = b.Analysis.counts)
+      in
+      check_extreme "WCET" with_pre.Analysis.wcet without.Analysis.wcet;
+      check_extreme "BCET" with_pre.Analysis.bcet without.Analysis.bcet;
+      check_bool
+        (bench.Bspec.name ^ " first-LP integrality")
+        (without.Analysis.wcet_stats.Analysis.all_first_lp_integral
+         && without.Analysis.bcet_stats.Analysis.all_first_lp_integral)
+        (with_pre.Analysis.wcet_stats.Analysis.all_first_lp_integral
+         && with_pre.Analysis.bcet_stats.Analysis.all_first_lp_integral))
+    Ipet_suite.Suite.all
+
+let suite =
+  [ ("substitution chain", `Quick, test_substitution_chain);
+    ("substitution keeps x >= 0", `Quick, test_substitution_keeps_nonnegativity);
+    ("substitution skips fractional defs", `Quick,
+     test_substitution_skips_fractional_defs);
+    ("bound tightening", `Quick, test_bound_tightening);
+    ("forcing row", `Quick, test_forcing_row);
+    ("infeasible bounds", `Quick, test_infeasible_bounds);
+    ("integer-infeasible fix", `Quick, test_infeasible_integer_fix);
+    ("propagated infeasibility", `Quick, test_infeasible_propagated);
+    ("suite ILP equivalence", `Slow, test_suite_problem_equivalence);
+    ("suite analysis equivalence", `Slow, test_suite_analysis_equivalence) ]
