@@ -479,6 +479,63 @@ let json () =
                  reduction %.0f%%)\n"
     (List.length entries) (100.0 *. median)
 
+(* Writes BENCH_sim.json: the cycle-level simulator throughput probe —
+   repeated worst-case runs of the three largest benchmarks, reporting wall
+   time, simulated instruction count and Minstr/s per benchmark.  The
+   numbers trace the simulator's perf trajectory the same way
+   BENCH_ipet.json traces the ILP side's. *)
+let sim_bench () =
+  let repeats = 50 in
+  let probe name =
+    let bench = Ipet_suite.Suite.find name in
+    let compiled = Bspec.compile bench in
+    let m = Interp.create compiled.Compile.prog ~init:compiled.Compile.init_data in
+    let d = List.hd bench.Bspec.worst_data in
+    (* one warmup run keeps decode/GC noise out of the measurement *)
+    d.Bspec.setup m;
+    Interp.flush_cache m;
+    ignore (Interp.call m bench.Bspec.root d.Bspec.args);
+    let t0 = Unix.gettimeofday () in
+    let instrs = ref 0 in
+    for _ = 1 to repeats do
+      Interp.reset_stats m;
+      Interp.reset_memory m ~init:compiled.Compile.init_data;
+      d.Bspec.setup m;
+      Interp.flush_cache m;
+      ignore (Interp.call m bench.Bspec.root d.Bspec.args);
+      instrs := !instrs + Interp.instructions m
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    (name, !instrs, wall, float_of_int !instrs /. wall /. 1e6)
+  in
+  let probes = List.map probe [ "fullsearch"; "whetstone"; "des" ] in
+  let total_instrs = List.fold_left (fun a (_, i, _, _) -> a + i) 0 probes in
+  let total_wall = List.fold_left (fun a (_, _, w, _) -> a +. w) 0.0 probes in
+  let out =
+    Printf.sprintf
+      "{\n  \"suite\": \"ipet-sim\",\n  \"repeats\": %d,\n  \
+       \"benchmarks\": [\n%s\n  ],\n  \"total_instructions\": %d,\n  \
+       \"total_wall_s\": %.4f,\n  \"minstr_per_s\": %.2f\n}\n"
+      repeats
+      (String.concat ",\n"
+         (List.map
+            (fun (name, instrs, wall, rate) ->
+              Printf.sprintf
+                "    { \"name\": %S, \"instructions\": %d, \
+                 \"wall_s\": %.4f, \"minstr_per_s\": %.2f }"
+                name instrs wall rate)
+            probes))
+      total_instrs total_wall
+      (float_of_int total_instrs /. total_wall /. 1e6)
+  in
+  let oc = open_out "BENCH_sim.json" in
+  output_string oc out;
+  close_out oc;
+  Printf.printf
+    "wrote BENCH_sim.json (%d instructions in %.2fs, %.2f Minstr/s)\n"
+    total_instrs total_wall
+    (float_of_int total_instrs /. total_wall /. 1e6)
+
 (* --- bechamel micro-benchmarks ------------------------------------------ *)
 
 let bechamel () =
@@ -533,7 +590,7 @@ let usage () =
   print_endline
     "usage: main.exe \
      [fig1|..|fig6|table1|table2|table3|stats|ablation-cache|ablation-refine|\
-      bechamel|json|all]"
+      bechamel|json|sim|all]"
 
 let rec run_target = function
   | "fig1" -> fig1 ()
@@ -552,6 +609,7 @@ let rec run_target = function
   | "ablation-dcache" -> ablation_dcache ()
   | "table-extra" -> table_extra ()
   | "json" -> json ()
+  | "sim" -> sim_bench ()
   | "bechamel" -> bechamel ()
   | "all" ->
     List.iter run_target

@@ -1,41 +1,46 @@
+(* per-function dense arrays indexed by block id: the decode pass of the
+   simulator walks every block once, and the analytical cost model queries
+   per block, so lookups must not hash tuple keys *)
+type entry = { faddr : int; addrs : int array; sizes : int array }
+
 type t = {
-  block_addrs : (string * int, int) Hashtbl.t;
-  block_sizes : (string * int, int) Hashtbl.t;
-  func_addrs : (string, int) Hashtbl.t;
+  by_func : (string, entry) Hashtbl.t;
   code_size : int;
 }
 
 let make (program : Prog.t) =
-  let block_addrs = Hashtbl.create 64 in
-  let block_sizes = Hashtbl.create 64 in
-  let func_addrs = Hashtbl.create 16 in
+  let by_func = Hashtbl.create 16 in
   let cursor = ref 0 in
   Array.iter
     (fun (f : Prog.func) ->
-      Hashtbl.replace func_addrs f.Prog.name !cursor;
+      let n = Array.length f.Prog.blocks in
+      let addrs = Array.make n 0 in
+      let sizes = Array.make n 0 in
+      let faddr = !cursor in
       Array.iter
         (fun (b : Prog.block) ->
           let size = Prog.block_size_instrs b * Instr.bytes_per_instr in
-          Hashtbl.replace block_addrs (f.Prog.name, b.Prog.id) !cursor;
-          Hashtbl.replace block_sizes (f.Prog.name, b.Prog.id) size;
+          addrs.(b.Prog.id) <- !cursor;
+          sizes.(b.Prog.id) <- size;
           cursor := !cursor + size)
-        f.Prog.blocks)
+        f.Prog.blocks;
+      if not (Hashtbl.mem by_func f.Prog.name) then
+        Hashtbl.add by_func f.Prog.name { faddr; addrs; sizes })
     program.Prog.funcs;
-  { block_addrs; block_sizes; func_addrs; code_size = !cursor }
+  { by_func; code_size = !cursor }
 
-let block_addr t ~func ~block =
-  match Hashtbl.find_opt t.block_addrs (func, block) with
-  | Some a -> a
-  | None -> raise Not_found
+let entry t ~func ~block =
+  match Hashtbl.find_opt t.by_func func with
+  | Some e when block >= 0 && block < Array.length e.addrs -> e
+  | Some _ | None -> raise Not_found
 
-let block_size_bytes t ~func ~block =
-  match Hashtbl.find_opt t.block_sizes (func, block) with
-  | Some s -> s
-  | None -> raise Not_found
+let block_addr t ~func ~block = (entry t ~func ~block).addrs.(block)
+
+let block_size_bytes t ~func ~block = (entry t ~func ~block).sizes.(block)
 
 let func_addr t name =
-  match Hashtbl.find_opt t.func_addrs name with
-  | Some a -> a
+  match Hashtbl.find_opt t.by_func name with
+  | Some e -> e.faddr
   | None -> raise Not_found
 
 let code_size t = t.code_size

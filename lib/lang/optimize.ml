@@ -17,8 +17,10 @@ let fold_alu op a b =
   | I.And -> Some (a land b)
   | I.Or -> Some (a lor b)
   | I.Xor -> Some (a lxor b)
-  | I.Shl -> Some (a lsl (b land 62))
-  | I.Shr -> Some (a asr (b land 62))
+  (* 6-bit shift-amount mask with a clamp at 63 — must mirror the
+     interpreter's Ipet_sim ALU exactly or folding changes semantics *)
+  | I.Shl -> Some (let s = b land 63 in if s > 62 then 0 else a lsl s)
+  | I.Shr -> Some (let s = b land 63 in a asr (if s > 62 then 62 else s))
 
 let fold_icmp op a b =
   let r = match op with

@@ -21,10 +21,26 @@ let create cfg =
 
 let config t = t.cfg
 
+let slot_of cfg addr =
+  let line = addr / cfg.line_bytes in
+  let index = line mod (cfg.size_bytes / cfg.line_bytes) in
+  (index, line)
+
 let slot t addr =
   let line = addr / t.cfg.line_bytes in
   let index = line mod Array.length t.tags in
   (index, line)
+
+let access_slot t ~index ~line =
+  if t.tags.(index) = line then begin
+    t.hit_count <- t.hit_count + 1;
+    true
+  end
+  else begin
+    t.tags.(index) <- line;
+    t.miss_count <- t.miss_count + 1;
+    false
+  end
 
 let lookup t addr =
   let index, line = slot t addr in
@@ -44,6 +60,8 @@ let access t addr =
 
 let flush t =
   Array.fill t.tags 0 (Array.length t.tags) (-1)
+
+let tag_array t = t.tags
 
 let hits t = t.hit_count
 let misses t = t.miss_count

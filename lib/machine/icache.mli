@@ -20,12 +20,26 @@ val access : t -> int -> bool
 (** [access t byte_addr] simulates a fetch from the line containing the
     address and returns [true] on a hit. Statistics are updated. *)
 
+val slot_of : config -> int -> int * int
+(** [slot_of cfg byte_addr] is the [(tag_index, line)] pair [access] would
+    probe — precomputable per static fetch address, so a decoded simulator
+    can skip the per-access division. *)
+
+val access_slot : t -> index:int -> line:int -> bool
+(** [access_slot t ~index ~line] is [access] with the address mapping
+    already done via {!slot_of} against the same configuration. *)
+
 val lookup : t -> int -> bool
 (** Hit test without state change. *)
 
 val flush : t -> unit
 (** Invalidate every line (the paper flushes before each worst-case
     measurement run). *)
+
+val tag_array : t -> int array
+(** The live tag store ([-1] = invalid), indexed by {!slot_of}'s tag index.
+    A decoded simulator may probe and fill lines directly as an inlined
+    fast path, keeping its own hit/miss tallies; {!flush} still applies. *)
 
 val hits : t -> int
 val misses : t -> int

@@ -7,6 +7,14 @@ let stall_after prev cur =
   | I.Alu _ | I.Fpu _ | I.Icmp _ | I.Fcmp _ | I.Mov _ | I.Itof _ | I.Ftoi _
   | I.Store _ | I.Call _ -> 0
 
+let stall_table instrs =
+  let n = Array.length instrs in
+  let t = Array.make n 0 in
+  for i = 1 to n - 1 do
+    t.(i) <- stall_after instrs.(i - 1) instrs.(i)
+  done;
+  t
+
 let block_stalls instrs =
   let total = ref 0 in
   for i = 1 to Array.length instrs - 1 do

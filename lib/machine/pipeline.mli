@@ -11,5 +11,10 @@ val stall_after : Ipet_isa.Instr.t -> Ipet_isa.Instr.t -> int
 (** [stall_after prev cur] — stall cycles suffered by [cur] given the
     instruction just before it. *)
 
+val stall_table : Ipet_isa.Instr.t array -> int array
+(** Per-instruction stall cycles: entry [i] is [stall_after instrs.(i-1)
+    instrs.(i)] (entry 0 is 0). Deterministic, so a decoded simulator can
+    compute it once per block instead of per execution. *)
+
 val block_stalls : Ipet_isa.Instr.t array -> int
 (** Total deterministic stall cycles of a straight-line block body. *)

@@ -32,3 +32,13 @@ let term_actual term ~taken =
   | I.Return _ -> 7
 
 let load_use_stall = 1
+
+(* with a data cache a load's memory time is charged separately once the
+   effective address is known, so its issue cost drops to the base *)
+let issue_table ?(dcache = false) instrs =
+  Array.map
+    (fun i ->
+      match i with
+      | I.Load _ when dcache -> load_base
+      | _ -> issue i)
+    instrs

@@ -27,3 +27,8 @@ val flat_memory_latency : int
 val load_use_stall : int
 (** Extra cycles when an instruction consumes the result of the load
     immediately preceding it. *)
+
+val issue_table : ?dcache:bool -> Ipet_isa.Instr.t array -> int array
+(** Per-instruction issue cycles of a block body, precomputable at decode
+    time. With [~dcache:true] loads cost only {!load_base}; their memory
+    time is charged by the simulator's data-cache model. *)

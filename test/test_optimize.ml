@@ -109,6 +109,34 @@ let test_dce_keeps_effects () =
   in
   check_bool "dead multiply removed" false has_mul
 
+let test_shift_folding_matches_interpreter () =
+  (* regression: fold_alu masked shift amounts with [land 62], so a folded
+     [x << 1] disagreed with the interpreter's [x << 1] *)
+  List.iter
+    (fun (x, s) ->
+      let src = Printf.sprintf "int f() { int a; a = %d; return a << %d; }" x s in
+      let plain, optimized = compile_pair src in
+      let r1, _ = run_f plain [] in
+      let r2, _ = run_f optimized [] in
+      check_bool (Printf.sprintf "fold %d << %d agrees" x s) true
+        (match (r1, r2) with Some a, Some b -> V.equal a b | _ -> false);
+      (match r2 with
+       | Some v ->
+         check_int (Printf.sprintf "fold %d << %d exact" x s)
+           (let m = s land 63 in if m > 62 then 0 else x lsl m)
+           (V.as_int v)
+       | None -> Alcotest.fail "expected result"))
+    [ (1, 1); (3, 5); (-7, 3); (9, 0); (5, 63); (5, 64) ];
+  List.iter
+    (fun (x, s) ->
+      let src = Printf.sprintf "int f() { int a; a = %d; return a >> %d; }" x s in
+      let plain, optimized = compile_pair src in
+      let r1, _ = run_f plain [] in
+      let r2, _ = run_f optimized [] in
+      check_bool (Printf.sprintf "fold %d >> %d agrees" x s) true
+        (match (r1, r2) with Some a, Some b -> V.equal a b | _ -> false))
+    [ (256, 1); (-256, 3); (12345, 7); (-1, 63) ]
+
 let test_division_by_zero_not_folded () =
   (* 1/0 must not be folded away or crash the optimizer *)
   let compiled =
@@ -202,6 +230,7 @@ let suite =
     ("constant folding", `Quick, test_constant_folding);
     ("branch simplification prunes", `Quick, test_branch_simplification_prunes);
     ("dce keeps effects", `Quick, test_dce_keeps_effects);
+    ("shift folding matches interpreter", `Quick, test_shift_folding_matches_interpreter);
     ("division by zero not folded", `Quick, test_division_by_zero_not_folded);
     ("optimized semantics preserved", `Quick, test_optimized_semantics_preserved);
     ("analysis of optimized code sound", `Quick, test_analysis_of_optimized_code_sound) ]

@@ -158,6 +158,29 @@ let test_counters_match_semantics () =
   check_bool "entry executed once" true
     (List.assoc ("f", 0) counts = 1)
 
+let test_shift_semantics () =
+  (* regression: shift amounts were masked with [land 62], clearing bit 0,
+     so x << 1 simulated as x << 0 *)
+  let src = "int f(int x, int s) { return x << s; }" in
+  let sr_src = "int f(int x, int s) { return x >> s; }" in
+  List.iter
+    (fun (x, s) ->
+      let r, _ = run_int src "f" [ x; s ] in
+      check_int (Printf.sprintf "%d << %d" x s) (x lsl s) r)
+    [ (1, 1); (3, 3); (5, 5); (1, 7); (123, 13); (-9, 1); (7, 0); (1, 31) ];
+  List.iter
+    (fun (x, s) ->
+      let r, _ = run_int sr_src "f" [ x; s ] in
+      check_int (Printf.sprintf "%d >> %d" x s) (x asr s) r)
+    [ (2, 1); (256, 3); (-256, 5); (12345, 7); (-1, 1); (7, 0) ];
+  (* amounts are masked to 6 bits; 63 clamps (shl to 0, shr to the sign) *)
+  let r, _ = run_int src "f" [ 5; 64 ] in
+  check_int "5 << 64 wraps to << 0" 5 r;
+  let r, _ = run_int src "f" [ 5; 63 ] in
+  check_int "5 << 63 saturates to 0" 0 r;
+  let r, _ = run_int sr_src "f" [ -5; 63 ] in
+  check_int "-5 >> 63 keeps the sign" (-1) r
+
 let test_division_by_zero_traps () =
   check_bool "trap" true
     (try ignore (run_int "int f(int a) { return 1 / a; }" "f" [ 0 ]); false
@@ -218,6 +241,7 @@ let suite =
     ("break and continue", `Quick, test_break_continue);
     ("function calls and f-edges", `Quick, test_calls_and_recursion_free);
     ("block counters", `Quick, test_counters_match_semantics);
+    ("shift semantics (odd amounts)", `Quick, test_shift_semantics);
     ("division by zero traps", `Quick, test_division_by_zero_traps);
     ("out of fuel", `Quick, test_out_of_fuel);
     ("cycle accounting sanity", `Quick, test_cycle_accounting);
@@ -275,3 +299,222 @@ let suite =
   suite
   @ [ ("trace events", `Quick, test_trace_events);
       ("profile accounts all cycles", `Quick, test_profile_accounts_all_cycles) ]
+
+(* --- fast-path differential test ----------------------------------------
+   The decoded interpreter's counters must be indistinguishable from a
+   direct re-count of the execution.  [set_block_hook] reports every
+   basic-block entry; since block bodies are straight-line, the event
+   stream determines the whole control flow: after a block's call sites
+   are exhausted the next event is a terminator successor, and before that
+   it is unconditionally the next callee's entry block.  A shadow call
+   stack replays that and recounts blocks, edges, calls and every
+   context-qualified counter independently. *)
+
+module P = Ipet_isa.Prog
+module Bspec = Ipet_suite.Bspec
+
+type shadow_frame = {
+  sf_func : P.func;
+  mutable sf_block : int;
+  mutable sf_next_call : int;
+  sf_path : Interp.site list;  (* root-first *)
+}
+
+type recount = {
+  r_counts : (string * int, int) Hashtbl.t;
+  r_edges : (string * int * int, int) Hashtbl.t;
+  r_calls : (string * int * int, int) Hashtbl.t;
+  r_ctx_counts : (Interp.site list * string * int, int) Hashtbl.t;
+  r_ctx_edges : (Interp.site list * string * int * int, int) Hashtbl.t;
+  r_ctx_calls : (Interp.site list * string * int * int, int) Hashtbl.t;
+  r_ctx_entries : (Interp.site list * string, int) Hashtbl.t;
+}
+
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let recount_run prog root hook_runner =
+  let r =
+    { r_counts = Hashtbl.create 64;
+      r_edges = Hashtbl.create 64;
+      r_calls = Hashtbl.create 16;
+      r_ctx_counts = Hashtbl.create 64;
+      r_ctx_edges = Hashtbl.create 64;
+      r_ctx_calls = Hashtbl.create 16;
+      r_ctx_entries = Hashtbl.create 16 }
+  in
+  let stack = ref [] in
+  let enter func path =
+    bump r.r_ctx_entries (path, func.P.name);
+    stack := { sf_func = func; sf_block = 0; sf_next_call = 0; sf_path = path } :: !stack
+  in
+  let count_block f b path =
+    bump r.r_counts (f, b);
+    bump r.r_ctx_counts (path, f, b)
+  in
+  let on_event f b =
+    let rec resolve () =
+      match !stack with
+      | [] ->
+        Alcotest.(check string) "root entry function" root f;
+        Alcotest.(check int) "root entry block" 0 b;
+        enter (P.find_func prog root) [];
+        count_block f b []
+      | top :: rest ->
+        let calls = P.calls_of_block top.sf_func.P.blocks.(top.sf_block) in
+        if top.sf_next_call < List.length calls then begin
+          let callee = List.nth calls top.sf_next_call in
+          Alcotest.(check string) "call transition enters callee" callee f;
+          Alcotest.(check int) "callee entered at block 0" 0 b;
+          let occurrence = top.sf_next_call in
+          let site = (top.sf_func.P.name, top.sf_block, occurrence) in
+          bump r.r_calls site;
+          bump r.r_ctx_calls
+            (top.sf_path, top.sf_func.P.name, top.sf_block, occurrence);
+          top.sf_next_call <- top.sf_next_call + 1;
+          let path = top.sf_path @ [ site ] in
+          enter (P.find_func prog callee) path;
+          count_block f b path
+        end
+        else
+          match top.sf_func.P.blocks.(top.sf_block).P.term with
+          | Ipet_isa.Instr.Return _ ->
+            stack := rest;
+            resolve ()
+          | Ipet_isa.Instr.Jump t ->
+            Alcotest.(check string) "jump stays in function" top.sf_func.P.name f;
+            Alcotest.(check int) "jump target" t b;
+            bump r.r_edges (f, top.sf_block, b);
+            bump r.r_ctx_edges (top.sf_path, f, top.sf_block, b);
+            top.sf_block <- b;
+            top.sf_next_call <- 0;
+            count_block f b top.sf_path
+          | Ipet_isa.Instr.Branch (_, t1, t2) ->
+            Alcotest.(check string) "branch stays in function" top.sf_func.P.name f;
+            check_bool "branch target" true (b = t1 || b = t2);
+            bump r.r_edges (f, top.sf_block, b);
+            bump r.r_ctx_edges (top.sf_path, f, top.sf_block, b);
+            top.sf_block <- b;
+            top.sf_next_call <- 0;
+            count_block f b top.sf_path
+    in
+    resolve ()
+  in
+  hook_runner on_event;
+  r
+
+let assert_recount_matches name m prog r =
+  (* plain block counts: the interpreter view must equal the recount exactly *)
+  let recounted =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) r.r_counts [] |> List.sort compare
+  in
+  Alcotest.(check (list (pair (pair string int) int)))
+    (name ^ ": block counts") recounted (Interp.block_counts m);
+  (* every static edge and call site, executed or not *)
+  Array.iter
+    (fun (f : P.func) ->
+      Array.iter
+        (fun (b : P.block) ->
+          let check_edge dst =
+            let expected =
+              Option.value ~default:0
+                (Hashtbl.find_opt r.r_edges (f.P.name, b.P.id, dst))
+            in
+            check_int
+              (Printf.sprintf "%s: edge %s B%d->B%d" name f.P.name b.P.id dst)
+              expected
+              (Interp.edge_count m ~func:f.P.name ~src:b.P.id ~dst)
+          in
+          (match b.P.term with
+           | Ipet_isa.Instr.Jump t -> check_edge t
+           | Ipet_isa.Instr.Branch (_, t1, t2) ->
+             check_edge t1;
+             if t2 <> t1 then check_edge t2
+           | Ipet_isa.Instr.Return _ -> ());
+          List.iteri
+            (fun occurrence _callee ->
+              let expected =
+                Option.value ~default:0
+                  (Hashtbl.find_opt r.r_calls (f.P.name, b.P.id, occurrence))
+              in
+              check_int
+                (Printf.sprintf "%s: call %s B%d #%d" name f.P.name b.P.id
+                   occurrence)
+                expected
+                (Interp.call_count m ~caller:f.P.name ~block:b.P.id ~occurrence))
+            (P.calls_of_block b))
+        f.P.blocks)
+    prog.P.funcs;
+  (* context-qualified counters at every path the recount observed *)
+  Hashtbl.iter
+    (fun (path, f, b) v ->
+      check_int
+        (Printf.sprintf "%s: ctx count %s B%d (depth %d)" name f b
+           (List.length path))
+        v
+        (Interp.ctx_block_count m ~path ~func:f ~block:b))
+    r.r_ctx_counts;
+  Hashtbl.iter
+    (fun (path, f, src, dst) v ->
+      check_int
+        (Printf.sprintf "%s: ctx edge %s B%d->B%d" name f src dst)
+        v
+        (Interp.ctx_edge_count m ~path ~func:f ~src ~dst))
+    r.r_ctx_edges;
+  Hashtbl.iter
+    (fun (path, f, b, occurrence) v ->
+      check_int
+        (Printf.sprintf "%s: ctx call %s B%d #%d" name f b occurrence)
+        v
+        (Interp.ctx_call_count m ~path ~caller:f ~block:b ~occurrence))
+    r.r_ctx_calls;
+  Hashtbl.iter
+    (fun (path, f) v ->
+      check_int (Printf.sprintf "%s: ctx entries %s" name f) v
+        (Interp.ctx_entry_count m ~path ~func:f))
+    r.r_ctx_entries
+
+let differential_bench (bench : Bspec.t) =
+  let compiled = Bspec.compile bench in
+  let prog = compiled.Ipet_lang.Compile.prog in
+  List.iter
+    (fun (d : Bspec.dataset) ->
+      (* run 1: hooked, recounting independently *)
+      let m =
+        Interp.create prog ~init:compiled.Ipet_lang.Compile.init_data
+      in
+      d.Bspec.setup m;
+      Interp.flush_cache m;
+      let r =
+        recount_run prog bench.Bspec.root (fun on_event ->
+            Interp.set_block_hook m (fun f b _cycles -> on_event f b);
+            ignore (Interp.call m bench.Bspec.root d.Bspec.args);
+            Interp.clear_block_hook m)
+      in
+      assert_recount_matches bench.Bspec.name m prog r;
+      (* run 2: fresh machine, no hook — timing and cache statistics must
+         not depend on observation *)
+      let m2 =
+        Interp.create prog ~init:compiled.Ipet_lang.Compile.init_data
+      in
+      d.Bspec.setup m2;
+      Interp.flush_cache m2;
+      ignore (Interp.call m2 bench.Bspec.root d.Bspec.args);
+      check_int (bench.Bspec.name ^ ": cycles repeatable") (Interp.cycles m2)
+        (Interp.cycles m);
+      check_int (bench.Bspec.name ^ ": instructions repeatable")
+        (Interp.instructions m2) (Interp.instructions m);
+      check_int (bench.Bspec.name ^ ": cache hits repeatable")
+        (Interp.cache_hits m2) (Interp.cache_hits m);
+      check_int (bench.Bspec.name ^ ": cache misses repeatable")
+        (Interp.cache_misses m2) (Interp.cache_misses m))
+    bench.Bspec.worst_data
+
+let differential_tests =
+  List.map
+    (fun (b : Bspec.t) ->
+      (b.Bspec.name ^ " differential recount", `Slow,
+       fun () -> differential_bench b))
+    (Ipet_suite.Suite.all @ Ipet_suite.Suite.extended)
+
+let suite = suite @ differential_tests
