@@ -377,10 +377,58 @@ let asm =
     (Cmd.info "asm" ~doc:"Print the compiled E32 assembly.")
     Term.(const asm_cmd $ source_arg)
 
+(* --- fuzz ---------------------------------------------------------------- *)
+
+let fuzz_cmd seed iters no_shrink shrink_attempts quiet =
+  let log line = if not quiet then Printf.eprintf "%s\n%!" line in
+  let outcome =
+    Ipet_fuzz.Driver.run ~log ~shrink:(not no_shrink) ~shrink_attempts ~seed
+      ~iters ()
+  in
+  match outcome.Ipet_fuzz.Driver.report with
+  | None ->
+    Printf.printf "fuzz: %d/%d cases passed (seeds %d..%d)\n"
+      outcome.Ipet_fuzz.Driver.passed outcome.Ipet_fuzz.Driver.iters_run seed
+      (seed + iters - 1)
+  | Some report ->
+    Format.printf "%a@." Ipet_fuzz.Driver.pp_report report;
+    exit 1
+
+let seed_arg =
+  Arg.(value & opt int 1
+       & info [ "seed" ] ~docv:"N"
+           ~doc:"Base seed; case $(i)i$(i) uses seed N+i, so a failing seed \
+                 replays alone with $(b,--seed) N+i $(b,--iters) 1.")
+
+let iters_arg =
+  Arg.(value & opt int 100
+       & info [ "iters" ] ~docv:"N" ~doc:"Number of random cases to run.")
+
+let no_shrink_arg =
+  Arg.(value & flag
+       & info [ "no-shrink" ] ~doc:"Report the failing program unshrunk.")
+
+let shrink_attempts_arg =
+  Arg.(value & opt int 2000
+       & info [ "shrink-attempts" ] ~docv:"N"
+           ~doc:"Cap on oracle runs spent shrinking a failure.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress output.")
+
+let fuzz =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differentially fuzz the analyzer: random MC programs, \
+             simulated-vs-estimated bound checks, constraint validation, \
+             optimizer and presolve equivalence.")
+    Term.(const fuzz_cmd $ seed_arg $ iters_arg $ no_shrink_arg
+          $ shrink_attempts_arg $ quiet_arg)
+
 let main =
   Cmd.group
     (Cmd.info "cinderella" ~version:"1.0"
        ~doc:"Static execution-time analysis by implicit path enumeration.")
-    [ analyze; listing; cfg; asm; sim ]
+    [ analyze; listing; cfg; asm; sim; fuzz ]
 
 let () = exit (Cmd.eval main)

@@ -61,7 +61,7 @@ let structural_constraints spec =
 
 let block_costs spec ~func =
   let layout = Layout.make spec.prog in
-  Cost.func_bounds ?dcache:spec.dcache spec.cache layout (P.find_func spec.prog func)
+  Cost.func_bounds ?dcache:spec.dcache ~prog:spec.prog spec.cache layout (P.find_func spec.prog func)
 
 (* The Section IV refinement: inside a loop whose code provably stays
    resident (region fits the cache, hence no self-conflicts, and the loop
@@ -113,7 +113,7 @@ let objective spec insts ~select =
     | Some c -> c
     | None ->
       let c =
-        Cost.func_bounds ?dcache:spec.dcache spec.cache layout
+        Cost.func_bounds ?dcache:spec.dcache ~prog:spec.prog spec.cache layout
           (P.find_func spec.prog fname)
       in
       Hashtbl.replace cost_table fname c;
@@ -145,7 +145,7 @@ let refined_wcet_objective spec insts =
     | Some v -> v
     | None ->
       let func = P.find_func spec.prog fname in
-      let costs = Cost.func_bounds ?dcache:spec.dcache spec.cache layout func in
+      let costs = Cost.func_bounds ?dcache:spec.dcache ~prog:spec.prog spec.cache layout func in
       let cfg, plan = refinement_plan spec layout func in
       let v = (func, costs, cfg, plan) in
       Hashtbl.replace table fname v;

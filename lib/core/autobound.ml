@@ -68,14 +68,64 @@ let counted_loop init cond step body =
     Some (cond_line, ceil_div span c2)
   | _ -> None
 
+(* How executing a statement (list) can end, relative to the innermost
+   enclosing loop: fall through to the next statement, leave the loop
+   ([break], or [return] which leaves every loop), or jump to the next
+   iteration ([continue]). Needed for two reachability facts the CFG
+   construction makes true and a purely syntactic inference must mirror:
+
+   - statements after one that cannot fall through are never emitted, so a
+     loop there has no blocks and a bound on it would name a dead line;
+   - a loop whose body can neither fall through nor [continue] has no back
+     edge — the compiled CFG contains no loop to attach the bound to. *)
+type outcomes = { fall : bool; brk : bool; cont : bool }
+
+let rec stmt_outcomes (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Break | Ast.Return _ -> { fall = false; brk = true; cont = false }
+  | Ast.Continue -> { fall = false; brk = false; cont = true }
+  | Ast.If (_, then_b, else_b) ->
+    let a = list_outcomes then_b and b = list_outcomes else_b in
+    { fall = a.fall || b.fall; brk = a.brk || b.brk; cont = a.cont || b.cont }
+  | Ast.While (_, body) | Ast.Do_while (body, _) | Ast.For (_, _, _, body) ->
+    (* a nested loop swallows its own break/continue; only a return still
+       leaves the enclosing loop *)
+    { fall = true; brk = returns body; cont = false }
+  | Ast.Block stmts -> list_outcomes stmts
+  | Ast.Assign _ | Ast.Decl _ | Ast.Decl_array _ | Ast.Expr_stmt _ ->
+    { fall = true; brk = false; cont = false }
+
+and list_outcomes = function
+  | [] -> { fall = true; brk = false; cont = false }
+  | s :: rest ->
+    let o = stmt_outcomes s in
+    if not o.fall then o
+    else
+      let r = list_outcomes rest in
+      { fall = r.fall; brk = o.brk || r.brk; cont = o.cont || r.cont }
+
+(* can the body reach the loop's step/header again, i.e. does the compiled
+   loop have a back edge? *)
+let may_iterate body =
+  let o = list_outcomes body in
+  o.fall || o.cont
+
 let rec infer_stmts fname stmts =
-  List.concat_map (infer_stmt fname) stmts
+  match stmts with
+  | [] -> []
+  | s :: rest ->
+    let here = infer_stmt fname s in
+    if (stmt_outcomes s).fall then here @ infer_stmts fname rest else here
 
 and infer_stmt fname (s : Ast.stmt) =
   match s.Ast.sdesc with
   | Ast.For (init, cond, step, body) ->
     let nested = infer_stmts fname body in
     (match counted_loop init cond step body with
+     | Some _ when not (may_iterate body) ->
+       (* no path reaches the step: the compiled CFG has no back edge here,
+          so there is no loop to bound *)
+       nested
      | Some (line, trips) ->
        let lo = if escapes body then 0 else trips in
        Annotation.loop ~func:fname ~line ~lo ~hi:trips :: nested

@@ -1,0 +1,297 @@
+module Ast = Ipet_lang.Ast
+module Icache = Ipet_machine.Icache
+
+type case = {
+  seed : int;
+  prog : Ast.program;
+  cache : Icache.config;
+}
+
+(* Every generated program must be accepted by the whole pipeline, so the
+   grammar below is the intersection of what the frontend allows and what
+   the analysis can bound:
+
+   - loops are exactly the counted [for (i = c0; i <(=) c1; i = i + c2)]
+     shape that {!Ipet.Autobound} recognizes, with non-negative literal
+     bounds and an induction variable that is declared at the top of the
+     function and never assigned anywhere else;
+   - division and modulo right-hand sides are [(e | 1)] — always odd,
+     hence never zero;
+   - array sizes are powers of two and every index is masked with
+     [(e & (size-1))], so accesses are always in bounds;
+   - the call graph is a DAG (function [k] may only call functions with a
+     smaller index), which keeps the virtual-inlining instance expansion
+     finite and recursion-free.
+
+   Everything else — operand values, operator mix, shift amounts, nesting,
+   call placement — is unconstrained, which is where the ALU edge cases
+   (overflow, [min_int32 / -1], shifts past the register width) come
+   from. *)
+
+let no_pos = 0
+
+let mk_e desc = { Ast.desc; Ast.eline = no_pos }
+let mk_s sdesc = { Ast.sdesc; Ast.sline = no_pos }
+let int_lit n = mk_e (Ast.Int_lit n)
+
+let interesting =
+  [| 0; 1; 2; 3; 5; 7; 8; 15; 16; 17; 31; 32; 33; 62; 63; 64; 65; 127; 128;
+     255; 256; 1023; 4096; 65535; 65536; 0x7FFF_FFFF; 0x7FFF_FFFE;
+     -0x8000_0000; -0x7FFF_FFFF; -1; -2; -3; -7; -31; -32; -63; -64; -255 |]
+
+let literal rng =
+  Rng.weighted rng
+    [ (5, `Small); (4, `Interesting); (2, `Wide) ]
+  |> function
+  | `Small -> Rng.range rng 0 9
+  | `Interesting -> Rng.choose rng interesting
+  | `Wide ->
+    let v = Rng.int rng 0x1_0000_0000 in
+    Ipet_isa.Value.wrap32 v
+
+type scope = {
+  rng : Rng.t;
+  ints : string list;           (* readable int scalars (incl. induction vars) *)
+  assignable : string list;     (* writable int scalars (excl. induction vars) *)
+  arrays : (string * int) list; (* readable/writable arrays with their size *)
+  callees : (string * int) list;          (* (name, nparams), DAG-ordered *)
+  call_budget : int ref;        (* static call sites left, shared program-wide *)
+}
+
+(* --- expressions --------------------------------------------------------- *)
+
+let mask_index e size = mk_e (Ast.Binop (Ast.Band, e, int_lit (size - 1)))
+
+let binops =
+  [| Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Mod; Ast.Lt; Ast.Le; Ast.Gt;
+     Ast.Ge; Ast.Eq; Ast.Ne; Ast.Land; Ast.Lor; Ast.Band; Ast.Bor; Ast.Bxor;
+     Ast.Shl; Ast.Shr |]
+
+let rec expr sc depth =
+  let leafy = depth <= 0 in
+  match
+    Rng.weighted sc.rng
+      (List.concat
+         [ [ (4, `Lit) ];
+           (if sc.ints = [] then [] else [ (4, `Var) ]);
+           (if sc.arrays = [] then [] else [ (2, `Index) ]);
+           (if leafy then [] else [ (2, `Unop); (8, `Binop) ]);
+           (if leafy || sc.callees = [] || !(sc.call_budget) <= 0 then []
+            else [ (1, `Call) ]) ])
+  with
+  | `Lit -> int_lit (literal sc.rng)
+  | `Var -> mk_e (Ast.Var (Rng.choose sc.rng (Array.of_list sc.ints)))
+  | `Index ->
+    let name, size = Rng.choose sc.rng (Array.of_list sc.arrays) in
+    mk_e (Ast.Index (name, mask_index (expr sc (depth - 1)) size))
+  | `Unop ->
+    let op = if Rng.bool sc.rng then Ast.Neg else Ast.Lnot in
+    mk_e (Ast.Unop (op, expr sc (depth - 1)))
+  | `Binop ->
+    let op = Rng.choose sc.rng binops in
+    let lhs = expr sc (depth - 1) in
+    let rhs = expr sc (depth - 1) in
+    let rhs =
+      match op with
+      | Ast.Div | Ast.Mod -> mk_e (Ast.Binop (Ast.Bor, rhs, int_lit 1))
+      | _ -> rhs
+    in
+    mk_e (Ast.Binop (op, lhs, rhs))
+  | `Call -> call_expr sc depth
+
+and call_expr sc depth =
+  decr sc.call_budget;
+  let name, nparams = Rng.choose sc.rng (Array.of_list sc.callees) in
+  let args = List.init nparams (fun _ -> expr sc (min depth 2 - 1)) in
+  mk_e (Ast.Call (name, args))
+
+(* --- statements ---------------------------------------------------------- *)
+
+(* induction variables are one per nesting depth so that nested loops never
+   collide; they are all declared (initialized) at the top of the function
+   because Autobound requires the loop init to be a plain assignment *)
+let ind_var depth = Printf.sprintf "i%d" depth
+
+let max_loop_depth = 2
+
+let rec stmts sc ~budget ~loop_depth ~in_loop =
+  if !budget <= 0 then []
+  else begin
+    let n = Rng.range sc.rng 1 4 in
+    let rec go k acc =
+      if k = 0 || !budget <= 0 then List.rev acc
+      else go (k - 1) (stmt sc ~budget ~loop_depth ~in_loop :: acc)
+    in
+    go n []
+  end
+
+and stmt sc ~budget ~loop_depth ~in_loop =
+  decr budget;
+  match
+    Rng.weighted sc.rng
+      (List.concat
+         [ (if sc.assignable = [] then [] else [ (8, `Assign) ]);
+           (if sc.arrays = [] then [] else [ (3, `Astore) ]);
+           [ (3, `If) ];
+           (if loop_depth < max_loop_depth then [ (3, `For) ] else []);
+           (if in_loop then [ (1, `Break); (1, `Continue) ] else []);
+           (if sc.callees = [] || !(sc.call_budget) <= 0 then []
+            else [ (2, `CallStmt) ]) ])
+  with
+  | `Assign ->
+    let target = Rng.choose sc.rng (Array.of_list sc.assignable) in
+    mk_s (Ast.Assign (Ast.Lvar target, expr sc 3))
+  | `Astore ->
+    let name, size = Rng.choose sc.rng (Array.of_list sc.arrays) in
+    let idx = mask_index (expr sc 2) size in
+    mk_s (Ast.Assign (Ast.Lindex (name, idx), expr sc 3))
+  | `If ->
+    let cond = expr sc 2 in
+    let then_b = stmts sc ~budget ~loop_depth ~in_loop in
+    let else_b =
+      if Rng.bool sc.rng then stmts sc ~budget ~loop_depth ~in_loop else []
+    in
+    (* a [return] deep in a branch is legal and exercises the early-exit
+       (lo = 0) path of the loop-bound inference *)
+    let then_b =
+      if in_loop && Rng.chance sc.rng ~num:1 ~den:6 then
+        then_b @ [ mk_s (Ast.Return (Some (expr sc 1))) ]
+      else then_b
+    in
+    mk_s (Ast.If (cond, then_b, else_b))
+  | `For ->
+    let i = ind_var loop_depth in
+    let c0 = Rng.range sc.rng 0 4 in
+    let step = Rng.range sc.rng 1 3 in
+    let le = Rng.bool sc.rng in
+    (* bounds stay non-negative literals: a negative bound would render as
+       a unary minus and no longer match Autobound's [Int_lit] pattern *)
+    let c1 = Rng.range sc.rng 0 (c0 + 10) in
+    let init = mk_s (Ast.Assign (Ast.Lvar i, int_lit c0)) in
+    let rel = if le then Ast.Le else Ast.Lt in
+    let cond = mk_e (Ast.Binop (rel, mk_e (Ast.Var i), int_lit c1)) in
+    let inc =
+      mk_s
+        (Ast.Assign
+           (Ast.Lvar i, mk_e (Ast.Binop (Ast.Add, mk_e (Ast.Var i), int_lit step))))
+    in
+    let body =
+      stmts sc ~budget ~loop_depth:(loop_depth + 1) ~in_loop:true
+    in
+    mk_s (Ast.For (Some init, Some cond, Some inc, body))
+  | `Break -> mk_s Ast.Break
+  | `Continue -> mk_s Ast.Continue
+  | `CallStmt -> mk_s (Ast.Expr_stmt (call_expr sc 2))
+
+(* --- whole programs ------------------------------------------------------ *)
+
+let global_scalar rng k =
+  { Ast.gtyp = Ast.Tint;
+    Ast.gname = Printf.sprintf "g%d" k;
+    Ast.gsize = None;
+    Ast.ginit = (if Rng.bool rng then Some [ Ast.Cint (literal rng) ] else None);
+    Ast.gline = no_pos }
+
+let global_array rng k =
+  let size = Rng.choose rng [| 4; 8; 16 |] in
+  let init =
+    if Rng.bool rng then
+      Some (List.init size (fun _ -> Ast.Cint (literal rng)))
+    else None
+  in
+  { Ast.gtyp = Ast.Tint;
+    Ast.gname = Printf.sprintf "a%d" k;
+    Ast.gsize = Some size;
+    Ast.ginit = init;
+    Ast.gline = no_pos }
+
+let func rng ~name ~nparams ~globals_int ~garrays ~callees ~call_budget
+    ~stmt_budget =
+  let params = List.init nparams (fun k -> Printf.sprintf "p%d" k) in
+  let nlocals = Rng.range rng 1 3 in
+  let locals = List.init nlocals (fun k -> Printf.sprintf "t%d" k) in
+  let ind_vars = List.init max_loop_depth ind_var in
+  let larray =
+    if Rng.chance rng ~num:1 ~den:3 then
+      [ (Printf.sprintf "l%d" 0, Rng.choose rng [| 4; 8 |]) ]
+    else []
+  in
+  let sc =
+    { rng;
+      ints = params @ locals @ ind_vars @ globals_int;
+      assignable = params @ locals @ globals_int;
+      arrays = garrays @ larray;
+      callees;
+      call_budget }
+  in
+  let decls =
+    List.map
+      (fun (n, size) -> mk_s (Ast.Decl_array (Ast.Tint, n, size)))
+      larray
+    @ List.map
+        (fun v -> mk_s (Ast.Decl (Ast.Tint, v, Some (int_lit (literal rng)))))
+        locals
+    @ List.map
+        (fun v -> mk_s (Ast.Decl (Ast.Tint, v, Some (int_lit 0))))
+        ind_vars
+  in
+  let budget = ref stmt_budget in
+  let body = stmts sc ~budget ~loop_depth:0 ~in_loop:false in
+  let body = decls @ body @ [ mk_s (Ast.Return (Some (expr sc 2))) ] in
+  { Ast.ret = Ast.Tint;
+    Ast.fname = name;
+    Ast.params = List.map (fun p -> (Ast.Tint, p)) params;
+    Ast.body;
+    Ast.fline = no_pos }
+
+let cache_config rng =
+  let line_bytes = Rng.choose rng [| 8; 16; 32 |] in
+  let nlines = Rng.choose rng [| 4; 8; 16; 32 |] in
+  let miss_penalty = Rng.choose rng [| 2; 8; 20 |] in
+  { Icache.size_bytes = line_bytes * nlines; Icache.line_bytes; miss_penalty }
+
+let program rng =
+  let nscalars = Rng.range rng 1 3 in
+  let narrays = Rng.range rng 0 2 in
+  let globals =
+    List.init nscalars (global_scalar rng)
+    @ List.init narrays (global_array rng)
+  in
+  let globals_int =
+    List.filteri (fun k _ -> k < nscalars) globals
+    |> List.map (fun g -> g.Ast.gname)
+  in
+  let garrays =
+    List.filteri (fun k _ -> k >= nscalars) globals
+    |> List.map (fun g -> (g.Ast.gname, Option.get g.Ast.gsize))
+  in
+  let nhelpers = Rng.range rng 0 3 in
+  let call_budget = ref 6 in
+  let rec build k callees acc =
+    if k = nhelpers then List.rev acc
+    else begin
+      let nparams = Rng.range rng 0 2 in
+      let name = Printf.sprintf "f%d" k in
+      let f =
+        func rng ~name ~nparams ~globals_int ~garrays ~callees ~call_budget
+          ~stmt_budget:(Rng.range rng 3 8)
+      in
+      build (k + 1) ((name, nparams) :: callees) (f :: acc)
+    end
+  in
+  let helpers = build 0 [] [] in
+  let callees =
+    List.map (fun (f : Ast.func) -> (f.Ast.fname, List.length f.Ast.params))
+      helpers
+  in
+  let main =
+    func rng ~name:"main" ~nparams:0 ~globals_int ~garrays ~callees
+      ~call_budget ~stmt_budget:(Rng.range rng 6 14)
+  in
+  { Ast.globals; Ast.funcs = helpers @ [ main ] }
+
+let case seed =
+  let rng = Rng.create seed in
+  let prog = program rng in
+  let cache = cache_config rng in
+  { seed; prog; cache }

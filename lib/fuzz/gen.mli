@@ -1,0 +1,23 @@
+(** Random MC program generator for the soundness fuzzer.
+
+    A generated case is constructed so that the whole pipeline must accept
+    it: loops are Autobound-recognizable counted [for] loops, divisors are
+    forced odd, array indices are masked to the (power-of-two) array size,
+    and the call graph is a DAG. Within those guardrails operand values,
+    operator mix, shift amounts, nesting and call placement are random —
+    a frontend rejection, an analysis rejection or a crash on a generated
+    case is therefore itself a bug.
+
+    Generation is a pure function of the seed (via {!Rng}), so any failure
+    replays bit-identically from the printed seed on any OCaml version. *)
+
+type case = {
+  seed : int;
+  prog : Ipet_lang.Ast.program;
+  cache : Ipet_machine.Icache.config;
+      (** randomized but always valid: power-of-two lines, size a multiple
+          of the line *)
+}
+
+val case : int -> case
+(** The (deterministic) case for a seed. The program's root is [main]. *)

@@ -1,0 +1,216 @@
+module Lang = Ipet_lang
+module Isa = Ipet_isa
+module P = Isa.Prog
+module I = Isa.Instr
+module V = Isa.Value
+module Icache = Ipet_machine.Icache
+module Interp = Ipet_sim.Interp
+module Analysis = Ipet.Analysis
+module Annotation = Ipet.Annotation
+module Autobound = Ipet.Autobound
+module Structural = Ipet.Structural
+module Flowvar = Ipet.Flowvar
+module Lp = Ipet_lp.Lp_problem
+module Rat = Ipet_num.Rat
+
+type failure_kind =
+  | Frontend_reject
+  | Analysis_reject
+  | Sim_crash
+  | Bound_violation
+  | Constraint_violation
+  | Optimizer_divergence
+  | Presolve_divergence
+  | Unexpected_exception
+
+let kind_name = function
+  | Frontend_reject -> "frontend-reject"
+  | Analysis_reject -> "analysis-reject"
+  | Sim_crash -> "sim-crash"
+  | Bound_violation -> "bound-violation"
+  | Constraint_violation -> "constraint-violation"
+  | Optimizer_divergence -> "optimizer-divergence"
+  | Presolve_divergence -> "presolve-divergence"
+  | Unexpected_exception -> "unexpected-exception"
+
+type failure = { kind : failure_kind; detail : string }
+
+type stats = { bcet : int; wcet : int; cycles : int; instructions : int }
+
+type verdict = Pass of stats | Fail of failure
+
+exception Reject of failure
+
+let fail kind fmt = Printf.ksprintf (fun detail -> raise (Reject { kind; detail })) fmt
+
+(* --- frontend ------------------------------------------------------------ *)
+
+let parse source =
+  try Lang.Frontend.parse_and_check source with
+  | Lang.Lexer.Error (m, l) -> fail Frontend_reject "lexer: line %d: %s" l m
+  | Lang.Parser.Error (m, l) -> fail Frontend_reject "parser: line %d: %s" l m
+  | Lang.Typecheck.Error (m, l) -> fail Frontend_reject "typecheck: line %d: %s" l m
+
+let compile ~optimize source =
+  match Lang.Frontend.compile_string ~optimize source with
+  | Ok c -> c
+  | Error { Lang.Frontend.message; line } ->
+    fail Frontend_reject "compile: line %d: %s" line message
+
+(* --- measured execution counts as an ILP assignment ---------------------- *)
+
+(* every flow variable of every instance, valued from the simulator's
+   context-qualified counters; names match Structural/Annotation exactly
+   because both go through [Flowvar.name] *)
+let measured_counts machine instances =
+  let paths : (Flowvar.ctx, Interp.site list) Hashtbl.t = Hashtbl.create 16 in
+  let counts : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  let add fv n = Hashtbl.replace counts (Flowvar.name fv) n in
+  List.iter
+    (fun (inst : Structural.instance) ->
+      let ctx = inst.Structural.ctx in
+      let func = inst.Structural.func in
+      let fname = func.P.name in
+      let path =
+        match Hashtbl.find_opt paths ctx with
+        | Some p -> p
+        | None -> []  (* instances are root-first; the root's path is empty *)
+      in
+      List.iter
+        (fun (site, _callee, callee_ctx) ->
+          Hashtbl.replace paths callee_ctx
+            (path @ [ (fname, site.Ipet.Callsite.block, site.Ipet.Callsite.occurrence) ]))
+        inst.Structural.sites;
+      add
+        (Flowvar.Entry { ctx; func = fname })
+        (Interp.ctx_entry_count machine ~path ~func:fname);
+      Array.iter
+        (fun (b : P.block) ->
+          let bcount =
+            Interp.ctx_block_count machine ~path ~func:fname ~block:b.P.id
+          in
+          add (Flowvar.Block { ctx; func = fname; block = b.P.id }) bcount;
+          let edge dst =
+            add
+              (Flowvar.Edge { ctx; func = fname; src = b.P.id; dst })
+              (Interp.ctx_edge_count machine ~path ~func:fname ~src:b.P.id ~dst)
+          in
+          (match b.P.term with
+           | I.Jump t -> edge t
+           | I.Branch (_, t1, t2) ->
+             edge t1;
+             if t2 <> t1 then edge t2
+           | I.Return _ ->
+             (* a return-terminated block always leaves by its exit edge *)
+             add (Flowvar.Exit { ctx; func = fname; block = b.P.id }) bcount);
+          List.iteri
+            (fun occurrence _callee ->
+              add
+                (Flowvar.Fedge { ctx; func = fname; block = b.P.id; occurrence })
+                (Interp.ctx_call_count machine ~path ~caller:fname ~block:b.P.id
+                   ~occurrence))
+            (P.calls_of_block b))
+        func.P.blocks)
+    instances;
+  fun name ->
+    match Hashtbl.find_opt counts name with
+    | Some n -> Rat.of_int n
+    | None -> Rat.zero
+
+(* --- observable state comparison ----------------------------------------- *)
+
+let compare_observables ~(prog : P.t) m_ref m_opt ret_ref ret_opt =
+  let pp_ret = function
+    | None -> "void"
+    | Some v -> Format.asprintf "%a" V.pp v
+  in
+  if not (Option.equal V.equal ret_ref ret_opt) then
+    fail Optimizer_divergence "return value: unoptimized %s, optimized %s"
+      (pp_ret ret_ref) (pp_ret ret_opt);
+  List.iter
+    (fun (g : P.global) ->
+      for i = 0 to g.P.size_words - 1 do
+        let a = Interp.read_global m_ref g.P.gname i in
+        let b = Interp.read_global m_opt g.P.gname i in
+        if not (V.equal a b) then
+          fail Optimizer_divergence "global %s[%d]: unoptimized %a, optimized %a"
+            g.P.gname i
+            (fun () v -> Format.asprintf "%a" V.pp v) a
+            (fun () v -> Format.asprintf "%a" V.pp v) b
+      done)
+    prog.P.globals
+
+(* --- the oracle ---------------------------------------------------------- *)
+
+let run cache source =
+  let ast, _env = parse source in
+  let compiled = compile ~optimize:false source in
+  let bounds = Autobound.infer ast in
+  let spec =
+    Analysis.spec ~cache ~loop_bounds:bounds ~root:"main" compiled.Lang.Compile.prog
+  in
+  let bcet, wcet =
+    try Analysis.estimated_bound spec with
+    | Analysis.Analysis_error m -> fail Analysis_reject "%s" m
+    | Invalid_argument m -> fail Analysis_reject "%s" m
+    | Annotation.Bad_annotation m -> fail Analysis_reject "annotation: %s" m
+  in
+  (* presolve is required to be semantics-preserving: same bound either way *)
+  let bcet_np, wcet_np =
+    Analysis.estimated_bound { spec with Analysis.presolve = false }
+  in
+  if (bcet_np, wcet_np) <> (bcet, wcet) then
+    fail Presolve_divergence
+      "presolve on: [%d, %d]; presolve off: [%d, %d]" bcet wcet bcet_np wcet_np;
+  (* measured run: fresh machine, cold cache — the configuration the WCET
+     analysis models *)
+  let machine =
+    Interp.create ~cache compiled.Lang.Compile.prog
+      ~init:compiled.Lang.Compile.init_data
+  in
+  let ret =
+    try Interp.call machine "main" [] with
+    | Interp.Runtime_error m -> fail Sim_crash "runtime error: %s" m
+    | Interp.Out_of_fuel -> fail Sim_crash "out of fuel"
+  in
+  let cycles = Interp.cycles machine in
+  if cycles < bcet || cycles > wcet then
+    fail Bound_violation "simulated %d cycles outside estimated bound [%d, %d]"
+      cycles bcet wcet;
+  (* the measured block/edge counts must satisfy every constraint the ILP
+     was built from — structural flow equations and loop bounds alike *)
+  let instances = Analysis.instances spec in
+  let lookup = measured_counts machine instances in
+  let check_constr (c : Lp.constr) =
+    if not (Lp.satisfies lookup c) then
+      fail Constraint_violation "measured counts violate %s: %s" c.Lp.origin
+        (Format.asprintf "%a" Lp.pp_constr c)
+  in
+  List.iter check_constr (Analysis.structural_constraints spec);
+  let loop_constrs, _unbounded =
+    Annotation.constraints compiled.Lang.Compile.prog instances bounds
+  in
+  List.iter check_constr loop_constrs;
+  (* the optimizer must preserve observable behaviour: same return value,
+     same final global memory *)
+  let opt = compile ~optimize:true source in
+  let machine_opt =
+    Interp.create ~cache opt.Lang.Compile.prog ~init:opt.Lang.Compile.init_data
+  in
+  let ret_opt =
+    try Interp.call machine_opt "main" [] with
+    | Interp.Runtime_error m -> fail Optimizer_divergence "optimized run: %s" m
+    | Interp.Out_of_fuel -> fail Optimizer_divergence "optimized run: out of fuel"
+  in
+  compare_observables ~prog:compiled.Lang.Compile.prog machine machine_opt ret
+    ret_opt;
+  Pass { bcet; wcet; cycles; instructions = Interp.instructions machine }
+
+let check ?(cache = Icache.i960kb) source =
+  match run cache source with
+  | verdict -> verdict
+  | exception Reject f -> Fail f
+  | exception e ->
+    Fail
+      { kind = Unexpected_exception;
+        detail = Printexc.to_string e }

@@ -1,0 +1,39 @@
+(** The soundness oracle: one MC source through the whole pipeline, with
+    every cross-check the paper's soundness argument rests on.
+
+    For a program the generator guarantees to be well-formed and boundable,
+    the oracle checks that:
+
+    - the frontend accepts it and the analysis produces a bound;
+    - the ILP objective is identical with and without presolve;
+    - a cold simulated run of [main] finishes and its cycle count lies
+      inside the estimated bound [[BCET, WCET]] (Fig. 1);
+    - the measured per-instance block/edge counts satisfy {e every}
+      structural and loop-bound constraint the ILP was built from;
+    - the optimized build returns the same value and leaves the same global
+      memory as the unoptimized build.
+
+    Any deviation — including an unexpected exception anywhere in the
+    pipeline — is a classified failure. *)
+
+type failure_kind =
+  | Frontend_reject       (** lexer/parser/typecheck/compile refused it *)
+  | Analysis_reject       (** analysis raised (e.g. a loop it cannot bound) *)
+  | Sim_crash             (** runtime error or fuel exhaustion *)
+  | Bound_violation       (** simulated cycles outside [BCET, WCET] *)
+  | Constraint_violation  (** measured counts break an ILP constraint *)
+  | Optimizer_divergence  (** optimized and unoptimized runs observably differ *)
+  | Presolve_divergence   (** presolve changed an ILP objective value *)
+  | Unexpected_exception
+
+val kind_name : failure_kind -> string
+
+type failure = { kind : failure_kind; detail : string }
+
+type stats = { bcet : int; wcet : int; cycles : int; instructions : int }
+
+type verdict = Pass of stats | Fail of failure
+
+val check : ?cache:Ipet_machine.Icache.config -> string -> verdict
+(** Run every check on an MC source text (root function [main], no
+    arguments). Defaults to the paper's i960KB cache. Never raises. *)

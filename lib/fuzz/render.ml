@@ -1,0 +1,136 @@
+module Ast = Ipet_lang.Ast
+
+(* MC source emission with two properties the oracle depends on:
+   - every expression is fully parenthesized, so the reparsed AST has
+     exactly the generated structure regardless of precedence;
+   - every statement sits on its own line, so each loop header owns a
+     distinct source line and the line-keyed Autobound annotations can
+     never conflate two loops. *)
+
+let typ = Ast.typ_name
+
+let unop = function Ast.Neg -> "-" | Ast.Lnot -> "!"
+
+let binop = function
+  | Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*" | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Lt -> "<" | Ast.Le -> "<=" | Ast.Gt -> ">" | Ast.Ge -> ">="
+  | Ast.Eq -> "==" | Ast.Ne -> "!="
+  | Ast.Land -> "&&" | Ast.Lor -> "||"
+  | Ast.Band -> "&" | Ast.Bor -> "|" | Ast.Bxor -> "^"
+  | Ast.Shl -> "<<" | Ast.Shr -> ">>"
+
+let float_lit f =
+  let s = Printf.sprintf "%.17g" f in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'n') s then s
+  else s ^ ".0"
+
+let rec expr (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Int_lit n ->
+    (* negative literals reparse as unary minus over the magnitude; for
+       min_int32 the magnitude 2147483648 wraps back through the lexer
+       and negation to min_int32 again, so the value round-trips *)
+    if n < 0 then Printf.sprintf "(-%d)" (-n) else string_of_int n
+  | Ast.Float_lit f -> float_lit f
+  | Ast.Var v -> v
+  | Ast.Index (a, i) -> Printf.sprintf "%s[%s]" a (expr i)
+  | Ast.Unop (op, a) -> Printf.sprintf "(%s%s)" (unop op) (expr a)
+  | Ast.Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr a) (binop op) (expr b)
+  | Ast.Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr args))
+  | Ast.Cast (t, a) -> Printf.sprintf "((%s) %s)" (typ t) (expr a)
+
+let const = function
+  | Ast.Cint n -> if n < 0 then Printf.sprintf "-%d" (-n) else string_of_int n
+  | Ast.Cfloat f -> float_lit f
+
+let lvalue = function
+  | Ast.Lvar v -> v
+  | Ast.Lindex (a, i) -> Printf.sprintf "%s[%s]" a (expr i)
+
+let line buf indent s =
+  Buffer.add_string buf (String.make (2 * indent) ' ');
+  Buffer.add_string buf s;
+  Buffer.add_char buf '\n'
+
+let rec stmt buf indent (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Decl (t, v, init) ->
+    let rhs = match init with None -> "" | Some e -> " = " ^ expr e in
+    line buf indent (Printf.sprintf "%s %s%s;" (typ t) v rhs)
+  | Ast.Decl_array (t, v, n) ->
+    line buf indent (Printf.sprintf "%s %s[%d];" (typ t) v n)
+  | Ast.Assign (lv, e) ->
+    line buf indent (Printf.sprintf "%s = %s;" (lvalue lv) (expr e))
+  | Ast.Expr_stmt e -> line buf indent (expr e ^ ";")
+  | Ast.If (c, then_b, else_b) ->
+    line buf indent (Printf.sprintf "if (%s) {" (expr c));
+    List.iter (stmt buf (indent + 1)) then_b;
+    if else_b <> [] then begin
+      line buf indent "} else {";
+      List.iter (stmt buf (indent + 1)) else_b
+    end;
+    line buf indent "}"
+  | Ast.While (c, body) ->
+    line buf indent (Printf.sprintf "while (%s) {" (expr c));
+    List.iter (stmt buf (indent + 1)) body;
+    line buf indent "}"
+  | Ast.Do_while (body, c) ->
+    line buf indent "do {";
+    List.iter (stmt buf (indent + 1)) body;
+    line buf indent (Printf.sprintf "} while (%s);" (expr c))
+  | Ast.For (init, cond, step, body) ->
+    let simple (st : Ast.stmt option) =
+      match st with
+      | None -> ""
+      | Some { Ast.sdesc = Ast.Assign (lv, e); _ } ->
+        Printf.sprintf "%s = %s" (lvalue lv) (expr e)
+      | Some { Ast.sdesc = Ast.Expr_stmt e; _ } -> expr e
+      | Some _ -> invalid_arg "Render: non-simple for-loop init/step"
+    in
+    line buf indent
+      (Printf.sprintf "for (%s; %s; %s) {" (simple init)
+         (match cond with None -> "" | Some c -> expr c)
+         (simple step));
+    List.iter (stmt buf (indent + 1)) body;
+    line buf indent "}"
+  | Ast.Return None -> line buf indent "return;"
+  | Ast.Return (Some e) -> line buf indent (Printf.sprintf "return %s;" (expr e))
+  | Ast.Break -> line buf indent "break;"
+  | Ast.Continue -> line buf indent "continue;"
+  | Ast.Block body ->
+    line buf indent "{";
+    List.iter (stmt buf (indent + 1)) body;
+    line buf indent "}"
+
+let global buf (g : Ast.global) =
+  let dims = match g.Ast.gsize with None -> "" | Some n -> Printf.sprintf "[%d]" n in
+  let init =
+    match g.Ast.ginit with
+    | None -> ""
+    | Some [ c ] when g.Ast.gsize = None -> " = " ^ const c
+    | Some cs ->
+      " = { " ^ String.concat ", " (List.map const cs) ^ " }"
+  in
+  line buf 0 (Printf.sprintf "%s %s%s%s;" (typ g.Ast.gtyp) g.Ast.gname dims init)
+
+let func buf (f : Ast.func) =
+  let params =
+    String.concat ", "
+      (List.map (fun (t, v) -> Printf.sprintf "%s %s" (typ t) v) f.Ast.params)
+  in
+  line buf 0 (Printf.sprintf "%s %s(%s) {" (typ f.Ast.ret) f.Ast.fname params);
+  List.iter (stmt buf 1) f.Ast.body;
+  line buf 0 "}"
+
+let program (p : Ast.program) =
+  let buf = Buffer.create 1024 in
+  List.iter (global buf) p.Ast.globals;
+  List.iter
+    (fun f ->
+      Buffer.add_char buf '\n';
+      func buf f)
+    p.Ast.funcs;
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** MC source text from an AST.
+
+    Fully parenthesized (the reparsed program has exactly the rendered
+    structure) and one statement per line (each loop header owns its source
+    line, as the line-keyed loop-bound annotations require). Feeding the
+    render through the real lexer and parser keeps the whole frontend
+    inside the fuzzing loop. *)
+
+val expr : Ipet_lang.Ast.expr -> string
+
+val program : Ipet_lang.Ast.program -> string
+(** @raise Invalid_argument on for-loop init/step forms the concrete syntax
+    cannot express (the generator never produces them). *)

@@ -1,0 +1,32 @@
+(** Deterministic splitmix64 random source.
+
+    Used instead of [Stdlib.Random] because the stdlib generator differs
+    between OCaml 4.x and 5.x: a fuzz seed must replay the exact same
+    program on every compiler of the CI matrix. *)
+
+type t
+
+val create : int -> t
+(** A generator whose whole stream is a pure function of the seed. *)
+
+val next64 : t -> int64
+
+val bits : t -> int
+(** 62 uniformly random non-negative bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform-ish in [0, bound). @raise Invalid_argument
+    when [bound <= 0]. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is in [lo, hi], both inclusive. *)
+
+val bool : t -> bool
+
+val chance : t -> num:int -> den:int -> bool
+(** True with probability [num/den]. *)
+
+val choose : t -> 'a array -> 'a
+
+val weighted : t -> (int * 'a) list -> 'a
+(** Pick a value with probability proportional to its weight. *)

@@ -1,0 +1,185 @@
+module Ast = Ipet_lang.Ast
+
+(* Greedy first-improvement shrinking over whole-program edits. Progress is
+   measured lexicographically by (AST node count, sum of literal
+   magnitudes); every candidate strictly decreases the measure, so the loop
+   terminates, and a candidate is adopted only when [check] says it still
+   fails the same way. *)
+
+(* --- measure ------------------------------------------------------------- *)
+
+let rec expr_size (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Var _ -> 1
+  | Ast.Index (_, i) -> 1 + expr_size i
+  | Ast.Unop (_, a) | Ast.Cast (_, a) -> 1 + expr_size a
+  | Ast.Binop (_, a, b) -> 1 + expr_size a + expr_size b
+  | Ast.Call (_, args) -> 1 + List.fold_left (fun n a -> n + expr_size a) 0 args
+
+let rec stmt_size (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Decl (_, _, None) | Ast.Decl_array _ | Ast.Break | Ast.Continue
+  | Ast.Return None -> 1
+  | Ast.Decl (_, _, Some e) | Ast.Assign (Ast.Lvar _, e) | Ast.Expr_stmt e
+  | Ast.Return (Some e) -> 1 + expr_size e
+  | Ast.Assign (Ast.Lindex (_, i), e) -> 1 + expr_size i + expr_size e
+  | Ast.If (c, t, e) -> 1 + expr_size c + body_size t + body_size e
+  | Ast.While (c, b) | Ast.Do_while (b, c) -> 1 + expr_size c + body_size b
+  | Ast.For (init, cond, step, b) ->
+    1
+    + (match init with None -> 0 | Some s -> stmt_size s)
+    + (match cond with None -> 0 | Some e -> expr_size e)
+    + (match step with None -> 0 | Some s -> stmt_size s)
+    + body_size b
+  | Ast.Block b -> 1 + body_size b
+
+and body_size b = List.fold_left (fun n s -> n + stmt_size s) 0 b
+
+let prog_size (p : Ast.program) =
+  List.length p.Ast.globals
+  + List.fold_left (fun n (f : Ast.func) -> n + 1 + body_size f.Ast.body) 0
+      p.Ast.funcs
+
+let rec expr_lits (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Int_lit n -> abs n
+  | Ast.Float_lit _ | Ast.Var _ -> 0
+  | Ast.Index (_, i) -> expr_lits i
+  | Ast.Unop (_, a) | Ast.Cast (_, a) -> expr_lits a
+  | Ast.Binop (_, a, b) -> expr_lits a + expr_lits b
+  | Ast.Call (_, args) -> List.fold_left (fun n a -> n + expr_lits a) 0 args
+
+let rec stmt_lits (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Decl (_, _, None) | Ast.Decl_array _ | Ast.Break | Ast.Continue
+  | Ast.Return None -> 0
+  | Ast.Decl (_, _, Some e) | Ast.Assign (Ast.Lvar _, e) | Ast.Expr_stmt e
+  | Ast.Return (Some e) -> expr_lits e
+  | Ast.Assign (Ast.Lindex (_, i), e) -> expr_lits i + expr_lits e
+  | Ast.If (c, t, e) -> expr_lits c + body_lits t + body_lits e
+  | Ast.While (c, b) | Ast.Do_while (b, c) -> expr_lits c + body_lits b
+  | Ast.For (init, cond, step, b) ->
+    (match init with None -> 0 | Some s -> stmt_lits s)
+    + (match cond with None -> 0 | Some e -> expr_lits e)
+    + (match step with None -> 0 | Some s -> stmt_lits s)
+    + body_lits b
+  | Ast.Block b -> body_lits b
+
+and body_lits b = List.fold_left (fun n s -> n + stmt_lits s) 0 b
+
+let prog_lits (p : Ast.program) =
+  List.fold_left (fun n (f : Ast.func) -> n + body_lits f.Ast.body) 0 p.Ast.funcs
+
+let measure p = (prog_size p, prog_lits p)
+
+(* --- one-edit candidates ------------------------------------------------- *)
+
+let mk_s sdesc = { Ast.sdesc; Ast.sline = 0 }
+let int0 = { Ast.desc = Ast.Int_lit 0; Ast.eline = 0 }
+
+let is_zero (e : Ast.expr) = match e.Ast.desc with Ast.Int_lit 0 -> true | _ -> false
+
+(* all single-edit replacements of a statement; each candidate is a list of
+   statements to splice in its place *)
+let rec stmt_edits (s : Ast.stmt) : Ast.stmt list list =
+  match s.Ast.sdesc with
+  | Ast.Decl (t, v, Some e) when not (is_zero e) ->
+    [ [ mk_s (Ast.Decl (t, v, Some int0)) ] ]
+  | Ast.Decl _ | Ast.Decl_array _ | Ast.Break | Ast.Continue | Ast.Return None
+  | Ast.Expr_stmt _ -> []
+  | Ast.Assign (lv, e) when not (is_zero e) -> [ [ mk_s (Ast.Assign (lv, int0)) ] ]
+  | Ast.Assign _ -> []
+  | Ast.Return (Some e) when not (is_zero e) -> [ [ mk_s (Ast.Return (Some int0)) ] ]
+  | Ast.Return _ -> []
+  | Ast.If (c, then_b, else_b) ->
+    [ then_b; else_b ]
+    @ List.map (fun t -> [ mk_s (Ast.If (c, t, else_b)) ]) (body_edits then_b)
+    @ List.map (fun e -> [ mk_s (Ast.If (c, then_b, e)) ]) (body_edits else_b)
+  | Ast.While (c, b) ->
+    [ b ] @ List.map (fun b -> [ mk_s (Ast.While (c, b)) ]) (body_edits b)
+  | Ast.Do_while (b, c) ->
+    [ b ] @ List.map (fun b -> [ mk_s (Ast.Do_while (b, c)) ]) (body_edits b)
+  | Ast.For (init, cond, step, b) ->
+    let bound_edits =
+      match cond with
+      | Some ({ Ast.desc = Ast.Binop (rel, iv, { Ast.desc = Ast.Int_lit c1; _ }); _ }
+              as c)
+        when c1 > 0 ->
+        let with_bound c1' =
+          let cond' =
+            Some { c with Ast.desc = Ast.Binop (rel, iv, { Ast.desc = Ast.Int_lit c1'; Ast.eline = 0 }) }
+          in
+          [ mk_s (Ast.For (init, cond', step, b)) ]
+        in
+        let halved = c1 / 2 in
+        (if halved < c1 then [ with_bound halved ] else [])
+        @ (if halved <> 0 then [ with_bound 0 ] else [])
+      | _ -> []
+    in
+    [ b ] @ bound_edits
+    @ List.map (fun b -> [ mk_s (Ast.For (init, cond, step, b)) ]) (body_edits b)
+  | Ast.Block b ->
+    [ b ] @ List.map (fun b -> [ mk_s (Ast.Block b) ]) (body_edits b)
+
+(* all single-edit variants of a statement list: drop one statement, or
+   apply one edit to one statement *)
+and body_edits (body : Ast.stmt list) : Ast.stmt list list =
+  let rec go prefix = function
+    | [] -> []
+    | s :: rest ->
+      (List.rev_append prefix rest
+       :: List.map
+            (fun repl -> List.rev_append prefix (repl @ rest))
+            (stmt_edits s))
+      @ go (s :: prefix) rest
+  in
+  go [] body
+
+let candidates (p : Ast.program) : Ast.program list =
+  let drop_global =
+    List.mapi
+      (fun k _ ->
+        { p with Ast.globals = List.filteri (fun j _ -> j <> k) p.Ast.globals })
+      p.Ast.globals
+  in
+  let drop_func =
+    List.concat
+      (List.mapi
+         (fun k (f : Ast.func) ->
+           if f.Ast.fname = "main" then []
+           else
+             [ { p with Ast.funcs = List.filteri (fun j _ -> j <> k) p.Ast.funcs } ])
+         p.Ast.funcs)
+  in
+  let edit_func =
+    List.concat
+      (List.mapi
+         (fun k (f : Ast.func) ->
+           List.map
+             (fun body ->
+               { p with
+                 Ast.funcs =
+                   List.mapi
+                     (fun j g -> if j = k then { f with Ast.body = body } else g)
+                     p.Ast.funcs })
+             (body_edits f.Ast.body))
+         p.Ast.funcs)
+  in
+  drop_global @ drop_func @ edit_func
+
+(* --- greedy loop --------------------------------------------------------- *)
+
+let minimize ?(max_attempts = 2000) ~check p =
+  let attempts = ref 0 in
+  let rec go current =
+    let m = measure current in
+    let rec try_candidates = function
+      | [] -> current
+      | c :: rest ->
+        if !attempts >= max_attempts then current
+        else if measure c < m && (incr attempts; check c) then go c
+        else try_candidates rest
+    in
+    try_candidates (candidates current)
+  in
+  go p

@@ -1,0 +1,21 @@
+(** Greedy program shrinking for fuzz failures.
+
+    Repeatedly tries single edits — dropping a global, a helper function or
+    a statement, replacing a conditional or loop with its body, reducing a
+    loop bound, zeroing a right-hand side — and keeps an edit whenever the
+    edited program still fails the same way. The measure (node count, then
+    literal magnitude) strictly decreases on every accepted edit, so the
+    process terminates; [max_attempts] additionally caps the number of
+    oracle runs. *)
+
+val prog_size : Ipet_lang.Ast.program -> int
+(** AST node count — the primary component of the shrinking measure. *)
+
+val minimize :
+  ?max_attempts:int ->
+  check:(Ipet_lang.Ast.program -> bool) ->
+  Ipet_lang.Ast.program ->
+  Ipet_lang.Ast.program
+(** [minimize ~check p] where [check q] decides whether [q] reproduces the
+    original failure (same {!Oracle.failure_kind}). [max_attempts] defaults
+    to 2000 [check] calls. *)

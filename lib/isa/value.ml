@@ -2,6 +2,15 @@ type t = Vint of int | Vfloat of float
 
 let zero = Vint 0
 
+let min_int32 = -0x8000_0000
+let max_int32 = 0x7FFF_FFFF
+
+(* two's-complement truncation to 32 bits, sign-extended back into the
+   native int: the single normalization point both the interpreter's ALU
+   and the optimizer's constant folder must apply to every E32 integer
+   result so the two can never drift *)
+let wrap32 i = ((i land 0xFFFF_FFFF) lxor 0x8000_0000) - 0x8000_0000
+
 let as_int = function
   | Vint i -> i
   | Vfloat _ -> invalid_arg "Value.as_int: float word"

@@ -7,6 +7,16 @@
 type t = Vint of int | Vfloat of float
 
 val zero : t
+
+val min_int32 : int
+val max_int32 : int
+
+(** Truncate to 32-bit two's complement and sign-extend back into the
+    native int — the E32 register width. Every integer ALU result (in the
+    simulator and in the constant folder alike) is normalized through this
+    function, so [Add]/[Sub]/[Mul] overflow wraps exactly as on a 32-bit
+    machine instead of silently computing at OCaml's native width. *)
+val wrap32 : int -> int
 val as_int : t -> int
 (** @raise Invalid_argument on a float word. *)
 

@@ -32,7 +32,7 @@ let layout_globals (globals : Ast.global list) =
         | Ast.Tfloat, Ast.Cint i -> V.Vfloat (float_of_int i)
         | Ast.Tfloat, Ast.Cfloat f -> V.Vfloat f
         | _, Ast.Cint i -> V.Vint i
-        | _, Ast.Cfloat f -> V.Vint (int_of_float f)
+        | _, Ast.Cfloat f -> V.Vint (V.wrap32 (int_of_float f))
       in
       let provided = match g.Ast.ginit with Some l -> l | None -> [] in
       for k = 0 to size - 1 do

@@ -23,6 +23,18 @@ let keywords =
     ("return", KW_RETURN); ("break", KW_BREAK); ("continue", KW_CONTINUE) ]
 
 let is_digit c = c >= '0' && c <= '9'
+
+(* MC integers are E32 words: a literal may spell any 32-bit pattern —
+   up to 0xFFFFFFFF / 4294967295 — and is stored as its two's-complement
+   value ([Value.wrap32]), so 0xFFFFFFFF reads back as -1 like a C
+   [(int)0xFFFFFFFFu]. Anything wider (including literals too long for
+   [int_of_string], which used to escape as an uncaught [Failure]) is a
+   positioned diagnostic. *)
+let int_literal text line =
+  match int_of_string_opt text with
+  | Some v when v >= 0 && v <= 0xFFFF_FFFF -> Ipet_isa.Value.wrap32 v
+  | Some _ | None ->
+    raise (Error (Printf.sprintf "integer literal %s out of 32-bit range" text, line))
 let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 let is_ident_char c = is_ident_start c || is_digit c
@@ -54,7 +66,7 @@ let tokenize src =
         let rec scan j = if j < n && is_hex src.[j] then scan (j + 1) else j in
         let stop = scan (i + 2) in
         if stop = i + 2 then raise (Error ("malformed hex literal", !line));
-        emit (INT_LIT (int_of_string (String.sub src i (stop - i))));
+        emit (INT_LIT (int_literal (String.sub src i (stop - i)) !line));
         go stop
       | c when is_digit c ->
         let rec scan j = if j < n && is_digit src.[j] then scan (j + 1) else j in
@@ -80,7 +92,7 @@ let tokenize src =
           go stop
         end
         else begin
-          emit (INT_LIT (int_of_string (String.sub src i (int_end - i))));
+          emit (INT_LIT (int_literal (String.sub src i (int_end - i)) !line));
           go int_end
         end
       | c when is_ident_start c ->

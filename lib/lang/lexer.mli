@@ -22,7 +22,12 @@ exception Error of string * int  (** message, line *)
 val tokenize : string -> located list
 (** Tokenize a whole compilation unit. Line numbers are 1-based. Supports
     [//] and [/* */] comments, decimal and hexadecimal integers, and
-    decimal float literals.
-    @raise Error on an illegal character or malformed literal. *)
+    decimal float literals. An integer literal may spell any 32-bit
+    pattern (up to [0xFFFFFFFF] / [4294967295]) and is stored as its
+    two's-complement value, so [0xFFFFFFFF] lexes as [-1]; wider literals
+    are rejected with a positioned error rather than crashing or
+    truncating silently.
+    @raise Error on an illegal character, a malformed literal, or an
+    integer literal outside the 32-bit range. *)
 
 val token_name : token -> string

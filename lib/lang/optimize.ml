@@ -7,20 +7,25 @@ module I = Ipet_isa.Instr
    register, or unknown *)
 type fact = Const of I.operand | Copy of I.reg
 
+(* every result is normalized to 32-bit two's complement
+   ([Ipet_isa.Value.wrap32]), including the overflowing division
+   [min_int32 / -1] (wraps to [min_int32]; [min_int32 rem -1] is [0]) —
+   must mirror the interpreter's Ipet_sim ALU exactly or folding changes
+   semantics *)
 let fold_alu op a b =
+  let w = Ipet_isa.Value.wrap32 in
   match op with
-  | I.Add -> Some (a + b)
-  | I.Sub -> Some (a - b)
-  | I.Mul -> Some (a * b)
-  | I.Div -> if b = 0 then None else Some (a / b)
-  | I.Rem -> if b = 0 then None else Some (a mod b)
-  | I.And -> Some (a land b)
-  | I.Or -> Some (a lor b)
-  | I.Xor -> Some (a lxor b)
-  (* 6-bit shift-amount mask with a clamp at 63 — must mirror the
-     interpreter's Ipet_sim ALU exactly or folding changes semantics *)
-  | I.Shl -> Some (let s = b land 63 in if s > 62 then 0 else a lsl s)
-  | I.Shr -> Some (let s = b land 63 in a asr (if s > 62 then 62 else s))
+  | I.Add -> Some (w (a + b))
+  | I.Sub -> Some (w (a - b))
+  | I.Mul -> Some (w (a * b))
+  | I.Div -> if b = 0 then None else Some (w (a / b))
+  | I.Rem -> if b = 0 then None else Some (w (a mod b))
+  | I.And -> Some (w (a land b))
+  | I.Or -> Some (w (a lor b))
+  | I.Xor -> Some (w (a lxor b))
+  (* 6-bit shift-amount mask with a clamp at 63 *)
+  | I.Shl -> Some (let s = b land 63 in w (if s > 62 then 0 else a lsl s))
+  | I.Shr -> Some (let s = b land 63 in w (a asr (if s > 62 then 62 else s)))
 
 let fold_icmp op a b =
   let r = match op with

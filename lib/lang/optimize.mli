@@ -24,3 +24,11 @@ val eliminate_dead_code : Ipet_isa.Prog.func -> Ipet_isa.Prog.func
 
 val prune_unreachable : Ipet_isa.Prog.func -> Ipet_isa.Prog.func
 (** Drop blocks unreachable from the entry and renumber. *)
+
+val fold_alu : Ipet_isa.Instr.alu_op -> int -> int -> int option
+(** Compile-time evaluation of one integer ALU operation, [None] when the
+    operation must be kept (division or modulo by zero). Kept in lockstep
+    with the simulator's [Ipet_sim.Interp.alu]: 32-bit wrapping results,
+    6-bit shift-amount masking with the 63 clamp, wrapping
+    [min_int32 / -1]; the differential test in [test_optimize.ml] enforces
+    the equivalence. *)

@@ -80,7 +80,14 @@ and parse_unary st =
   match peek st with
   | Lexer.MINUS ->
     advance st;
-    { desc = Unop (Neg, parse_unary st); eline = ln }
+    (* fold minus into an integer literal so [-2147483648] is the literal
+       min_int32 (wrapping again: the lexer wraps 2147483648 to min_int32,
+       whose negation overflows back to itself) and negative literals
+       round-trip through render/parse unchanged *)
+    (match parse_unary st with
+     | { desc = Int_lit i; _ } ->
+       { desc = Int_lit (Ipet_isa.Value.wrap32 (-i)); eline = ln }
+     | operand -> { desc = Unop (Neg, operand); eline = ln })
   | Lexer.BANG ->
     advance st;
     { desc = Unop (Lnot, parse_unary st); eline = ln }
@@ -243,7 +250,10 @@ and parse_stmts_until st stop =
 let parse_const st =
   let negative = accept st Lexer.MINUS in
   match peek st with
-  | Lexer.INT_LIT i -> advance st; Cint (if negative then -i else i)
+  (* negating a wrapped literal can overflow 32 bits again (-(-2^31)) *)
+  | Lexer.INT_LIT i ->
+    advance st;
+    Cint (if negative then Ipet_isa.Value.wrap32 (-i) else i)
   | Lexer.FLOAT_LIT f -> advance st; Cfloat (if negative then -.f else f)
   | _ -> fail st "expected a numeric constant"
 

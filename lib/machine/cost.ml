@@ -14,7 +14,98 @@ let instr_bounds ?dcache instr =
     let c = Timing.issue instr in
     (c, c)
 
-let block_bounds ?dcache cfg layout ~func (block : P.block) =
+module Int_set = Set.Make (Int)
+
+(* cache slots (direct-mapped line indices) covered by a function's code *)
+let own_slots cfg layout (f : P.func) =
+  Array.fold_left
+    (fun acc (b : P.block) ->
+      let addr = Layout.block_addr layout ~func:f.P.name ~block:b.P.id in
+      let size = Layout.block_size_bytes layout ~func:f.P.name ~block:b.P.id in
+      let first = addr / cfg.Icache.line_bytes in
+      let last = (addr + size - 1) / cfg.Icache.line_bytes in
+      let rec add acc line =
+        if line > last then acc
+        else
+          add (Int_set.add (fst (Icache.slot_of cfg (line * cfg.Icache.line_bytes))) acc)
+            (line + 1)
+      in
+      add acc first)
+    Int_set.empty f.P.blocks
+
+(* slots any code reachable from each function can occupy: a call inside a
+   block may (transitively) fetch all of this, evicting the caller's own
+   lines mid-block *)
+let reachable_slots cfg layout (prog : P.t) =
+  let slots = Hashtbl.create 16 in
+  Array.iter
+    (fun (f : P.func) -> Hashtbl.replace slots f.P.name (own_slots cfg layout f))
+    prog.P.funcs;
+  let callees = Hashtbl.create 16 in
+  Array.iter
+    (fun (f : P.func) ->
+      let cs =
+        Array.fold_left
+          (fun acc b -> List.rev_append (P.calls_of_block b) acc)
+          [] f.P.blocks
+        |> List.sort_uniq compare
+      in
+      Hashtbl.replace callees f.P.name cs)
+    prog.P.funcs;
+  (* fixpoint: sets only grow and are bounded by the number of slots *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (f : P.func) ->
+        let cur = Hashtbl.find slots f.P.name in
+        let next =
+          List.fold_left
+            (fun acc callee ->
+              match Hashtbl.find_opt slots callee with
+              | Some s -> Int_set.union acc s
+              | None -> acc)
+            cur
+            (Hashtbl.find callees f.P.name)
+        in
+        if not (Int_set.equal next cur) then begin
+          Hashtbl.replace slots f.P.name next;
+          changed := true
+        end)
+      prog.P.funcs
+  done;
+  fun name ->
+    match Hashtbl.find_opt slots name with
+    | Some s -> s
+    | None -> Int_set.empty
+
+(* A call in the middle of a block hands the fetch stream to the callee;
+   when control returns, a line the block had already fetched may have
+   been evicted. Fetch addresses within a block only increase, so the only
+   line that can miss twice is one a call {e splits} — the call and the
+   next fetch (instruction or terminator) sharing a line — and only when
+   some transitively reachable callee's code maps to that line's slot.
+   One extra fill is charged per such call site. *)
+let call_split_extra cfg ~callee_slots ~addr ~size (block : P.block) =
+  let bpi = Ipet_isa.Instr.bytes_per_instr in
+  let extra = ref 0 in
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Ipet_isa.Instr.Call (_, callee, _) when (i + 1) * bpi < size ->
+        let call_addr = addr + (i * bpi) in
+        let next_addr = call_addr + bpi in
+        if
+          call_addr / cfg.Icache.line_bytes = next_addr / cfg.Icache.line_bytes
+          && Int_set.mem
+               (fst (Icache.slot_of cfg call_addr))
+               (callee_slots callee)
+        then incr extra
+      | _ -> ())
+    block.P.instrs;
+  !extra
+
+let block_bounds ?dcache ?callee_slots cfg layout ~func (block : P.block) =
   let best_body, worst_body =
     Array.fold_left
       (fun (b, w) i ->
@@ -27,11 +118,19 @@ let block_bounds ?dcache cfg layout ~func (block : P.block) =
   let addr = Layout.block_addr layout ~func ~block:block.P.id in
   let size = Layout.block_size_bytes layout ~func ~block:block.P.id in
   let lines = Icache.lines_spanned cfg ~addr ~size in
+  let refetches =
+    match callee_slots with
+    | None -> 0
+    | Some callee_slots -> call_split_extra cfg ~callee_slots ~addr ~size block
+  in
   { best = best_body + stalls + term_best;
     worst_warm = worst_body + stalls + term_worst;
-    worst = worst_body + stalls + term_worst + (lines * cfg.Icache.miss_penalty) }
+    worst =
+      worst_body + stalls + term_worst
+      + ((lines + refetches) * cfg.Icache.miss_penalty) }
 
-let func_bounds ?dcache cfg layout (func : P.func) =
+let func_bounds ?dcache ?prog cfg layout (func : P.func) =
+  let callee_slots = Option.map (reachable_slots cfg layout) prog in
   Array.map
-    (fun b -> block_bounds ?dcache cfg layout ~func:func.P.name b)
+    (fun b -> block_bounds ?dcache ?callee_slots cfg layout ~func:func.P.name b)
     func.P.blocks

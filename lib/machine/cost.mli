@@ -15,20 +15,40 @@ type bounds = {
   worst_warm : int;  (** worst case assuming all fetches hit *)
 }
 
+module Int_set : Set.S with type elt = int
+
+val reachable_slots :
+  Icache.config -> Ipet_isa.Layout.t -> Ipet_isa.Prog.t -> string -> Int_set.t
+(** For each function, the direct-mapped cache slots that code transitively
+    reachable from it (itself plus all callees) can occupy. A call inside a
+    block can fetch all of this before control returns. *)
+
 val block_bounds :
   ?dcache:Icache.config ->
+  ?callee_slots:(string -> Int_set.t) ->
   Icache.config ->
   Ipet_isa.Layout.t ->
   func:string ->
   Ipet_isa.Prog.block ->
   bounds
 (** [dcache] switches loads from the flat-latency memory model to
-    hit-in-the-best-case / miss-in-the-worst-case data-cache bounds. *)
+    hit-in-the-best-case / miss-in-the-worst-case data-cache bounds.
+
+    [callee_slots] (from {!reachable_slots}) enables the mid-block call
+    refetch charge: when a call splits a cache line — the fetch after the
+    call resumes on the line the call sits on — and a reachable callee's
+    code maps to that line's slot, the callee may evict the line while the
+    block is suspended, so the worst case charges one extra fill per such
+    call site. Without it blocks containing calls may be under-estimated
+    (unsound) whenever callee code conflicts with the caller's lines. *)
 
 val func_bounds :
   ?dcache:Icache.config ->
+  ?prog:Ipet_isa.Prog.t ->
   Icache.config ->
   Ipet_isa.Layout.t ->
   Ipet_isa.Prog.func ->
   bounds array
-(** Bounds for every block of the function, indexed by block id. *)
+(** Bounds for every block of the function, indexed by block id. [prog]
+    supplies the call graph for the mid-block call refetch charge of
+    {!block_bounds}; omitting it reproduces the bare lines-spanned model. *)

@@ -452,21 +452,28 @@ let effective_addr frame (a : I.addr) =
   in
   base + a.I.offset + index
 
+(* every integer result is wrapped to 32-bit two's complement
+   ([V.wrap32]): E32 registers are 32 bits wide, so Add/Sub/Mul overflow
+   must wrap instead of growing to OCaml's native width.  Div/Rem wrap
+   too, which defines the one overflowing case: [min_int32 / -1] wraps
+   back to [min_int32] (and [min_int32 rem -1] is [0]), the usual
+   non-trapping RISC behaviour.  Must mirror
+   Ipet_lang.Optimize.fold_alu exactly. *)
 let alu op a b =
   match op with
-  | I.Add -> a + b
-  | I.Sub -> a - b
-  | I.Mul -> a * b
-  | I.Div -> if b = 0 then error "division by zero" else a / b
-  | I.Rem -> if b = 0 then error "modulo by zero" else a mod b
-  | I.And -> a land b
-  | I.Or -> a lor b
-  | I.Xor -> a lxor b
+  | I.Add -> V.wrap32 (a + b)
+  | I.Sub -> V.wrap32 (a - b)
+  | I.Mul -> V.wrap32 (a * b)
+  | I.Div -> if b = 0 then error "division by zero" else V.wrap32 (a / b)
+  | I.Rem -> if b = 0 then error "modulo by zero" else V.wrap32 (a mod b)
+  | I.And -> V.wrap32 (a land b)
+  | I.Or -> V.wrap32 (a lor b)
+  | I.Xor -> V.wrap32 (a lxor b)
   (* the E32 masks shift amounts to 6 bits; OCaml's lsl/asr are unspecified
      at >= Sys.int_size, so 63 is clamped (shl saturates to 0, shr to the
-     sign).  Must mirror Ipet_lang.Optimize.fold_alu exactly. *)
-  | I.Shl -> let s = b land 63 in if s > 62 then 0 else a lsl s
-  | I.Shr -> let s = b land 63 in a asr (if s > 62 then 62 else s)
+     sign). *)
+  | I.Shl -> let s = b land 63 in V.wrap32 (if s > 62 then 0 else a lsl s)
+  | I.Shr -> let s = b land 63 in V.wrap32 (a asr (if s > 62 then 62 else s))
 
 let fpu op a b =
   match op with
@@ -602,7 +609,7 @@ and execute m db frame call_i instr =
     let f = V.as_float (operand_value frame a) in
     if Float.is_nan f || Float.abs f >= 4.611686018427388e18 then
       error "float->int conversion out of range";
-    set_reg frame d (V.Vint (int_of_float f))
+    set_reg frame d (V.Vint (V.wrap32 (int_of_float f)))
   | I.Load (d, a) ->
     let addr = effective_addr frame a in
     (match m.dcache with

@@ -10,8 +10,11 @@
       branch outcomes, producing the "measured" time.
 
     The simulated time always lies within the analytical per-block bounds of
-    {!Ipet_machine.Cost} by construction (same issue/stall/terminator model;
-    misses never exceed the lines a block spans).
+    {!Ipet_machine.Cost} by construction (same issue/stall/terminator model).
+    Note a block's misses can exceed the lines it spans: a call that splits
+    a cache line can evict that line mid-block, so the return re-fetches it
+    — {!Ipet_machine.Cost.block_bounds} charges those refetches explicitly
+    (found by [cinderella fuzz], see [test/corpus/regress_call_line_split.mc]).
 
     {b Implementation}: {!create} pre-decodes the program into flat,
     integer-indexed structures — dense block/edge/call-site counter slots,
@@ -102,3 +105,12 @@ val ctx_call_count :
   t -> path:site list -> caller:string -> block:int -> occurrence:int -> int
 val ctx_entry_count : t -> path:site list -> func:string -> int
 (** How many times the instance at this path was entered. *)
+
+(** {1 Exposed internals} *)
+
+val alu : Ipet_isa.Instr.alu_op -> int -> int -> int
+(** The integer ALU: 32-bit wrapping arithmetic ({!Ipet_isa.Value.wrap32}),
+    6-bit shift-amount masking with the 63 clamp, and wrapping
+    [min_int32 / -1]. Exposed so tests can assert it never drifts from
+    {!Ipet_lang.Optimize.fold_alu}.
+    @raise Runtime_error on division or modulo by zero. *)

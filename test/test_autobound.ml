@@ -55,6 +55,45 @@ let test_break_keeps_upper_only () =
   check_int "lo relaxed to 0" 0 lo;
   check_int "hi kept" 8 hi
 
+(* a body that can neither fall through nor continue never reaches the back
+   edge, so the compiled CFG has no loop for a bound to attach to — emitting
+   one would be a phantom annotation (fuzz seed 6, first shrunk form) *)
+let test_never_iterating_loop_unbounded () =
+  check_int "always-break loop gets no bound" 0
+    (List.length
+       (infer "int f() { int i; \
+               for (i = 2; i < 10; i = i + 2) { break; } return i; }"));
+  check_int "always-return loop gets no bound" 0
+    (List.length
+       (infer "int f() { int i; \
+               for (i = 0; i < 10; i = i + 1) { return i; } return 0; }"))
+
+(* continue still reaches the back edge, so the bound must be kept *)
+let test_continue_keeps_bound () =
+  let lo, hi =
+    the_bound
+      (infer "int f() { int i; int s; s = 0; \
+              for (i = 0; i < 5; i = i + 1) { continue; s = s + 1; } \
+              return s; }")
+  in
+  check_int "lo" 5 lo;
+  check_int "hi" 5 hi
+
+(* statements after a break/return are unreachable and the compiler drops
+   their blocks, so loops inside them must not be inferred either (fuzz
+   seed 6, second shrunk form) *)
+let test_unreachable_loop_not_inferred () =
+  check_int "loop after break not inferred" 0
+    (List.length
+       (infer "int f() { int i; int j; \
+               for (i = 2; i < 10; i = i + 2) { break; \
+                 for (j = 1; j < 6; j = j + 3) { i = i + 1; } } \
+               return i + j; }"));
+  check_int "loop after return not inferred" 0
+    (List.length
+       (infer "int f() { int j; return 1; \
+               for (j = 0; j < 4; j = j + 1) { } return j; }"))
+
 let test_rejects_mutated_induction () =
   check_int "no bound inferred" 0
     (List.length
@@ -176,6 +215,9 @@ let suite =
     ("<= and stride", `Quick, test_le_and_stride);
     ("zero-trip loop", `Quick, test_zero_trip);
     ("break relaxes the lower bound", `Quick, test_break_keeps_upper_only);
+    ("never-iterating loop unbounded", `Quick, test_never_iterating_loop_unbounded);
+    ("continue keeps the bound", `Quick, test_continue_keeps_bound);
+    ("unreachable loop not inferred", `Quick, test_unreachable_loop_not_inferred);
     ("mutated induction rejected", `Quick, test_rejects_mutated_induction);
     ("dynamic bound rejected", `Quick, test_rejects_dynamic_bound);
     ("nested loops", `Quick, test_nested_inference);

@@ -1,0 +1,255 @@
+(* The soundness fuzzing harness: corpus replay, deterministic generation,
+   a live fuzz run, the shrinker, and the ALU differential property that
+   keeps the constant folder and the simulator in lock-step. *)
+
+module Rng = Ipet_fuzz.Rng
+module Gen = Ipet_fuzz.Gen
+module Render = Ipet_fuzz.Render
+module Oracle = Ipet_fuzz.Oracle
+module Shrink = Ipet_fuzz.Shrink
+module Driver = Ipet_fuzz.Driver
+module Ast = Ipet_lang.Ast
+module I = Ipet_isa.Instr
+module V = Ipet_isa.Value
+module Icache = Ipet_machine.Icache
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- corpus replay ------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  content
+
+(* a leading [// cache: SIZE LINE PENALTY] comment selects the cache the
+   failure needed; everything else replays on the paper's i960KB *)
+let corpus_cache source =
+  match String.index_opt source '\n' with
+  | None -> Icache.i960kb
+  | Some eol ->
+    let first = String.sub source 0 eol in
+    (try
+       Scanf.sscanf first "// cache: %d %d %d" (fun size_bytes line_bytes miss_penalty ->
+           { Icache.size_bytes; line_bytes; miss_penalty })
+     with Scanf.Scan_failure _ | Failure _ | End_of_file -> Icache.i960kb)
+
+(* cwd is test/ under [dune runtest] but the project root under
+   [dune exec test/test_main.exe] *)
+let corpus_dir () =
+  if Sys.file_exists "corpus" then "corpus" else Filename.concat "test" "corpus"
+
+let corpus_files () =
+  let dir = corpus_dir () in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".mc")
+  |> List.sort compare
+  |> List.map (fun f -> Filename.concat dir f)
+
+let test_corpus_replay () =
+  let files = corpus_files () in
+  check_bool "corpus is not empty" true (files <> []);
+  List.iter
+    (fun path ->
+      let source = read_file path in
+      match Oracle.check ~cache:(corpus_cache source) source with
+      | Oracle.Pass _ -> ()
+      | Oracle.Fail f ->
+        Alcotest.fail
+          (Printf.sprintf "%s: %s: %s" path (Oracle.kind_name f.Oracle.kind)
+             f.Oracle.detail))
+    files
+
+(* --- deterministic generation -------------------------------------------- *)
+
+(* splitmix64 reference values: the stream must be identical on every OCaml
+   version, or printed seeds would not replay across the CI matrix *)
+let test_rng_reference_stream () =
+  let r = Rng.create 1 in
+  List.iter
+    (fun expected ->
+      check_bool "splitmix64 reference" true (Rng.next64 r = expected))
+    [ 0xc0e16b163a85a4dcL; 0x890acd8dd443c47cL; 0xb3889d8a6dc47761L;
+      0x6a0398e528f0ae6aL ]
+
+let test_rng_ranges () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.range r 3 9 in
+    check_bool "range in bounds" true (v >= 3 && v <= 9);
+    let w = Rng.int r 5 in
+    check_bool "int in bounds" true (w >= 0 && w < 5)
+  done
+
+let test_generation_deterministic () =
+  let a = Gen.case 42 and b = Gen.case 42 in
+  check_string "same seed, same program" (Render.program a.Gen.prog)
+    (Render.program b.Gen.prog);
+  check_bool "same seed, same cache" true (a.Gen.cache = b.Gen.cache);
+  let c = Gen.case 43 in
+  check_bool "different seed, different program" true
+    (Render.program a.Gen.prog <> Render.program c.Gen.prog)
+
+(* one parse canonicalizes (the parser folds minus into integer literals);
+   after that, render/reparse is a fixpoint — shrunk programs printed in a
+   report reproduce the same AST when replayed from the file *)
+let test_render_reparse_fixpoint () =
+  for seed = 1 to 10 do
+    let case = Gen.case seed in
+    let ast1, _ =
+      Ipet_lang.Frontend.parse_and_check (Render.program case.Gen.prog)
+    in
+    let src = Render.program ast1 in
+    let ast2, _ = Ipet_lang.Frontend.parse_and_check src in
+    check_string
+      (Printf.sprintf "seed %d render/reparse fixpoint" seed)
+      src (Render.program ast2)
+  done
+
+(* --- the oracle classifies hand-made failures ----------------------------- *)
+
+let test_oracle_classifies () =
+  (match Oracle.check "int main() { return (1 / 0); }" with
+   | Oracle.Fail { Oracle.kind = Oracle.Sim_crash; _ } -> ()
+   | Oracle.Fail f -> Alcotest.fail ("expected sim-crash, got " ^ Oracle.kind_name f.Oracle.kind)
+   | Oracle.Pass _ -> Alcotest.fail "expected sim-crash, got pass");
+  (match Oracle.check "int g0 = 3;\nint main() { while (g0) { g0 = g0 - 1; } return 0; }" with
+   | Oracle.Fail { Oracle.kind = Oracle.Analysis_reject; _ } -> ()
+   | Oracle.Fail f -> Alcotest.fail ("expected analysis-reject, got " ^ Oracle.kind_name f.Oracle.kind)
+   | Oracle.Pass _ -> Alcotest.fail "expected analysis-reject, got pass");
+  (match Oracle.check "int main() { return 4294967296; }" with
+   | Oracle.Fail { Oracle.kind = Oracle.Frontend_reject; _ } -> ()
+   | Oracle.Fail f -> Alcotest.fail ("expected frontend-reject, got " ^ Oracle.kind_name f.Oracle.kind)
+   | Oracle.Pass _ -> Alcotest.fail "expected frontend-reject, got pass")
+
+(* --- a short live run ----------------------------------------------------- *)
+
+let test_fuzz_run () =
+  let outcome = Driver.run ~shrink:false ~seed:90001 ~iters:25 () in
+  (match outcome.Driver.report with
+   | None -> ()
+   | Some r ->
+     Alcotest.fail
+       (Printf.sprintf "seed %d: %s: %s" r.Driver.case_seed
+          (Oracle.kind_name r.Driver.failure.Oracle.kind)
+          r.Driver.failure.Oracle.detail));
+  check_int "all iterations ran" 25 outcome.Driver.iters_run;
+  check_int "all passed" 25 outcome.Driver.passed
+
+(* --- shrinking ------------------------------------------------------------ *)
+
+(* shrink against a synthetic failure class: "main assigns to global g0".
+   The shrinker must reach a minimal program while preserving the property,
+   strictly decreasing its measure on every accepted edit. *)
+let test_shrinker_minimizes () =
+  let rec assigns_g0_stmt (s : Ast.stmt) =
+    match s.Ast.sdesc with
+    | Ast.Assign (Ast.Lvar "g0", _) -> true
+    | Ast.If (_, t, e) -> List.exists assigns_g0_stmt t || List.exists assigns_g0_stmt e
+    | Ast.While (_, b) | Ast.Do_while (b, _) | Ast.For (_, _, _, b)
+    | Ast.Block b -> List.exists assigns_g0_stmt b
+    | _ -> false
+  in
+  let assigns_g0 (p : Ast.program) =
+    List.exists (fun (f : Ast.func) -> List.exists assigns_g0_stmt f.Ast.body)
+      p.Ast.funcs
+  in
+  (* find a generated program with the property *)
+  let rec find seed =
+    if seed > 400 then Alcotest.fail "no generated program assigns g0"
+    else
+      let case = Gen.case seed in
+      if assigns_g0 case.Gen.prog then case.Gen.prog else find (seed + 1)
+  in
+  let original = find 1 in
+  let small = Shrink.minimize ~check:assigns_g0 original in
+  check_bool "shrunk program keeps the property" true (assigns_g0 small);
+  check_bool "shrunk program is no larger" true
+    (Shrink.prog_size small <= Shrink.prog_size original);
+  (* the minimal such program is tiny: main plus the one assignment *)
+  check_bool "shrunk to a handful of nodes" true (Shrink.prog_size small <= 8)
+
+(* --- ALU differential: folder vs simulator -------------------------------- *)
+
+let all_ops =
+  [ I.Add; I.Sub; I.Mul; I.Div; I.Rem; I.And; I.Or; I.Xor; I.Shl; I.Shr ]
+
+let agree op a b =
+  let folded = Ipet_lang.Optimize.fold_alu op a b in
+  let interpreted =
+    match Ipet_sim.Interp.alu op a b with
+    | v -> Some v
+    | exception Ipet_sim.Interp.Runtime_error _ -> None
+  in
+  if folded <> interpreted then
+    Alcotest.failf "fold_alu and Interp.alu disagree on %s %d %d: %s vs %s"
+      (match op with
+       | I.Add -> "add" | I.Sub -> "sub" | I.Mul -> "mul" | I.Div -> "div"
+       | I.Rem -> "rem" | I.And -> "and" | I.Or -> "or" | I.Xor -> "xor"
+       | I.Shl -> "shl" | I.Shr -> "shr")
+      a b
+      (match folded with None -> "fold:none" | Some v -> string_of_int v)
+      (match interpreted with None -> "interp:raise" | Some v -> string_of_int v)
+
+let interesting_operands =
+  [ 0; 1; -1; 2; -2; 31; 32; 33; 62; 63; 64; 65; 127; 128;
+    V.max_int32; V.max_int32 - 1; V.min_int32; V.min_int32 + 1 ]
+
+let test_alu_differential_exhaustive_shifts () =
+  (* every shift amount 0..63 (and past 63 via the interesting operands),
+     for every interesting left operand *)
+  List.iter
+    (fun a ->
+      for s = 0 to 63 do
+        agree I.Shl a s;
+        agree I.Shr a s
+      done)
+    interesting_operands;
+  (* all interesting pairs for every operator, min_int32 / -1 included *)
+  List.iter
+    (fun op ->
+      List.iter
+        (fun a -> List.iter (fun b -> agree op a b) interesting_operands)
+        interesting_operands)
+    all_ops
+
+let prop_alu_differential =
+  QCheck.Test.make ~name:"fold_alu agrees with Interp.alu on random operands"
+    ~count:2000
+    QCheck.(triple (int_bound 9) int int)
+    (fun (opi, a, b) ->
+      let op = List.nth all_ops opi in
+      let a = V.wrap32 a and b = V.wrap32 b in
+      agree op a b;
+      true)
+
+(* results of both ALUs always stay in 32-bit range *)
+let prop_alu_in_range =
+  QCheck.Test.make ~name:"ALU results are 32-bit" ~count:2000
+    QCheck.(triple (int_bound 9) int int)
+    (fun (opi, a, b) ->
+      let op = List.nth all_ops opi in
+      let a = V.wrap32 a and b = V.wrap32 b in
+      match Ipet_sim.Interp.alu op a b with
+      | v -> v >= V.min_int32 && v <= V.max_int32
+      | exception Ipet_sim.Interp.Runtime_error _ -> true)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest [ prop_alu_differential; prop_alu_in_range ]
+
+let suite =
+  [ ("corpus replay", `Quick, test_corpus_replay);
+    ("splitmix64 reference stream", `Quick, test_rng_reference_stream);
+    ("rng ranges", `Quick, test_rng_ranges);
+    ("deterministic generation", `Quick, test_generation_deterministic);
+    ("render/reparse fixpoint", `Quick, test_render_reparse_fixpoint);
+    ("oracle classification", `Quick, test_oracle_classifies);
+    ("25-case fuzz run", `Slow, test_fuzz_run);
+    ("shrinker minimizes", `Quick, test_shrinker_minimizes);
+    ("ALU differential, exhaustive shifts", `Quick,
+     test_alu_differential_exhaustive_shifts) ]
+  @ props

@@ -40,6 +40,40 @@ let test_lexer_error () =
   check_bool "illegal char" true
     (try ignore (Lexer.tokenize "a $ b"); false with Lexer.Error (_, 1) -> true)
 
+(* literals spell E32 bit patterns: anything in [0, 2^32) is accepted and
+   wrapped to its two's-complement value; anything wider — including
+   literals so long they used to crash int_of_string — is a positioned
+   diagnostic, never an uncaught exception *)
+let test_lexer_int_literals () =
+  check_bool "INT_MAX" true
+    (toks "2147483647" = [ Lexer.INT_LIT 2147483647; Lexer.EOF ]);
+  check_bool "INT_MAX+1 wraps to min_int32" true
+    (toks "2147483648" = [ Lexer.INT_LIT (-2147483648); Lexer.EOF ]);
+  check_bool "UINT_MAX wraps to -1" true
+    (toks "4294967295" = [ Lexer.INT_LIT (-1); Lexer.EOF ]);
+  check_bool "hex UINT_MAX wraps to -1" true
+    (toks "0xFFFFFFFF" = [ Lexer.INT_LIT (-1); Lexer.EOF ]);
+  check_bool "2^32 rejected with line" true
+    (try ignore (Lexer.tokenize "x\n4294967296") ; false
+     with Lexer.Error (_, 2) -> true);
+  check_bool "absurdly long literal rejected, not crashed" true
+    (try ignore (Lexer.tokenize (String.make 40 '9')); false
+     with Lexer.Error (_, 1) -> true);
+  check_bool "absurdly long hex literal rejected" true
+    (try ignore (Lexer.tokenize ("0x" ^ String.make 40 'F')); false
+     with Lexer.Error (_, 1) -> true)
+
+(* -2147483648 must arrive in the simulator as min_int32: the lexer wraps
+   the magnitude and the parser folds the unary minus back onto it *)
+let test_min_int_end_to_end () =
+  let compiled = Frontend.compile_string_exn "int f() { return -2147483648; }" in
+  let m = Ipet_sim.Interp.create compiled.Ipet_lang.Compile.prog
+      ~init:compiled.Ipet_lang.Compile.init_data
+  in
+  (match Ipet_sim.Interp.call m "f" [] with
+   | Some (Ipet_isa.Value.Vint i) -> check_int "min_int32" (-2147483648) i
+   | _ -> Alcotest.fail "expected int")
+
 (* --- parser ------------------------------------------------------------- *)
 
 let test_parse_precedence () =
@@ -165,6 +199,8 @@ let suite =
     ("lexer comments", `Quick, test_lexer_comments);
     ("lexer line numbers", `Quick, test_lexer_lines);
     ("lexer error", `Quick, test_lexer_error);
+    ("lexer 32-bit literals", `Quick, test_lexer_int_literals);
+    ("min_int end to end", `Quick, test_min_int_end_to_end);
     ("parser precedence", `Quick, test_parse_precedence);
     ("parser unary and cast", `Quick, test_parse_unary_and_cast);
     ("parser whole program", `Quick, test_parse_program);

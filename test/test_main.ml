@@ -17,4 +17,5 @@ let () =
       ("regalloc", Test_regalloc.suite);
       ("asm", Test_asm.suite);
       ("suite", Test_suite.suite);
-      ("edge", Test_edge.suite) ]
+      ("edge", Test_edge.suite);
+      ("fuzz", Test_fuzz.suite) ]

@@ -166,8 +166,11 @@ let test_shift_semantics () =
   List.iter
     (fun (x, s) ->
       let r, _ = run_int src "f" [ x; s ] in
-      check_int (Printf.sprintf "%d << %d" x s) (x lsl s) r)
+      check_int (Printf.sprintf "%d << %d" x s) (V.wrap32 (x lsl s)) r)
     [ (1, 1); (3, 3); (5, 5); (1, 7); (123, 13); (-9, 1); (7, 0); (1, 31) ];
+  (* 32-bit wrap: bit 31 is the sign *)
+  let r, _ = run_int src "f" [ 1; 31 ] in
+  check_int "1 << 31 is min_int32" V.min_int32 r;
   List.iter
     (fun (x, s) ->
       let r, _ = run_int sr_src "f" [ x; s ] in
