@@ -22,6 +22,7 @@ module Structural = Ipet.Structural
 module Report = Ipet.Report
 module E = Ipet_suite.Experiments
 module Bspec = Ipet_suite.Bspec
+module Obs = Ipet_obs.Obs
 
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -422,15 +423,26 @@ let json () =
     let r = f () in
     (r, Unix.gettimeofday () -. t0)
   in
+  Obs.enable ();
   let entries =
     List.map
       (fun (bench : Bspec.t) ->
         let spec = Bspec.spec bench in
         let run presolve =
+          Obs.reset ();
           time (fun () ->
             Analysis.analyze { spec with Analysis.presolve })
         in
         let with_pre, t_pre = run true in
+        (* phase wall times of the presolve run, from the span engine *)
+        let phase name =
+          match List.assoc_opt name (Obs.span_totals ()) with
+          | Some (_count, us) -> float_of_int us /. 1e6
+          | None -> 0.0
+        in
+        let t_prepare = phase "analysis.prepare" in
+        let t_wcet = phase "analysis.wcet" in
+        let t_bcet = phase "analysis.bcet" in
         let _, t_plain = run false in
         let sum f =
           f with_pre.Analysis.wcet_stats + f with_pre.Analysis.bcet_stats
@@ -444,11 +456,13 @@ let json () =
         ( bench.Bspec.name,
           Printf.sprintf
             "    { \"name\": %S, \"wall_s_presolve\": %.4f, \
-             \"wall_s_no_presolve\": %.4f, \"lp_calls\": %d, \
+             \"wall_s_no_presolve\": %.4f, \"phase_prepare_s\": %.4f, \
+             \"phase_wcet_s\": %.4f, \"phase_bcet_s\": %.4f, \
+             \"lp_calls\": %d, \
              \"vars_before\": %d, \"vars_after\": %d, \
              \"constrs_before\": %d, \"constrs_after\": %d, \
              \"var_reduction\": %.3f }"
-            bench.Bspec.name t_pre t_plain
+            bench.Bspec.name t_pre t_plain t_prepare t_wcet t_bcet
             (sum (fun s -> s.Analysis.lp_calls))
             vars_before vars_after
             (sum (fun s -> s.Analysis.presolve_constrs_before))
@@ -457,6 +471,8 @@ let json () =
           reduction, t_pre, t_plain ))
       Ipet_suite.Suite.all
   in
+  Obs.disable ();
+  Obs.reset ();
   let reductions =
     List.sort compare (List.map (fun (_, _, r, _, _) -> r) entries)
   in
@@ -536,6 +552,142 @@ let sim_bench () =
     total_instrs total_wall
     (float_of_int total_instrs /. total_wall /. 1e6)
 
+(* Regression guard for the simulator's instrumentation-disabled hot path:
+   re-measure throughput with a few repeats and compare against the
+   committed BENCH_sim.json baseline. CI machines differ wildly from the
+   one that wrote the baseline, so the default floor is a generous ratio
+   (override with SIM_CHECK_RATIO); the point is to catch the simulator
+   accidentally paying for profiling it was not asked for. *)
+let sim_check () =
+  let read_file path =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let content = really_input_string ic len in
+    close_in ic;
+    content
+  in
+  let baseline =
+    let content =
+      try read_file "BENCH_sim.json"
+      with Sys_error _ ->
+        prerr_endline "sim-check: BENCH_sim.json not found (run 'sim' first)";
+        exit 1
+    in
+    (* the total rate is the last "minstr_per_s" in the document *)
+    let key = "\"minstr_per_s\":" in
+    let rec last_occurrence from acc =
+      match
+        if from > String.length content - String.length key then None
+        else if String.sub content from (String.length key) = key then
+          Some from
+        else None
+      with
+      | Some at -> last_occurrence (at + 1) (Some at)
+      | None ->
+        if from >= String.length content - String.length key then acc
+        else last_occurrence (from + 1) acc
+    in
+    match last_occurrence 0 None with
+    | None ->
+      prerr_endline "sim-check: no minstr_per_s in BENCH_sim.json";
+      exit 1
+    | Some at ->
+      let start = at + String.length key in
+      let stop = ref start in
+      while
+        !stop < String.length content
+        && (match content.[!stop] with
+            | '0' .. '9' | '.' | ' ' | '-' -> true
+            | _ -> false)
+      do incr stop done;
+      float_of_string (String.trim (String.sub content start (!stop - start)))
+  in
+  let ratio_floor =
+    match Sys.getenv_opt "SIM_CHECK_RATIO" with
+    | Some s -> float_of_string s
+    | None -> 0.5
+  in
+  let repeats = 10 in
+  let measure name =
+    let bench = Ipet_suite.Suite.find name in
+    let compiled = Bspec.compile bench in
+    let m = Interp.create compiled.Compile.prog ~init:compiled.Compile.init_data in
+    let d = List.hd bench.Bspec.worst_data in
+    d.Bspec.setup m;
+    Interp.flush_cache m;
+    ignore (Interp.call m bench.Bspec.root d.Bspec.args);
+    let t0 = Unix.gettimeofday () in
+    let instrs = ref 0 in
+    for _ = 1 to repeats do
+      Interp.reset_stats m;
+      Interp.reset_memory m ~init:compiled.Compile.init_data;
+      d.Bspec.setup m;
+      Interp.flush_cache m;
+      ignore (Interp.call m bench.Bspec.root d.Bspec.args);
+      instrs := !instrs + Interp.instructions m
+    done;
+    (!instrs, Unix.gettimeofday () -. t0)
+  in
+  let instrs, wall =
+    List.fold_left
+      (fun (ai, aw) name ->
+        let i, w = measure name in
+        (ai + i, aw +. w))
+      (0, 0.0)
+      [ "fullsearch"; "whetstone"; "des" ]
+  in
+  let rate = float_of_int instrs /. wall /. 1e6 in
+  Printf.printf
+    "sim-check: %.2f Minstr/s measured, %.2f baseline (floor ratio %.2f)\n"
+    rate baseline ratio_floor;
+  if rate < ratio_floor *. baseline then begin
+    Printf.printf
+      "sim-check: FAIL — throughput fell below %.0f%% of the baseline\n"
+      (100.0 *. ratio_floor);
+    exit 1
+  end
+  else print_endline "sim-check: ok"
+
+(* Writes each paper benchmark as a standalone NAME.mc + NAME.ann pair so
+   the cinderella CLI can be driven over the whole suite from the shell
+   (loop bounds only: the functional-constraint DSL values have no textual
+   serialization, and boundedness needs only the loop bounds). *)
+let export dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (bench : Bspec.t) ->
+      let write path content =
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc
+      in
+      write (Filename.concat dir (bench.Bspec.name ^ ".mc")) bench.Bspec.source;
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf (Printf.sprintf "root %s\n" bench.Bspec.root);
+      List.iter
+        (fun (a : Ipet.Annotation.t) ->
+          match a.Ipet.Annotation.header with
+          | `Line l ->
+            Buffer.add_string buf
+              (Printf.sprintf "loop %s %d %d %d\n" a.Ipet.Annotation.func l
+                 a.Ipet.Annotation.lo a.Ipet.Annotation.hi)
+          | `Block b ->
+            Buffer.add_string buf
+              (Printf.sprintf "# block-addressed bound skipped: %s B%d [%d,%d]\n"
+                 a.Ipet.Annotation.func b a.Ipet.Annotation.lo
+                 a.Ipet.Annotation.hi))
+        bench.Bspec.loop_bounds;
+      let nfun = List.length bench.Bspec.functional in
+      if nfun > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "# %d functionality constraint(s) omitted (no textual form)\n"
+             nfun);
+      write (Filename.concat dir (bench.Bspec.name ^ ".ann")) (Buffer.contents buf))
+    Ipet_suite.Suite.all;
+  Printf.printf "exported %d benchmarks to %s\n"
+    (List.length Ipet_suite.Suite.all) dir
+
 (* --- bechamel micro-benchmarks ------------------------------------------ *)
 
 let bechamel () =
@@ -590,7 +742,7 @@ let usage () =
   print_endline
     "usage: main.exe \
      [fig1|..|fig6|table1|table2|table3|stats|ablation-cache|ablation-refine|\
-      bechamel|json|sim|all]"
+      bechamel|json|sim|sim-check|export DIR|all]"
 
 let rec run_target = function
   | "fig1" -> fig1 ()
@@ -610,6 +762,7 @@ let rec run_target = function
   | "table-extra" -> table_extra ()
   | "json" -> json ()
   | "sim" -> sim_bench ()
+  | "sim-check" -> sim_check ()
   | "bechamel" -> bechamel ()
   | "all" ->
     List.iter run_target
@@ -624,6 +777,7 @@ let rec run_target = function
 let () =
   match Sys.argv with
   | [| _ |] -> run_target "all"
+  | [| _; "export"; dir |] -> export dir
   | [| _; target |] -> run_target target
   | _ ->
     usage ();

@@ -8,12 +8,19 @@
      cinderella cfg prog.mc -f func           (Graphviz to stdout)
      cinderella asm prog.mc                   (E32 assembly listing)
      cinderella sim prog.mc -r func --set g=1 --profile
-*)
+     cinderella attribute prog.mc -r func --set g=1
+
+   Every subcommand accepts --trace-out FILE (Chrome trace-event spans,
+   Perfetto-loadable) and --metrics-out FILE (metrics + span totals as
+   JSON). Diagnostics go through Ipet_obs.Diag: exit code 2 means the
+   input was wrong, 1 means the run failed. *)
 
 module P = Ipet_isa.Prog
 module Frontend = Ipet_lang.Frontend
 module Compile = Ipet_lang.Compile
 module Icache = Ipet_machine.Icache
+module Obs = Ipet_obs.Obs
+module Diag = Ipet_obs.Diag
 
 let read_file path =
   let ic = open_in_bin path in
@@ -26,77 +33,109 @@ let has_suffix ~suffix path =
   let np = String.length path and ns = String.length suffix in
   np >= ns && String.sub path (np - ns) ns = suffix
 
+(* --- observability plumbing ---------------------------------------------- *)
+
+(* Writing the sinks from [at_exit] means a run that dies through
+   [Diag.fail] still flushes whatever spans and metrics it collected. *)
+let setup_obs (trace_out, metrics_out) =
+  if trace_out <> None || metrics_out <> None then begin
+    Obs.enable ();
+    at_exit (fun () ->
+        Option.iter
+          (fun path ->
+            Obs.Sink.write_file path
+              (Obs.Trace_event.to_string (Obs.spans ())))
+          trace_out;
+        Option.iter
+          (fun path ->
+            Obs.Sink.write_file path
+              (Obs.Sink.metrics_json ~span_totals:(Obs.span_totals ())
+                 Obs.metrics))
+          metrics_out)
+  end
+
 (* MC source is compiled; an .s file is parsed as an E32 listing (the
    paper's cinderella likewise started from object code, not source) *)
 let load_program path =
-  if has_suffix ~suffix:".s" path then begin
-    let text = read_file path in
-    match Ipet_isa.Asm_parser.parse text with
-    | prog ->
-      (text, { Compile.prog; Compile.init_data = [] })
-    | exception Ipet_isa.Asm_parser.Error (message, line) ->
-      Printf.eprintf "%s:%d: %s\n" path line message;
-      exit 1
-  end
-  else begin
-    let src = read_file path in
-    match Frontend.compile_string src with
-    | Ok compiled -> (src, compiled)
-    | Error { Frontend.message; line } ->
-      Printf.eprintf "%s:%d: %s\n" path line message;
-      exit 1
-  end
+  Obs.span "frontend.load" ~args:[ ("path", path) ] (fun () ->
+      if has_suffix ~suffix:".s" path then begin
+        let text = read_file path in
+        match Ipet_isa.Asm_parser.parse text with
+        | prog -> (text, { Compile.prog; Compile.init_data = [] })
+        | exception Ipet_isa.Asm_parser.Error (message, line) ->
+          Diag.fail ~file:path ~line ~code:Diag.exit_input "%s" message
+      end
+      else begin
+        let src = read_file path in
+        match Frontend.compile_string src with
+        | Ok compiled -> (src, compiled)
+        | Error { Frontend.message; line } ->
+          Diag.fail ~file:path ~line ~code:Diag.exit_input "%s" message
+      end)
+
+let load_annotations = function
+  | None ->
+    { Ipet.Constraint_parser.root = None; loop_bounds = []; functional = [] }
+  | Some path ->
+    (try Ipet.Constraint_parser.parse_annotation_text (read_file path) with
+     | Ipet.Constraint_parser.Parse_error msg ->
+       Diag.fail ~file:path ~code:Diag.exit_input "%s" msg)
+
+let resolve_root root_flag (annotations : Ipet.Constraint_parser.annotation_file) =
+  match (root_flag, annotations.Ipet.Constraint_parser.root) with
+  | Some r, _ -> r
+  | None, Some r -> r
+  | None, None ->
+    Diag.fail ~code:Diag.exit_input
+      "no analysis root: pass --root or add a 'root' line to the annotations"
+
+let require_func prog name =
+  match P.find_func_opt prog name with
+  | Some f -> f
+  | None -> Diag.fail ~code:Diag.exit_input "unknown function %s" name
+
+let infer_bounds ~verbose source_path src =
+  if has_suffix ~suffix:".s" source_path then
+    Diag.fail ~code:Diag.exit_input
+      "--auto-bounds needs MC source, not an assembly listing";
+  let ast, _env = Frontend.parse_and_check src in
+  let bounds = Ipet.Autobound.infer ast in
+  if verbose then
+    List.iter
+      (fun (b : Ipet.Annotation.t) ->
+        match b.Ipet.Annotation.header with
+        | `Line l ->
+          Printf.printf "inferred: loop %s line %d bound [%d, %d]\n"
+            b.Ipet.Annotation.func l b.Ipet.Annotation.lo b.Ipet.Annotation.hi
+        | `Block _ -> ())
+      bounds;
+  bounds
+
+let run_analysis spec =
+  match Obs.span "analysis.analyze" (fun () -> Ipet.Analysis.analyze spec) with
+  | result -> result
+  | exception Ipet.Analysis.Analysis_error msg ->
+    Diag.fail ~code:Diag.exit_analysis "analysis error: %s" msg
+  | exception Ipet.Functional.Resolution_error msg ->
+    Diag.fail ~code:Diag.exit_input "constraint error: %s" msg
+  | exception Ipet.Annotation.Bad_annotation msg ->
+    Diag.fail ~code:Diag.exit_input "annotation error: %s" msg
 
 (* --- analyze ------------------------------------------------------------- *)
 
-let analyze_cmd source_path annot_path root_flag cache_size line_size
+let analyze_cmd obs source_path annot_path root_flag cache_size line_size
     miss_penalty verbose auto_bounds dump_lp sensitivity no_presolve lp_stats =
+  setup_obs obs;
   let src, compiled = load_program source_path in
-  let annotations =
-    match annot_path with
-    | None -> { Ipet.Constraint_parser.root = None; loop_bounds = []; functional = [] }
-    | Some path ->
-      (try Ipet.Constraint_parser.parse_annotation_text (read_file path) with
-       | Ipet.Constraint_parser.Parse_error msg ->
-         Printf.eprintf "%s: %s\n" path msg;
-         exit 1)
-  in
-  let root =
-    match (root_flag, annotations.Ipet.Constraint_parser.root) with
-    | Some r, _ -> r
-    | None, Some r -> r
-    | None, None ->
-      Printf.eprintf
-        "no analysis root: pass --root or add a 'root' line to the annotations\n";
-      exit 1
-  in
+  let annotations = load_annotations annot_path in
+  let root = resolve_root root_flag annotations in
   let prog = compiled.Compile.prog in
-  (match P.find_func_opt prog root with
-   | Some _ -> ()
-   | None ->
-     Printf.eprintf "unknown function %s\n" root;
-     exit 1);
-  let cache = { Icache.size_bytes = cache_size; line_bytes = line_size; miss_penalty } in
+  ignore (require_func prog root);
+  let cache =
+    { Icache.size_bytes = cache_size; line_bytes = line_size; miss_penalty }
+  in
   let inferred =
-    if auto_bounds then begin
-      if has_suffix ~suffix:".s" source_path then begin
-        Printf.eprintf "--auto-bounds needs MC source, not an assembly listing\n";
-        exit 1
-      end;
-      let ast, _env = Frontend.parse_and_check src in
-      let bounds = Ipet.Autobound.infer ast in
-      if verbose then
-        List.iter
-          (fun (b : Ipet.Annotation.t) ->
-            match b.Ipet.Annotation.header with
-            | `Line l ->
-              Printf.printf "inferred: loop %s line %d bound [%d, %d]\n"
-                b.Ipet.Annotation.func l b.Ipet.Annotation.lo b.Ipet.Annotation.hi
-            | `Block _ -> ())
-          bounds;
-      bounds
-    end
-    else []
+    if auto_bounds then infer_bounds ~verbose source_path src else []
   in
   let spec =
     Ipet.Analysis.spec ~cache ~presolve:(not no_presolve)
@@ -121,41 +160,39 @@ let analyze_cmd source_path annot_path root_flag cache_size line_size
     print_string
       (Ipet.Report.constraints_listing (Ipet.Analysis.structural_constraints spec))
   end;
-  match Ipet.Analysis.analyze spec with
-  | result ->
+  let result = run_analysis spec in
+  if Obs.enabled () then begin
+    Obs.set_gauge_int "analysis.wcet_cycles"
+      result.Ipet.Analysis.wcet.Ipet.Analysis.cycles;
+    Obs.set_gauge_int "analysis.bcet_cycles"
+      result.Ipet.Analysis.bcet.Ipet.Analysis.cycles;
+    Ipet.Report.record_lp_metrics Obs.metrics result
+  end;
+  print_newline ();
+  print_string (Ipet.Report.bound_summary result);
+  if lp_stats then begin
     print_newline ();
-    print_string (Ipet.Report.bound_summary result);
-    if lp_stats then begin
-      print_newline ();
-      print_string (Ipet.Report.lp_stats result)
-    end;
-    if sensitivity then begin
-      print_endline "\nWCET sensitivity to loop bounds (hi reduced by 1):";
-      List.iter
-        (fun (row : Ipet.Analysis.sensitivity_row) ->
-          let ann = row.Ipet.Analysis.annotation in
-          let where = match ann.Ipet.Annotation.header with
-            | `Line l -> Printf.sprintf "line %d" l
-            | `Block b -> Printf.sprintf "block %d" b
-          in
-          Printf.printf "  %s %s [%d,%d]: -%d cycles\n" ann.Ipet.Annotation.func
-            where ann.Ipet.Annotation.lo ann.Ipet.Annotation.hi
-            (row.Ipet.Analysis.base_wcet - row.Ipet.Analysis.tightened_wcet))
-        (Ipet.Analysis.wcet_sensitivity spec)
-    end
-  | exception Ipet.Analysis.Analysis_error msg ->
-    Printf.eprintf "analysis error: %s\n" msg;
-    exit 1
-  | exception Ipet.Functional.Resolution_error msg ->
-    Printf.eprintf "constraint error: %s\n" msg;
-    exit 1
-  | exception Ipet.Annotation.Bad_annotation msg ->
-    Printf.eprintf "annotation error: %s\n" msg;
-    exit 1
+    print_string (Ipet.Report.lp_stats result)
+  end;
+  if sensitivity then begin
+    print_endline "\nWCET sensitivity to loop bounds (hi reduced by 1):";
+    List.iter
+      (fun (row : Ipet.Analysis.sensitivity_row) ->
+        let ann = row.Ipet.Analysis.annotation in
+        let where = match ann.Ipet.Annotation.header with
+          | `Line l -> Printf.sprintf "line %d" l
+          | `Block b -> Printf.sprintf "block %d" b
+        in
+        Printf.printf "  %s %s [%d,%d]: -%d cycles\n" ann.Ipet.Annotation.func
+          where ann.Ipet.Annotation.lo ann.Ipet.Annotation.hi
+          (row.Ipet.Analysis.base_wcet - row.Ipet.Analysis.tightened_wcet))
+      (Ipet.Analysis.wcet_sensitivity spec)
+  end
 
 (* --- listing / cfg / asm -------------------------------------------------- *)
 
-let listing_cmd source_path func =
+let listing_cmd obs source_path func =
+  setup_obs obs;
   let src, compiled = load_program source_path in
   let prog = compiled.Compile.prog in
   let funcs =
@@ -169,24 +206,68 @@ let listing_cmd source_path func =
       print_string (Ipet.Report.annotated_source ~source:src prog ~func:f))
     funcs
 
-let cfg_cmd source_path func =
-  let _, compiled = load_program source_path in
+let cfg_cmd obs source_path func annot_path root_flag auto_bounds cache_size
+    line_size miss_penalty =
+  setup_obs obs;
+  let src, compiled = load_program source_path in
   let prog = compiled.Compile.prog in
-  match P.find_func_opt prog func with
+  let f = require_func prog func in
+  let cfg = Ipet_cfg.Cfg.of_func f in
+  let dom = Ipet_cfg.Dominators.compute cfg in
+  let loops = Ipet_cfg.Loops.detect cfg dom in
+  let annotations = load_annotations annot_path in
+  let root = match (root_flag, annotations.Ipet.Constraint_parser.root) with
+    | Some r, _ -> Some r
+    | None, r -> r
+  in
+  match root with
   | None ->
-    Printf.eprintf "unknown function %s\n" func;
-    exit 1
-  | Some f ->
-    let cfg = Ipet_cfg.Cfg.of_func f in
-    let dom = Ipet_cfg.Dominators.compute cfg in
-    let loops = Ipet_cfg.Loops.detect cfg dom in
     print_string (Ipet_cfg.Dot.cfg_to_dot ~highlight_loops:loops cfg)
+  | Some root ->
+    (* with an analysis root available, annotate each node with its WCET
+       witness count and per-block cost bounds, and fill the blocks on the
+       worst-case path *)
+    ignore (require_func prog root);
+    let cache =
+      { Icache.size_bytes = cache_size; line_bytes = line_size; miss_penalty }
+    in
+    let inferred =
+      if auto_bounds then infer_bounds ~verbose:false source_path src else []
+    in
+    let spec =
+      Ipet.Analysis.spec ~cache
+        ~loop_bounds:(annotations.Ipet.Constraint_parser.loop_bounds @ inferred)
+        ~functional:annotations.Ipet.Constraint_parser.functional ~root prog
+    in
+    let result = run_analysis spec in
+    let costs = Ipet.Analysis.block_costs spec ~func in
+    let count b =
+      match
+        List.assoc_opt (func, b) result.Ipet.Analysis.wcet.Ipet.Analysis.counts
+      with
+      | Some n -> n
+      | None -> 0
+    in
+    let block_info b =
+      let lines =
+        if b < Array.length costs then
+          [ Printf.sprintf "c=[%d,%d]" costs.(b).Ipet_machine.Cost.best
+              costs.(b).Ipet_machine.Cost.worst ]
+        else []
+      in
+      Printf.sprintf "wcet x%d" (count b) :: lines
+    in
+    print_string
+      (Ipet_cfg.Dot.cfg_to_dot ~highlight_loops:loops ~block_info
+         ~hot:(fun b -> count b > 0)
+         cfg)
 
-let asm_cmd source_path =
+let asm_cmd obs source_path =
+  setup_obs obs;
   let _, compiled = load_program source_path in
   Format.printf "%a@." P.pp compiled.Compile.prog
 
-(* --- sim -------------------------------------------------------------------- *)
+(* --- sim ------------------------------------------------------------------ *)
 
 (* "name=3", "name[4]=-2" or "name=2.5" *)
 let parse_set spec =
@@ -209,44 +290,70 @@ let parse_set spec =
         | Some f -> Ok (name, index, Ipet_isa.Value.Vfloat f)
         | None -> Error (`Msg (rhs ^ ": expected a number"))))
 
-let sim_cmd source_path root args sets flush profile =
-  let _, compiled = load_program source_path in
-  let prog = compiled.Compile.prog in
-  let m = Ipet_sim.Interp.create prog ~init:compiled.Compile.init_data in
+let apply_sets m sets =
   List.iter
     (fun spec ->
       match parse_set spec with
       | Ok (name, index, v) ->
         (try Ipet_sim.Interp.write_global m name index v with
          | Ipet_sim.Interp.Runtime_error msg ->
-           Printf.eprintf "%s\n" msg;
-           exit 1)
-      | Error (`Msg msg) ->
-        Printf.eprintf "--set %s\n" msg;
-        exit 1)
-    sets;
+           Diag.fail ~code:Diag.exit_input "%s" msg)
+      | Error (`Msg msg) -> Diag.fail ~code:Diag.exit_input "--set %s" msg)
+    sets
+
+let run_sim m root arg_values =
+  match
+    Obs.span "sim.run" ~args:[ ("root", root) ] (fun () ->
+        Ipet_sim.Interp.call m root arg_values)
+  with
+  | result -> result
+  | exception Ipet_sim.Interp.Runtime_error msg ->
+    Diag.fail ~code:Diag.exit_analysis "runtime error: %s" msg
+  | exception Ipet_sim.Interp.Out_of_fuel ->
+    Diag.fail ~code:Diag.exit_analysis
+      "out of fuel: the program does not seem to terminate"
+
+let record_sim_metrics m =
+  if Obs.enabled () then begin
+    Obs.set_gauge_int "sim.instructions" (Ipet_sim.Interp.instructions m);
+    Obs.set_gauge_int "sim.cycles" (Ipet_sim.Interp.cycles m);
+    Obs.set_gauge_int "sim.icache.hits" (Ipet_sim.Interp.cache_hits m);
+    Obs.set_gauge_int "sim.icache.misses" (Ipet_sim.Interp.cache_misses m);
+    Array.iteri
+      (fun i (hits, misses) ->
+        if hits + misses > 0 then begin
+          let labels = [ ("set", string_of_int i) ] in
+          Obs.set_gauge_int ~labels "sim.icache.set_hits" hits;
+          Obs.set_gauge_int ~labels "sim.icache.set_misses" misses
+        end)
+      (Ipet_sim.Interp.icache_line_stats m)
+  end
+
+let sim_cmd obs source_path root args sets flush profile =
+  setup_obs obs;
+  let _, compiled = load_program source_path in
+  let prog = compiled.Compile.prog in
+  (* per-line i-cache metrics need the profiled machine; the hot loop is
+     only instrumented when asked for *)
+  let m =
+    Ipet_sim.Interp.create ~profile:(profile || Obs.enabled ()) prog
+      ~init:compiled.Compile.init_data
+  in
+  apply_sets m sets;
   if flush then Ipet_sim.Interp.flush_cache m;
   let arg_values = List.map (fun i -> Ipet_isa.Value.Vint i) args in
-  let call () = Ipet_sim.Interp.call m root arg_values in
-  let outcome =
-    try
-      if profile then begin
-        let result, rows = Ipet_sim.Trace.profile m call in
-        Format.printf "%a@." Ipet_sim.Trace.pp_profile rows;
-        Ok result
-      end
-      else Ok (call ())
-    with
-    | Ipet_sim.Interp.Runtime_error msg -> Error ("runtime error: " ^ msg)
-    | Ipet_sim.Interp.Out_of_fuel ->
-      Error "out of fuel: the program does not seem to terminate"
+  let result =
+    if profile then begin
+      let result, rows = Ipet_sim.Trace.profile m (fun () -> run_sim m root arg_values) in
+      Format.printf "%a@." Ipet_sim.Trace.pp_profile rows;
+      result
+    end
+    else run_sim m root arg_values
   in
-  (match outcome with
-   | Ok (Some v) -> Format.printf "result: %a@." Ipet_isa.Value.pp v
-   | Ok None -> print_endline "result: (void)"
-   | Error msg ->
-     Printf.eprintf "%s\n" msg;
-     exit 1);
+  record_sim_metrics m;
+  (match result with
+   | Some v -> Format.printf "result: %a@." Ipet_isa.Value.pp v
+   | None -> print_endline "result: (void)");
   Printf.printf "cycles:       %d\n" (Ipet_sim.Interp.cycles m);
   Printf.printf "instructions: %d\n" (Ipet_sim.Interp.instructions m);
   Printf.printf "cache:        %d hits, %d misses\n"
@@ -257,6 +364,66 @@ let sim_cmd source_path root args sets flush profile =
   |> List.filteri (fun i _ -> i < 10)
   |> List.iter (fun ((func, block), count) ->
     Printf.printf "  %s B%d: %d\n" func block count)
+
+(* --- attribute ------------------------------------------------------------ *)
+
+(* Pessimism attribution: run the IPET analysis AND a profiled simulation
+   of the same program under the same cache configuration, then report per
+   basic block how much of the estimate-vs-measurement gap it contributes:
+   witness count x worst-case cost against measured count and self
+   cycles. *)
+let attribute_cmd obs source_path annot_path root_flag args sets flush
+    auto_bounds cache_size line_size miss_penalty =
+  setup_obs obs;
+  let src, compiled = load_program source_path in
+  let annotations = load_annotations annot_path in
+  let root = resolve_root root_flag annotations in
+  let prog = compiled.Compile.prog in
+  ignore (require_func prog root);
+  let cache =
+    { Icache.size_bytes = cache_size; line_bytes = line_size; miss_penalty }
+  in
+  let inferred =
+    if auto_bounds then infer_bounds ~verbose:false source_path src else []
+  in
+  let spec =
+    Ipet.Analysis.spec ~cache
+      ~loop_bounds:(annotations.Ipet.Constraint_parser.loop_bounds @ inferred)
+      ~functional:annotations.Ipet.Constraint_parser.functional ~root prog
+  in
+  let result = run_analysis spec in
+  if Obs.enabled () then Ipet.Report.record_lp_metrics Obs.metrics result;
+  let m =
+    Ipet_sim.Interp.create ~cache ~profile:true prog
+      ~init:compiled.Compile.init_data
+  in
+  apply_sets m sets;
+  if flush then Ipet_sim.Interp.flush_cache m;
+  let arg_values = List.map (fun i -> Ipet_isa.Value.Vint i) args in
+  ignore (run_sim m root arg_values);
+  record_sim_metrics m;
+  let cost_cache = Hashtbl.create 8 in
+  let wcet_cost func block =
+    let arr =
+      match Hashtbl.find_opt cost_cache func with
+      | Some a -> a
+      | None ->
+        let a = Ipet.Analysis.block_costs spec ~func in
+        Hashtbl.add cost_cache func a;
+        a
+    in
+    if block < Array.length arr then arr.(block).Ipet_machine.Cost.worst else 0
+  in
+  let rows =
+    Ipet.Report.attribution
+      ~wcet_counts:result.Ipet.Analysis.wcet.Ipet.Analysis.counts ~wcet_cost
+      ~sim_counts:(Ipet_sim.Interp.block_counts m)
+      ~sim_cycles:(Ipet_sim.Interp.block_cycles m)
+  in
+  print_string
+    (Ipet.Report.pp_attribution
+       ~wcet:result.Ipet.Analysis.wcet.Ipet.Analysis.cycles
+       ~simulated:(Ipet_sim.Interp.cycles m) rows)
 
 (* --- cmdliner wiring ------------------------------------------------------ *)
 
@@ -320,13 +487,29 @@ let no_presolve_arg =
 let lp_stats_arg =
   Arg.(value & flag
        & info [ "lp-stats" ]
-           ~doc:"Print detailed solver statistics (LP calls, presolve \
-                 variable/constraint reductions).")
+           ~doc:"Print detailed solver statistics (LP calls, branch-and-bound \
+                 nodes, simplex pivots, presolve reductions) as metric lines.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the run's spans as a Chrome trace-event file \
+                 (loadable in Perfetto).")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write the run's metrics and span totals as JSON.")
+
+let obs_term =
+  Term.(const (fun trace metrics -> (trace, metrics))
+        $ trace_out_arg $ metrics_out_arg)
 
 let analyze_term =
-  Term.(const analyze_cmd $ source_arg $ annot_arg $ root_arg $ cache_size_arg
-        $ line_size_arg $ miss_penalty_arg $ verbose_arg $ auto_bounds_arg
-        $ dump_lp_arg $ sensitivity_arg $ no_presolve_arg $ lp_stats_arg)
+  Term.(const analyze_cmd $ obs_term $ source_arg $ annot_arg $ root_arg
+        $ cache_size_arg $ line_size_arg $ miss_penalty_arg $ verbose_arg
+        $ auto_bounds_arg $ dump_lp_arg $ sensitivity_arg $ no_presolve_arg
+        $ lp_stats_arg)
 
 let analyze =
   Cmd.v
@@ -359,27 +542,44 @@ let sim =
   Cmd.v
     (Cmd.info "sim"
        ~doc:"Execute a function on the cycle-accurate simulator.")
-    Term.(const sim_cmd $ source_arg $ root_req_arg $ args_arg $ set_arg
-          $ flush_arg $ profile_arg)
+    Term.(const sim_cmd $ obs_term $ source_arg $ root_req_arg $ args_arg
+          $ set_arg $ flush_arg $ profile_arg)
+
+let attribute =
+  Cmd.v
+    (Cmd.info "attribute"
+       ~doc:"Explain the gap between the WCET estimate and a simulated run: \
+             per basic block, witness count x worst-case cost versus the \
+             measured count and cycles, ranked by contribution.")
+    Term.(const attribute_cmd $ obs_term $ source_arg $ annot_arg $ root_arg
+          $ args_arg $ set_arg $ flush_arg $ auto_bounds_arg $ cache_size_arg
+          $ line_size_arg $ miss_penalty_arg)
 
 let listing =
   Cmd.v
     (Cmd.info "listing" ~doc:"Print the annotated source with x_i labels.")
-    Term.(const listing_cmd $ source_arg $ func_opt_arg)
+    Term.(const listing_cmd $ obs_term $ source_arg $ func_opt_arg)
 
 let cfg =
   Cmd.v
-    (Cmd.info "cfg" ~doc:"Dump a function's CFG in Graphviz format.")
-    Term.(const cfg_cmd $ source_arg $ func_req_arg)
+    (Cmd.info "cfg"
+       ~doc:"Dump a function's CFG in Graphviz format. With an analysis \
+             root (-r or an annotation file), nodes are annotated with \
+             WCET witness counts and cost bounds, and worst-case-path \
+             blocks are filled.")
+    Term.(const cfg_cmd $ obs_term $ source_arg $ func_req_arg $ annot_arg
+          $ root_arg $ auto_bounds_arg $ cache_size_arg $ line_size_arg
+          $ miss_penalty_arg)
 
 let asm =
   Cmd.v
     (Cmd.info "asm" ~doc:"Print the compiled E32 assembly.")
-    Term.(const asm_cmd $ source_arg)
+    Term.(const asm_cmd $ obs_term $ source_arg)
 
 (* --- fuzz ---------------------------------------------------------------- *)
 
-let fuzz_cmd seed iters no_shrink shrink_attempts quiet =
+let fuzz_cmd obs seed iters no_shrink shrink_attempts quiet =
+  setup_obs obs;
   let log line = if not quiet then Printf.eprintf "%s\n%!" line in
   let outcome =
     Ipet_fuzz.Driver.run ~log ~shrink:(not no_shrink) ~shrink_attempts ~seed
@@ -392,7 +592,7 @@ let fuzz_cmd seed iters no_shrink shrink_attempts quiet =
       (seed + iters - 1)
   | Some report ->
     Format.printf "%a@." Ipet_fuzz.Driver.pp_report report;
-    exit 1
+    exit Diag.exit_analysis
 
 let seed_arg =
   Arg.(value & opt int 1
@@ -422,13 +622,13 @@ let fuzz =
        ~doc:"Differentially fuzz the analyzer: random MC programs, \
              simulated-vs-estimated bound checks, constraint validation, \
              optimizer and presolve equivalence.")
-    Term.(const fuzz_cmd $ seed_arg $ iters_arg $ no_shrink_arg
+    Term.(const fuzz_cmd $ obs_term $ seed_arg $ iters_arg $ no_shrink_arg
           $ shrink_attempts_arg $ quiet_arg)
 
 let main =
   Cmd.group
     (Cmd.info "cinderella" ~version:"1.0"
        ~doc:"Static execution-time analysis by implicit path enumeration.")
-    [ analyze; listing; cfg; asm; sim; fuzz ]
+    [ analyze; listing; cfg; asm; sim; attribute; fuzz ]
 
 let () = exit (Cmd.eval main)

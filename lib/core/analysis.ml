@@ -6,6 +6,7 @@ module L = Ipet_lp.Linexpr
 module Lp = Ipet_lp.Lp_problem
 module Ilp = Ipet_lp.Ilp
 module Rat = Ipet_num.Rat
+module Obs = Ipet_obs.Obs
 
 exception Analysis_error of string
 
@@ -33,6 +34,8 @@ type solver_stats = {
   sets_solved : int;
   sets_infeasible : int;
   lp_calls : int;
+  bnb_nodes : int;
+  simplex_pivots : int;
   all_first_lp_integral : bool;
   presolve_vars_before : int;
   presolve_vars_after : int;
@@ -236,15 +239,16 @@ let binding_constraints constraints assignment =
    optimal value only, so block counts are identical however the optimum
    was found (in particular, with and without presolve). *)
 let canonical_witness problem value fallback =
-  let face =
-    Lp.make problem.Lp.direction problem.Lp.objective
-      (problem.Lp.constraints
-       @ [ Lp.eq ~origin:"optimal-face" problem.Lp.objective
-             (L.const value) ])
-  in
-  match Ilp.solve ~presolve:true face with
-  | Ilp.Optimal { assignment; _ } -> assignment
-  | Ilp.Infeasible _ | Ilp.Unbounded _ -> fallback
+  Obs.span "ilp.witness" (fun () ->
+    let face =
+      Lp.make problem.Lp.direction problem.Lp.objective
+        (problem.Lp.constraints
+         @ [ Lp.eq ~origin:"optimal-face" problem.Lp.objective
+               (L.const value) ])
+    in
+    match Ilp.solve ~presolve:true face with
+    | Ilp.Optimal { assignment; _ } -> assignment
+    | Ilp.Infeasible _ | Ilp.Unbounded _ -> fallback)
 
 let solve_extreme spec insts base_constraints sets ~direction ~select =
   let obj =
@@ -257,8 +261,13 @@ let solve_extreme spec insts base_constraints sets ~direction ~select =
     | Lp.Maximize -> Rat.compare a b > 0
     | Lp.Minimize -> Rat.compare a b < 0
   in
+  let dir_label =
+    match direction with Lp.Maximize -> "wcet" | Lp.Minimize -> "bcet"
+  in
   let best = ref None in
   let lp_calls = ref 0 in
+  let nodes = ref 0 in
+  let pivots = ref 0 in
   let infeasible = ref 0 in
   let all_first = ref true in
   let solved = ref 0 in
@@ -280,34 +289,47 @@ let solve_extreme spec insts base_constraints sets ~direction ~select =
       pc_before := !pc_before + nc;
       pc_after := !pc_after + nc
   in
-  List.iter
-    (fun set ->
-      let set_constraints =
-        List.map
-          (fun atom -> Functional.atom_to_constr spec.prog insts ~root:spec.root atom)
-          set
-      in
-      let all_constraints = set_constraints @ base_constraints in
-      let problem = Lp.make direction obj all_constraints in
-      incr solved;
-      match Ilp.solve ~presolve:spec.presolve problem with
-      | Ilp.Optimal { value; assignment; stats } ->
-        lp_calls := !lp_calls + stats.Ilp.lp_calls;
-        record_presolve problem stats;
-        if not stats.Ilp.first_lp_integral then all_first := false;
-        (match !best with
-         | Some (v, _, _, _) when not (better value v) -> ()
-         | Some _ | None ->
-           best := Some (value, assignment, all_constraints, problem))
-      | Ilp.Infeasible stats ->
-        lp_calls := !lp_calls + stats.Ilp.lp_calls;
-        record_presolve problem stats;
-        incr infeasible
-      | Ilp.Unbounded _ ->
-        fail
-          "ILP unbounded while computing %s: a loop bound or functionality \
-           constraint is missing"
-          (match direction with Lp.Maximize -> "WCET" | Lp.Minimize -> "BCET"))
+  let solve_set set =
+    let set_constraints =
+      List.map
+        (fun atom -> Functional.atom_to_constr spec.prog insts ~root:spec.root atom)
+        set
+    in
+    let all_constraints = set_constraints @ base_constraints in
+    let problem = Lp.make direction obj all_constraints in
+    incr solved;
+    match Ilp.solve ~presolve:spec.presolve problem with
+    | Ilp.Optimal { value; assignment; stats } ->
+      lp_calls := !lp_calls + stats.Ilp.lp_calls;
+      nodes := !nodes + stats.Ilp.nodes;
+      pivots := !pivots + stats.Ilp.pivots;
+      record_presolve problem stats;
+      if not stats.Ilp.first_lp_integral then all_first := false;
+      (match !best with
+       | Some (v, _, _, _) when not (better value v) -> ()
+       | Some _ | None ->
+         best := Some (value, assignment, all_constraints, problem))
+    | Ilp.Infeasible stats ->
+      lp_calls := !lp_calls + stats.Ilp.lp_calls;
+      nodes := !nodes + stats.Ilp.nodes;
+      pivots := !pivots + stats.Ilp.pivots;
+      record_presolve problem stats;
+      incr infeasible
+    | Ilp.Unbounded _ ->
+      fail
+        "ILP unbounded while computing %s: a loop bound or functionality \
+         constraint is missing"
+        (match direction with Lp.Maximize -> "WCET" | Lp.Minimize -> "BCET")
+  in
+  List.iteri
+    (fun i set ->
+      if not (Obs.enabled ()) then solve_set set
+      else
+        Obs.span "ilp.solve"
+          ~args:[ ("solver", dir_label); ("set", string_of_int i) ]
+          (fun () ->
+            let (), dt = Obs.timed (fun () -> solve_set set) in
+            Obs.observe ~labels:[ ("solver", dir_label) ] "lp.solve_seconds" dt))
     sets;
   match !best with
   | None -> fail "every functionality constraint set is infeasible"
@@ -319,6 +341,8 @@ let solve_extreme spec insts base_constraints sets ~direction ~select =
         sets_solved = !solved;
         sets_infeasible = !infeasible;
         lp_calls = !lp_calls;
+        bnb_nodes = !nodes;
+        simplex_pivots = !pivots;
         all_first_lp_integral = !all_first;
         presolve_vars_before = !pv_before;
         presolve_vars_after = !pv_after;
@@ -332,6 +356,7 @@ let solve_extreme spec insts base_constraints sets ~direction ~select =
       stats )
 
 let prepare spec =
+  Obs.span "analysis.prepare" ~args:[ ("root", spec.root) ] (fun () ->
   let insts = instances spec in
   let structural = Structural.constraints spec.prog insts in
   let loop_cs, unbounded = Annotation.constraints spec.prog insts spec.loop_bounds in
@@ -351,7 +376,7 @@ let prepare spec =
   let total = List.length sets in
   let sets, pruned = Functional.prune_null_sets sets in
   if sets = [] then fail "all %d functionality constraint sets are null" total;
-  (insts, structural @ loop_cs, sets, total, pruned)
+  (insts, structural @ loop_cs, sets, total, pruned))
 
 let problems spec ~direction =
   let insts, base, sets, _, _ = prepare spec in
@@ -378,12 +403,14 @@ let bcet_problems spec = problems spec ~direction:Lp.Minimize
 let analyze spec =
   let insts, base, sets, total, pruned = prepare spec in
   let wcet, wstats =
-    solve_extreme spec insts base sets ~direction:Lp.Maximize
-      ~select:(fun b -> b.Cost.worst)
+    Obs.span "analysis.wcet" ~args:[ ("root", spec.root) ] (fun () ->
+      solve_extreme spec insts base sets ~direction:Lp.Maximize
+        ~select:(fun b -> b.Cost.worst))
   in
   let bcet, bstats =
-    solve_extreme spec insts base sets ~direction:Lp.Minimize
-      ~select:(fun b -> b.Cost.best)
+    Obs.span "analysis.bcet" ~args:[ ("root", spec.root) ] (fun () ->
+      solve_extreme spec insts base sets ~direction:Lp.Minimize
+        ~select:(fun b -> b.Cost.best))
   in
   { wcet;
     bcet;

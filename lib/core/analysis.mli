@@ -56,6 +56,8 @@ type solver_stats = {
   sets_solved : int;     (** ILPs actually handed to the solver *)
   sets_infeasible : int; (** sets the simplex proved empty *)
   lp_calls : int;        (** total LP relaxations over all ILPs *)
+  bnb_nodes : int;       (** branch-and-bound nodes over all ILPs *)
+  simplex_pivots : int;  (** simplex tableau pivots over all LP calls *)
   all_first_lp_integral : bool;
       (** the paper's observation: every first relaxation was integral *)
   presolve_vars_before : int;

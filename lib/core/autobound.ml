@@ -159,4 +159,6 @@ let merge_same_line bounds =
 
 let infer_func (f : Ast.func) = merge_same_line (infer_stmts f.Ast.fname f.Ast.body)
 
-let infer (program : Ast.program) = List.concat_map infer_func program.Ast.funcs
+let infer (program : Ast.program) =
+  Ipet_obs.Obs.span "autobound.infer" (fun () ->
+      List.concat_map infer_func program.Ast.funcs)

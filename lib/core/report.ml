@@ -65,32 +65,115 @@ let bound_summary (r : Analysis.result) =
          s.Analysis.presolve_constrs_before s.Analysis.presolve_constrs_after);
   Buffer.contents buf
 
+module Metrics = Ipet_obs.Metrics
+module Sink = Ipet_obs.Sink
+
+let record_lp_metrics registry (r : Analysis.result) =
+  let side solver (s : Analysis.solver_stats) =
+    let labels = [ ("solver", solver) ] in
+    let set name v = Metrics.set_gauge_int registry ~labels name v in
+    set "lp.sets_total" s.Analysis.sets_total;
+    set "lp.sets_pruned" s.Analysis.sets_pruned;
+    set "lp.sets_solved" s.Analysis.sets_solved;
+    set "lp.sets_infeasible" s.Analysis.sets_infeasible;
+    set "lp.calls" s.Analysis.lp_calls;
+    set "lp.bnb_nodes" s.Analysis.bnb_nodes;
+    set "lp.simplex_pivots" s.Analysis.simplex_pivots;
+    set "lp.first_integral" (if s.Analysis.all_first_lp_integral then 1 else 0);
+    set "lp.presolve_vars_before" s.Analysis.presolve_vars_before;
+    set "lp.presolve_vars_after" s.Analysis.presolve_vars_after;
+    set "lp.presolve_constrs_before" s.Analysis.presolve_constrs_before;
+    set "lp.presolve_constrs_after" s.Analysis.presolve_constrs_after;
+    set "lp.presolve_rounds" s.Analysis.presolve_rounds
+  in
+  side "wcet" r.Analysis.wcet_stats;
+  side "bcet" r.Analysis.bcet_stats
+
 let lp_stats (r : Analysis.result) =
-  let buf = Buffer.create 256 in
-  let pct before after =
-    if before = 0 then 0.0
-    else 100.0 *. float_of_int (before - after) /. float_of_int before
+  (* a fresh registry so repeated reports (wcet_sensitivity re-solves, the
+     suite runner) never accumulate into the process-wide one *)
+  let registry = Metrics.create () in
+  record_lp_metrics registry r;
+  Sink.human registry
+
+type attribution_row = {
+  attr_func : string;
+  attr_block : int;
+  wcet_count : int;
+  wcet_cost : int;
+  wcet_cycles : int;
+  sim_count : int;
+  sim_cycles : int;
+  gap : int;
+}
+
+let attribution ~wcet_counts ~wcet_cost ~sim_counts ~sim_cycles =
+  let tbl = Hashtbl.create 64 in
+  let get key =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r
+    | None ->
+      let r = ref (0, 0, 0) in
+      Hashtbl.replace tbl key r;
+      r
   in
-  let section name (s : Analysis.solver_stats) =
-    Buffer.add_string buf (Printf.sprintf "%s solver:\n" name);
-    Buffer.add_string buf
-      (Printf.sprintf "  ILPs solved:    %d (%d infeasible)\n"
-         s.Analysis.sets_solved s.Analysis.sets_infeasible);
-    Buffer.add_string buf
-      (Printf.sprintf "  LP calls:       %d (first relaxation integral: %b)\n"
-         s.Analysis.lp_calls s.Analysis.all_first_lp_integral);
-    Buffer.add_string buf
-      (Printf.sprintf "  variables:      %d -> %d  (-%.0f%%)\n"
-         s.Analysis.presolve_vars_before s.Analysis.presolve_vars_after
-         (pct s.Analysis.presolve_vars_before s.Analysis.presolve_vars_after));
-    Buffer.add_string buf
-      (Printf.sprintf "  constraints:    %d -> %d  (-%.0f%%)\n"
-         s.Analysis.presolve_constrs_before s.Analysis.presolve_constrs_after
-         (pct s.Analysis.presolve_constrs_before
-            s.Analysis.presolve_constrs_after));
-    Buffer.add_string buf
-      (Printf.sprintf "  presolve rounds: %d\n" s.Analysis.presolve_rounds)
+  List.iter
+    (fun (key, n) ->
+      let r = get key in
+      let _, sc, scy = !r in
+      r := (n, sc, scy))
+    wcet_counts;
+  List.iter
+    (fun (key, n) ->
+      let r = get key in
+      let wc, _, scy = !r in
+      r := (wc, n, scy))
+    sim_counts;
+  List.iter
+    (fun (key, n) ->
+      let r = get key in
+      let wc, sc, _ = !r in
+      r := (wc, sc, n))
+    sim_cycles;
+  let rows =
+    Hashtbl.fold
+      (fun (func, block) r acc ->
+        let wc, sc, scy = !r in
+        let cost = wcet_cost func block in
+        let wcy = wc * cost in
+        { attr_func = func; attr_block = block; wcet_count = wc;
+          wcet_cost = cost; wcet_cycles = wcy; sim_count = sc;
+          sim_cycles = scy; gap = wcy - scy }
+        :: acc)
+      tbl []
   in
-  section "WCET" r.Analysis.wcet_stats;
-  section "BCET" r.Analysis.bcet_stats;
+  List.sort
+    (fun a b ->
+      match compare b.gap a.gap with
+      | 0 -> compare (a.attr_func, a.attr_block) (b.attr_func, b.attr_block)
+      | c -> c)
+    rows
+
+let pp_attribution ~wcet ~simulated rows =
+  let buf = Buffer.create 512 in
+  let total_gap = wcet - simulated in
+  Buffer.add_string buf
+    (Printf.sprintf "WCET estimate: %d cycles; simulated: %d cycles; gap: %d\n"
+       wcet simulated total_gap);
+  Buffer.add_string buf
+    (Printf.sprintf "%-16s %6s | %9s %6s %10s | %9s %10s | %10s %6s\n"
+       "block" "" "wcet cnt" "cost" "cycles" "sim cnt" "cycles" "gap" "share");
+  List.iter
+    (fun r ->
+      if r.wcet_cycles <> 0 || r.sim_cycles <> 0 then begin
+        let share =
+          if total_gap <= 0 then 0.0
+          else 100.0 *. float_of_int r.gap /. float_of_int total_gap
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%-16s B%-5d | %9d %6d %10d | %9d %10d | %10d %5.1f%%\n"
+             r.attr_func r.attr_block r.wcet_count r.wcet_cost r.wcet_cycles
+             r.sim_count r.sim_cycles r.gap share)
+      end)
+    rows;
   Buffer.contents buf

@@ -1,17 +1,27 @@
 module P = Ipet_isa.Prog
+module Obs = Ipet_obs.Obs
 
 type error = { message : string; line : int }
 
-let parse_and_check src = Typecheck.check (Parser.parse src)
+let parse_and_check src =
+  let ast = Obs.span "frontend.parse" (fun () -> Parser.parse src) in
+  Obs.span "frontend.typecheck" (fun () -> Typecheck.check ast)
 
 let compile_string ?(optimize = false) ?registers src =
   try
-    let compiled = Compile.compile (parse_and_check src) in
+    let checked = parse_and_check src in
+    let compiled =
+      Obs.span "frontend.compile" (fun () -> Compile.compile checked)
+    in
     let prog = compiled.Compile.prog in
-    let prog = if optimize then Optimize.program prog else prog in
+    let prog =
+      if optimize then Obs.span "frontend.optimize" (fun () -> Optimize.program prog)
+      else prog
+    in
     let prog =
       match registers with
-      | Some nregs -> Regalloc.program ~nregs prog
+      | Some nregs ->
+        Obs.span "frontend.regalloc" (fun () -> Regalloc.program ~nregs prog)
       | None -> prog
     in
     Ok { compiled with Compile.prog }

@@ -15,6 +15,7 @@ open Ipet_num
 type stats = {
   lp_calls : int;
   nodes : int;
+  pivots : int;
   first_lp_integral : bool;
   presolve : Presolve.stats option;
 }
@@ -44,6 +45,7 @@ let solve_raw ~max_nodes problem =
   (* branch constraints only mention existing variables, so one sort-dedup
      serves every node's LP *)
   let vars = Lp_problem.variables base in
+  let pivots0 = Simplex.pivots () in
   let lp_calls = ref 0 in
   let nodes = ref 0 in
   let first_lp_integral = ref false in
@@ -55,6 +57,7 @@ let solve_raw ~max_nodes problem =
   in
   let stats () =
     { lp_calls = !lp_calls; nodes = !nodes;
+      pivots = Simplex.pivots () - pivots0;
       first_lp_integral = !first_lp_integral; presolve = None }
   in
   let unbounded = ref false in
@@ -108,7 +111,7 @@ let solve ?(max_nodes = 100_000) ?(presolve = true) problem =
     match Presolve.run ~integer:true problem with
     | Presolve.Proved_infeasible { stats; reason = _ } ->
       Infeasible
-        { lp_calls = 0; nodes = 0; first_lp_integral = false;
+        { lp_calls = 0; nodes = 0; pivots = 0; first_lp_integral = false;
           presolve = Some stats }
     | Presolve.Reduced { problem = reduced; postsolve; stats = pstats } ->
       (match solve_raw ~max_nodes reduced with

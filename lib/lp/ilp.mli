@@ -17,6 +17,7 @@ open Ipet_num
 type stats = {
   lp_calls : int;          (** number of LP relaxations solved *)
   nodes : int;             (** branch-and-bound nodes explored *)
+  pivots : int;            (** simplex tableau pivots over all relaxations *)
   first_lp_integral : bool;
       (** the root relaxation was already integer-valued *)
   presolve : Presolve.stats option;

@@ -25,7 +25,15 @@ type tableau = {
   art_start : int;        (* columns >= art_start are artificial *)
 }
 
+(* process-cumulative pivot tally; callers (Ilp) read deltas around each
+   solve to attribute effort per problem without threading stats through
+   every result *)
+let total_pivots = ref 0
+
+let pivots () = !total_pivots
+
 let pivot t ~row ~col =
+  incr total_pivots;
   let m = Array.length t.a in
   let p = t.a.(row).(col) in
   assert (not (Rat.is_zero p));

@@ -22,3 +22,8 @@ val solve : ?vars:string list -> Lp_problem.t -> result
 
 val assignment_env : (string * Rat.t) list -> string -> Rat.t
 (** Turn an assignment into a total environment (absent variables are 0). *)
+
+val pivots : unit -> int
+(** Cumulative tableau pivots performed by this process, phase 1 and 2
+    combined. Read a before/after delta to attribute pivot effort to one
+    solve ({!Ilp.solve} does, for its {!Ilp.stats}). *)

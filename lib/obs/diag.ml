@@ -1,0 +1,36 @@
+type severity = Error | Warning | Note
+
+let exit_input = 2
+let exit_analysis = 1
+
+let default_printer msg =
+  output_string stderr (msg ^ "\n");
+  flush stderr
+
+let printer = ref default_printer
+
+let set_printer p = printer := p
+
+let severity_tag = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let render ?file ?line severity msg =
+  let where =
+    match (file, line) with
+    | Some f, Some l -> Printf.sprintf "%s:%d: " f l
+    | Some f, None -> Printf.sprintf "%s: " f
+    | None, _ -> "cinderella: "
+  in
+  where ^ severity_tag severity ^ ": " ^ msg
+
+let emit ?file ?line severity fmt =
+  Printf.ksprintf (fun msg -> !printer (render ?file ?line severity msg)) fmt
+
+let fail ?file ?line ~code fmt =
+  Printf.ksprintf
+    (fun msg ->
+      !printer (render ?file ?line Error msg);
+      exit code)
+    fmt

@@ -1,0 +1,31 @@
+(** Structured command-line diagnostics.
+
+    One formatting path for every message the tools print to stderr:
+    [cinderella: error: msg], or [file:12: error: msg] when a source
+    position is known — instead of ad-hoc [Printf.eprintf] with per-site
+    formats.
+
+    Exit codes are part of the contract:
+    - {!exit_input} (2) — the user's input was wrong: unreadable or
+      malformed source, annotations, CLI values, unknown functions;
+    - {!exit_analysis} (1) — the input was well-formed but the run failed:
+      analysis errors, simulator runtime errors, fuzzing counterexamples.
+
+    Messages go through an injectable printer so tests can capture them. *)
+
+type severity = Error | Warning | Note
+
+val exit_input : int
+val exit_analysis : int
+
+val set_printer : (string -> unit) -> unit
+(** Replace the stderr printer (tests). Default writes ["%s\n"] to stderr
+    and flushes. *)
+
+val emit :
+  ?file:string -> ?line:int -> severity -> ('a, unit, string, unit) format4 -> 'a
+(** Format and print one diagnostic. [line] is only shown with [file]. *)
+
+val fail :
+  ?file:string -> ?line:int -> code:int -> ('a, unit, string, 'b) format4 -> 'a
+(** [emit Error] then [exit code]. *)

@@ -1,0 +1,31 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = "\"" ^ escape s ^ "\""
+
+let num f =
+  if Float.is_finite f then
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.6g" f
+  else "0"
+
+let obj fields =
+  "{"
+  ^ String.concat ", " (List.map (fun (k, v) -> str k ^ ": " ^ v) fields)
+  ^ "}"
+
+let arr items = "[" ^ String.concat ", " items ^ "]"

@@ -1,0 +1,89 @@
+type labels = (string * string) list
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type histogram = hist
+
+type cell = C of counter | G of gauge | H of hist
+
+type t = { table : (string * labels, cell) Hashtbl.t }
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { count : int; sum : float; min : float; max : float }
+
+let create () = { table = Hashtbl.create 64 }
+
+let reset t = Hashtbl.reset t.table
+
+let key name labels =
+  (name, List.sort (fun (a, _) (b, _) -> compare a b) labels)
+
+let find_or_add t name labels ~make ~cast =
+  let k = key name labels in
+  match Hashtbl.find_opt t.table k with
+  | Some cell -> cast cell
+  | None ->
+    let fresh = make () in
+    Hashtbl.add t.table k fresh;
+    cast fresh
+
+let counter t ?(labels = []) name =
+  find_or_add t name labels
+    ~make:(fun () -> C { c = 0 })
+    ~cast:(function
+      | C c -> c
+      | G _ | H _ -> invalid_arg (name ^ ": registered with another kind"))
+
+let incr c = c.c <- c.c + 1
+let add c n = c.c <- c.c + n
+let counter_value c = c.c
+
+let gauge t labels name =
+  find_or_add t name labels
+    ~make:(fun () -> G { g = 0.0 })
+    ~cast:(function
+      | G g -> g
+      | C _ | H _ -> invalid_arg (name ^ ": registered with another kind"))
+
+let set_gauge t ?(labels = []) name v = (gauge t labels name).g <- v
+let set_gauge_int t ?labels name v = set_gauge t ?labels name (float_of_int v)
+
+let histogram t ?(labels = []) name =
+  find_or_add t name labels
+    ~make:(fun () -> H { h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity })
+    ~cast:(function
+      | H h -> h
+      | C _ | G _ -> invalid_arg (name ^ ": registered with another kind"))
+
+let observe h x =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. x;
+  if x < h.h_min then h.h_min <- x;
+  if x > h.h_max then h.h_max <- x
+
+let items t =
+  Hashtbl.fold
+    (fun (name, labels) cell acc ->
+      let value =
+        match cell with
+        | C c -> Counter c.c
+        | G g -> Gauge g.g
+        | H h ->
+          Histogram
+            { count = h.h_count;
+              sum = h.h_sum;
+              min = (if h.h_count = 0 then 0.0 else h.h_min);
+              max = (if h.h_count = 0 then 0.0 else h.h_max) }
+      in
+      (name, labels, value) :: acc)
+    t.table []
+  |> List.sort (fun (n1, l1, _) (n2, l2, _) -> compare (n1, l1) (n2, l2))

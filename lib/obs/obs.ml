@@ -1,0 +1,51 @@
+let on = ref false
+
+let clock = ref Unix.gettimeofday
+
+let engine = Span.create ~clock:(fun () -> !clock ())
+
+let metrics = Metrics.create ()
+
+let enabled () = !on
+let enable () = on := true
+let disable () = on := false
+
+let reset () =
+  Span.reset engine;
+  Metrics.reset metrics
+
+let set_clock c =
+  clock := c;
+  Span.reset engine
+
+let span ?args name f =
+  if not !on then f ()
+  else begin
+    Span.enter engine ?args name;
+    match f () with
+    | v ->
+      Span.exit_ engine;
+      v
+    | exception e ->
+      Span.exit_ engine;
+      raise e
+  end
+
+let timed f =
+  let t0 = !clock () in
+  let v = f () in
+  (v, !clock () -. t0)
+
+let spans () = Span.completed engine
+let span_totals () = Span.totals (spans ())
+
+let counter ?labels name = Metrics.counter metrics ?labels name
+let add ?labels name n = Metrics.add (Metrics.counter metrics ?labels name) n
+let set_gauge_int ?labels name v = Metrics.set_gauge_int metrics ?labels name v
+let observe ?labels name x = Metrics.observe (Metrics.histogram metrics ?labels name) x
+
+module Span = Span
+module Metrics = Metrics
+module Sink = Sink
+module Trace_event = Trace_event
+module Diag = Diag

@@ -1,0 +1,58 @@
+(** Process-wide observability: spans, metrics, and their export.
+
+    The subsystem is {e disabled} by default: {!span} then runs its thunk
+    with nothing but a flag test, so instrumented library code costs
+    effectively nothing in production and fuzzing loops. The CLI enables
+    it when [--trace-out]/[--metrics-out] is given; benchmarks enable it
+    to harvest phase timings.
+
+    One global span engine and one global metrics registry serve the whole
+    process — instrumentation points in the libraries write here without
+    any plumbing, and the sinks read from here at exit. {!reset} restarts
+    both (used per-benchmark and by tests).
+
+    The clock is injectable ({!set_clock}) so tests can drive spans
+    deterministically; the default is [Unix.gettimeofday], with
+    monotonicity enforced by clamping (see {!Span}). *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Drop all recorded spans and metrics (enablement is unchanged). *)
+
+val set_clock : (unit -> float) -> unit
+(** Inject a clock (seconds); implies {!reset} of the span engine. *)
+
+val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside a span when enabled, exception-safely;
+    when disabled it is [f ()]. *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** [f ()] and its wall time in seconds, measured with the current clock
+    (works whether or not observability is enabled). *)
+
+val spans : unit -> Span.completed list
+(** Completed spans so far, completion order. *)
+
+val span_totals : unit -> (string * (int * int)) list
+(** {!Span.totals} of {!spans}. *)
+
+val metrics : Metrics.t
+(** The global registry. *)
+
+(** {1 Convenience shorthands over the global registry} *)
+
+val counter : ?labels:Metrics.labels -> string -> Metrics.counter
+val add : ?labels:Metrics.labels -> string -> int -> unit
+val set_gauge_int : ?labels:Metrics.labels -> string -> int -> unit
+val observe : ?labels:Metrics.labels -> string -> float -> unit
+
+(** {1 Re-exports} *)
+
+module Span = Span
+module Metrics = Metrics
+module Sink = Sink
+module Trace_event = Trace_event
+module Diag = Diag

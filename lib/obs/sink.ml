@@ -1,0 +1,58 @@
+let pp_labels labels =
+  match labels with
+  | [] -> ""
+  | kvs ->
+    "{" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) kvs) ^ "}"
+
+let pp_value = function
+  | Metrics.Counter n -> string_of_int n
+  | Metrics.Gauge g ->
+    if Float.is_integer g && Float.abs g < 1e15 then Printf.sprintf "%.0f" g
+    else Printf.sprintf "%.6g" g
+  | Metrics.Histogram { count; sum; min; max } ->
+    Printf.sprintf "count=%d sum=%.6g min=%.6g max=%.6g" count sum min max
+
+let human ?(filter = fun _ -> true) registry =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, labels, value) ->
+      if filter name then
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %s\n" name (pp_labels labels) (pp_value value)))
+    (Metrics.items registry);
+  Buffer.contents buf
+
+let json_value = function
+  | Metrics.Counter n ->
+    [ ("type", Jsonw.str "counter"); ("value", string_of_int n) ]
+  | Metrics.Gauge g -> [ ("type", Jsonw.str "gauge"); ("value", Jsonw.num g) ]
+  | Metrics.Histogram { count; sum; min; max } ->
+    [ ("type", Jsonw.str "histogram");
+      ("count", string_of_int count);
+      ("sum", Jsonw.num sum);
+      ("min", Jsonw.num min);
+      ("max", Jsonw.num max) ]
+
+let metrics_json ?(span_totals = []) registry =
+  let metric (name, labels, value) =
+    Jsonw.obj
+      (( "name", Jsonw.str name )
+       :: ( "labels",
+            Jsonw.obj (List.map (fun (k, v) -> (k, Jsonw.str v)) labels) )
+       :: json_value value)
+  in
+  let span (name, (count, total_us)) =
+    Jsonw.obj
+      [ ("name", Jsonw.str name);
+        ("count", string_of_int count);
+        ("total_us", string_of_int total_us) ]
+  in
+  Printf.sprintf
+    "{\n  \"version\": 1,\n  \"metrics\": [\n    %s\n  ],\n  \"spans\": [\n    %s\n  ]\n}\n"
+    (String.concat ",\n    " (List.map metric (Metrics.items registry)))
+    (String.concat ",\n    " (List.map span span_totals))
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc

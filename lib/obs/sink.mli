@@ -1,0 +1,24 @@
+(** Rendering a metrics registry (and span aggregates) for humans and
+    machines.
+
+    Two formats share one source of truth:
+    - {!human} — one [name{label=v,...} value] line per metric, sorted,
+      for terminal output ([--lp-stats] and friends);
+    - {!metrics_json} — a versioned JSON document with every metric and
+      optional per-span-name duration aggregates, written by
+      [--metrics-out]. Keys are emitted in sorted order, so two runs of
+      the same workload produce documents that differ only in the observed
+      values (and not at all under a deterministic clock). *)
+
+val human : ?filter:(string -> bool) -> Metrics.t -> string
+(** Render the registry as text; [filter] selects metric names
+    (default: all). *)
+
+val metrics_json :
+  ?span_totals:(string * (int * int)) list -> Metrics.t -> string
+(** The machine document: [{"version": 1, "metrics": [...], "spans": [...]}].
+    [span_totals] is {!Span.totals} output: per-name completion counts and
+    total microseconds. *)
+
+val write_file : string -> string -> unit
+(** Create/truncate a file with the given content. *)

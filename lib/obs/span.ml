@@ -1,0 +1,67 @@
+type completed = {
+  name : string;
+  args : (string * string) list;
+  start_us : int;
+  dur_us : int;
+  depth : int;
+}
+
+type open_span = { o_name : string; o_args : (string * string) list; o_start : int }
+
+type t = {
+  mutable clock : unit -> float;
+  mutable origin : float;
+  mutable last_us : int;  (* highest timestamp handed out; enforces monotony *)
+  mutable stack : open_span list;
+  mutable completed_rev : completed list;
+}
+
+let create ~clock =
+  { clock; origin = clock (); last_us = 0; stack = []; completed_rev = [] }
+
+let reset t =
+  t.origin <- t.clock ();
+  t.last_us <- 0;
+  t.stack <- [];
+  t.completed_rev <- []
+
+let set_clock t clock =
+  t.clock <- clock;
+  reset t
+
+let now_us t =
+  let raw = int_of_float ((t.clock () -. t.origin) *. 1e6) in
+  let us = if raw > t.last_us then raw else t.last_us in
+  t.last_us <- us;
+  us
+
+let enter t ?(args = []) name =
+  t.stack <- { o_name = name; o_args = args; o_start = now_us t } :: t.stack
+
+let exit_ t =
+  match t.stack with
+  | [] -> ()
+  | o :: rest ->
+    let stop = now_us t in
+    t.stack <- rest;
+    t.completed_rev <-
+      { name = o.o_name;
+        args = o.o_args;
+        start_us = o.o_start;
+        dur_us = stop - o.o_start;
+        depth = List.length rest }
+      :: t.completed_rev
+
+let depth t = List.length t.stack
+
+let completed t = List.rev t.completed_rev
+
+let totals spans =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let count, us = Option.value ~default:(0, 0) (Hashtbl.find_opt table s.name) in
+      Hashtbl.replace table s.name (count + 1, us + s.dur_us))
+    spans;
+  Hashtbl.fold (fun name acc l -> (name, acc) :: l) table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -1,0 +1,46 @@
+(** Hierarchical wall-clock spans.
+
+    A span engine keeps a stack of open spans and a buffer of completed
+    ones. Timestamps are microseconds since the engine's origin, read from
+    an injectable clock and {e clamped to be monotonic}: a reading that
+    goes backwards (NTP step, coarse clock) is raised to the previous
+    reading, so exported traces always have non-decreasing, non-negative
+    timestamps and durations.
+
+    The engine itself is cheap but not free; {!Obs.span} is the user-facing
+    entry point and bypasses the engine entirely when observability is
+    disabled. *)
+
+type completed = {
+  name : string;
+  args : (string * string) list;  (** free-form key/value annotations *)
+  start_us : int;                 (** microseconds since the engine origin *)
+  dur_us : int;
+  depth : int;                    (** 0 for top-level spans *)
+}
+
+type t
+
+val create : clock:(unit -> float) -> t
+(** [clock] returns seconds (any epoch; only differences are used). *)
+
+val set_clock : t -> (unit -> float) -> unit
+(** Replace the clock and re-anchor the origin (tests inject a
+    deterministic clock). Implies {!reset}. *)
+
+val reset : t -> unit
+(** Drop all open and completed spans and re-anchor the origin. *)
+
+val enter : t -> ?args:(string * string) list -> string -> unit
+val exit_ : t -> unit
+(** Close the innermost open span. No-op on an empty stack. *)
+
+val depth : t -> int
+(** Number of currently open spans. *)
+
+val completed : t -> completed list
+(** Completed spans in completion order (children precede parents). *)
+
+val totals : completed list -> (string * (int * int)) list
+(** Aggregate by span name: [(name, (count, total_us))], sorted by name.
+    Nested self-recursion counts each completion separately. *)

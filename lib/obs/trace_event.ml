@@ -1,0 +1,38 @@
+let event (s : Span.completed) =
+  let args =
+    match s.Span.args with
+    | [] -> []
+    | kvs -> [ ("args", Jsonw.obj (List.map (fun (k, v) -> (k, Jsonw.str v)) kvs)) ]
+  in
+  Jsonw.obj
+    ([ ("name", Jsonw.str s.Span.name);
+       ("cat", Jsonw.str "ipet");
+       ("ph", Jsonw.str "X");
+       ("pid", "1");
+       ("tid", "1");
+       ("ts", string_of_int s.Span.start_us);
+       ("dur", string_of_int s.Span.dur_us) ]
+     @ args)
+
+let metadata name value =
+  Jsonw.obj
+    [ ("name", Jsonw.str name);
+      ("ph", Jsonw.str "M");
+      ("pid", "1");
+      ("tid", "1");
+      ("args", Jsonw.obj [ ("name", Jsonw.str value) ]) ]
+
+let to_string ?(process_name = "cinderella") spans =
+  let sorted =
+    List.stable_sort
+      (fun (a : Span.completed) b -> compare a.Span.start_us b.Span.start_us)
+      spans
+  in
+  let events =
+    metadata "process_name" process_name
+    :: metadata "thread_name" "pipeline"
+    :: List.map event sorted
+  in
+  "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n  "
+  ^ String.concat ",\n  " events
+  ^ "\n]}\n"

@@ -91,6 +91,15 @@ type t = {
   mutable misses0 : int;
   mutable block_hook : (string -> int -> int -> unit) option;
   miss_penalty : int;
+  (* profile mode: per-block self cycles (callee time excluded) and per-set
+     i-cache hit/miss tallies. The flag is immutable so the dispatch in
+     [run_block] is a predictable branch; with it off the execution loop is
+     byte-for-byte the unprofiled one. *)
+  profile : bool;
+  mutable prof_callee : int;     (* callee cycles within the current block *)
+  prof_cycles : int array;       (* per block slot *)
+  line_hits : int array;         (* per i-cache set *)
+  line_misses : int array;
   (* decoded program *)
   dfuncs : dfunc array;
   func_index : (string, int) Hashtbl.t;
@@ -224,7 +233,7 @@ let new_ctx m =
     x_children = Array.make m.ncalls None }
 
 let create ?(cache = Icache.i960kb) ?dcache ?(stack_words = 1 lsl 16)
-    ?(fuel = 50_000_000) (prog : P.t) ~init =
+    ?(fuel = 50_000_000) ?(profile = false) (prog : P.t) ~init =
   let memory = Array.make (prog.P.globals_words + stack_words) V.zero in
   List.iter (fun (addr, v) -> memory.(addr) <- v) init;
   let layout = Layout.make prog in
@@ -233,12 +242,13 @@ let create ?(cache = Icache.i960kb) ?dcache ?(stack_words = 1 lsl 16)
     decode ~cache_cfg:cache ~dcache:(dcache <> None) ~layout prog
   in
   let icache = Icache.create cache in
+  let itags = Icache.tag_array icache in
   let m =
     { prog;
       layout;
       cache = icache;
       dcache = Option.map Icache.create dcache;
-      itags = Icache.tag_array icache;
+      itags;
       ihits = 0;
       imisses = 0;
       memory;
@@ -252,6 +262,11 @@ let create ?(cache = Icache.i960kb) ?dcache ?(stack_words = 1 lsl 16)
       misses0 = 0;
       block_hook = None;
       miss_penalty = cache.Icache.miss_penalty;
+      profile;
+      prof_callee = 0;
+      prof_cycles = Array.make (max 1 nblocks) 0;
+      line_hits = Array.make (max 1 (Array.length itags)) 0;
+      line_misses = Array.make (max 1 (Array.length itags)) 0;
       dfuncs;
       func_index;
       nblocks;
@@ -293,6 +308,10 @@ let reset_stats m =
   Array.fill m.counts 0 (Array.length m.counts) 0;
   Array.fill m.edge_counts 0 (Array.length m.edge_counts) 0;
   Array.fill m.call_counts 0 (Array.length m.call_counts) 0;
+  m.prof_callee <- 0;
+  Array.fill m.prof_cycles 0 (Array.length m.prof_cycles) 0;
+  Array.fill m.line_hits 0 (Array.length m.line_hits) 0;
+  Array.fill m.line_misses 0 (Array.length m.line_misses) 0;
   let root = new_ctx m in
   m.root_ctx <- root;
   m.cur_ctx <- root
@@ -342,6 +361,22 @@ let block_counts m =
     if m.counts.(slot) > 0 then acc := (m.block_key.(slot), m.counts.(slot)) :: !acc
   done;
   List.sort compare !acc
+
+let profiling m = m.profile
+
+let block_cycles m =
+  let acc = ref [] in
+  for slot = 0 to m.nblocks - 1 do
+    if m.prof_cycles.(slot) > 0 then
+      acc := (m.block_key.(slot), m.prof_cycles.(slot)) :: !acc
+  done;
+  List.sort compare !acc
+
+let icache_line_stats m =
+  if not m.profile then [||]
+  else
+    Array.init (Array.length m.line_hits) (fun i ->
+        (m.line_hits.(i), m.line_misses.(i)))
 
 let edge_count m ~func ~src ~dst =
   match Hashtbl.find_opt m.edge_slot (func, src, dst) with
@@ -534,6 +569,8 @@ and run_block m (df : dfunc) frame block_id =
   (match m.block_hook with
    | Some hook -> hook df.d_name block_id m.cycle_count
    | None -> ());
+  if m.profile then run_block_profiled m df frame db
+  else begin
   let instrs = db.b_instrs in
   let fetch_idx = db.b_fetch_idx in
   let fetch_line = db.b_fetch_line in
@@ -582,6 +619,78 @@ and run_block m (df : dfunc) frame block_id =
     run_block m df frame target
   | D_return op ->
     m.cycle_count <- m.cycle_count + db.b_term_taken;
+    Option.map (operand_value frame) op
+  end
+
+(* the profiled twin of [run_block]'s body: same semantics, plus per-set
+   i-cache tallies and, at the terminator, attribution of the block's self
+   cycles [delta - callee cycles] — so dcache penalties and miss refetches
+   land on the block that incurred them, and callee time does not. *)
+and run_block_profiled m (df : dfunc) frame db =
+  let slot = db.b_slot in
+  let c0 = m.cycle_count in
+  m.prof_callee <- 0;
+  let instrs = db.b_instrs in
+  let fetch_idx = db.b_fetch_idx in
+  let fetch_line = db.b_fetch_line in
+  let cost = db.b_cost in
+  let tags = m.itags in
+  let n = Array.length instrs in
+  let call_i = ref 0 in
+  for i = 0 to n - 1 do
+    let idx = fetch_idx.(i) and line = fetch_line.(i) in
+    if tags.(idx) = line then begin
+      m.ihits <- m.ihits + 1;
+      m.line_hits.(idx) <- m.line_hits.(idx) + 1
+    end
+    else begin
+      tags.(idx) <- line;
+      m.imisses <- m.imisses + 1;
+      m.line_misses.(idx) <- m.line_misses.(idx) + 1;
+      m.cycle_count <- m.cycle_count + m.miss_penalty
+    end;
+    m.instr_count <- m.instr_count + 1;
+    m.cycle_count <- m.cycle_count + cost.(i);
+    execute m db frame call_i instrs.(i)
+  done;
+  let idx = fetch_idx.(n) and line = fetch_line.(n) in
+  if tags.(idx) = line then begin
+    m.ihits <- m.ihits + 1;
+    m.line_hits.(idx) <- m.line_hits.(idx) + 1
+  end
+  else begin
+    tags.(idx) <- line;
+    m.imisses <- m.imisses + 1;
+    m.line_misses.(idx) <- m.line_misses.(idx) + 1;
+    m.cycle_count <- m.cycle_count + m.miss_penalty
+  end;
+  m.instr_count <- m.instr_count + 1;
+  match db.b_term with
+  | D_jump (target, eslot) ->
+    m.cycle_count <- m.cycle_count + db.b_term_taken;
+    m.edge_counts.(eslot) <- m.edge_counts.(eslot) + 1;
+    let cx = m.cur_ctx in
+    cx.x_edges.(eslot) <- cx.x_edges.(eslot) + 1;
+    m.prof_cycles.(slot) <-
+      m.prof_cycles.(slot) + (m.cycle_count - c0 - m.prof_callee);
+    run_block m df frame target
+  | D_branch (r, t_tgt, t_slot, f_tgt, f_slot) ->
+    let taken = V.truthy (reg_value frame r) in
+    let target, eslot, tcost =
+      if taken then (t_tgt, t_slot, db.b_term_taken)
+      else (f_tgt, f_slot, db.b_term_nottaken)
+    in
+    m.cycle_count <- m.cycle_count + tcost;
+    m.edge_counts.(eslot) <- m.edge_counts.(eslot) + 1;
+    let cx = m.cur_ctx in
+    cx.x_edges.(eslot) <- cx.x_edges.(eslot) + 1;
+    m.prof_cycles.(slot) <-
+      m.prof_cycles.(slot) + (m.cycle_count - c0 - m.prof_callee);
+    run_block m df frame target
+  | D_return op ->
+    m.cycle_count <- m.cycle_count + db.b_term_taken;
+    m.prof_cycles.(slot) <-
+      m.prof_cycles.(slot) + (m.cycle_count - c0 - m.prof_callee);
     Option.map (operand_value frame) op
 
 and execute m db frame call_i instr =
@@ -650,7 +759,18 @@ and execute m db frame call_i instr =
     for i = 0 to nargs - 1 do
       callee_frame.regs.(i) <- operand_value frame args.(i)
     done;
-    let result = run_block m callee callee_frame 0 in
+    let result =
+      if not m.profile then run_block m callee callee_frame 0
+      else begin
+        (* the callee's blocks clobber [prof_callee] for their own calls;
+           charge the whole callee delta to the calling block on return *)
+        let saved = m.prof_callee in
+        let before = m.cycle_count in
+        let r = run_block m callee callee_frame 0 in
+        m.prof_callee <- saved + (m.cycle_count - before);
+        r
+      end
+    in
     m.sp <- m.sp - callee.d_frame_words;
     m.cur_ctx <- cx;
     (match (dst, result) with

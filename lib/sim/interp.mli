@@ -35,13 +35,17 @@ val create :
   ?dcache:Ipet_machine.Icache.config ->
   ?stack_words:int ->
   ?fuel:int ->
+  ?profile:bool ->
   Ipet_isa.Prog.t ->
   init:(int * Ipet_isa.Value.t) list ->
   t
 (** Build a machine with initialized global memory. [fuel] bounds the number
     of executed basic blocks (default 50 million). Without [dcache], data
     accesses cost a flat latency; with it, loads are cached (write-through,
-    no-allocate stores bypass it). *)
+    no-allocate stores bypass it). With [profile] (default off), the machine
+    additionally attributes cycles to basic blocks and tallies i-cache
+    hits/misses per cache set — see {!block_cycles} and
+    {!icache_line_stats}; timing and all other counters are unchanged. *)
 
 val program : t -> Ipet_isa.Prog.t
 val layout : t -> Ipet_isa.Layout.t
@@ -79,6 +83,19 @@ val block_count : t -> func:string -> block:int -> int
 val block_counts : t -> ((string * int) * int) list
 (** All (function, block) execution counts, including zero entries for
     never-executed blocks of functions that were entered. *)
+
+val profiling : t -> bool
+(** Whether the machine was created with [~profile:true]. *)
+
+val block_cycles : t -> ((string * int) * int) list
+(** Per (function, block): cycles attributed to the block itself — issue,
+    stall, i-cache miss and dcache penalty cycles incurred while executing
+    it, terminator included, callee time excluded. Empty unless profiling.
+    Summing the list gives exactly {!cycles} of the run. *)
+
+val icache_line_stats : t -> (int * int) array
+(** Per i-cache set: (hits, misses) fetch tallies. Empty unless
+    profiling. *)
 
 val edge_count : t -> func:string -> src:int -> dst:int -> int
 val call_count : t -> caller:string -> block:int -> occurrence:int -> int

@@ -18,4 +18,5 @@ let () =
       ("asm", Test_asm.suite);
       ("suite", Test_suite.suite);
       ("edge", Test_edge.suite);
+      ("obs", Test_obs.suite);
       ("fuzz", Test_fuzz.suite) ]
