@@ -23,6 +23,7 @@ module Report = Ipet.Report
 module E = Ipet_suite.Experiments
 module Bspec = Ipet_suite.Bspec
 module Obs = Ipet_obs.Obs
+module Pool = Ipet_par.Pool
 
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -229,29 +230,11 @@ let pp_interval { E.lo; hi } = Printf.sprintf "[%d, %d]" lo hi
 
 let table2 () =
   header "Table II: pessimism in path analysis (estimated vs calculated)";
-  Printf.printf "  %-17s %-24s %-24s %s\n" "Function" "Estimated Bound"
-    "Calculated Bound" "Pessimism";
-  List.iter
-    (fun (row : E.row) ->
-      let plo, phi =
-        E.pessimism ~estimated:row.E.estimated ~reference:row.E.calculated
-      in
-      Printf.printf "  %-17s %-24s %-24s [%.2f, %.2f]\n" row.E.bench
-        (pp_interval row.E.estimated) (pp_interval row.E.calculated) plo phi)
-    (all_rows ())
+  print_string (E.render_table2 (all_rows ()))
 
 let table3 () =
   header "Table III: estimated vs measured bound (cycle-accurate simulation)";
-  Printf.printf "  %-17s %-24s %-24s %s\n" "Function" "Estimated Bound"
-    "Measured Bound" "Pessimism";
-  List.iter
-    (fun (row : E.row) ->
-      let plo, phi =
-        E.pessimism ~estimated:row.E.estimated ~reference:row.E.measured
-      in
-      Printf.printf "  %-17s %-24s %-24s [%.2f, %.2f]\n" row.E.bench
-        (pp_interval row.E.estimated) (pp_interval row.E.measured) plo phi)
-    (all_rows ())
+  print_string (E.render_table3 (all_rows ()))
 
 let stats () =
   header "Section VI: ILP solver statistics";
@@ -416,7 +399,10 @@ let ablation_compile () =
 (* Writes BENCH_ipet.json: per-benchmark wall time of the full analysis with
    and without presolve, LP calls, and the presolve variable/constraint
    reductions (WCET and BCET stats summed) — a perf trajectory future
-   changes can be compared against. *)
+   changes can be compared against. Per-benchmark analyses use the default
+   pool (--jobs), and a suite-level probe records the parallel speedup:
+   wall time of analyzing the whole suite sharded across the pool vs
+   sequentially. *)
 let json () =
   let time f =
     let t0 = Unix.gettimeofday () in
@@ -473,6 +459,23 @@ let json () =
   in
   Obs.disable ();
   Obs.reset ();
+  (* suite-level parallel speedup probe: analyze every benchmark, sharded
+     across the pool, vs strictly sequentially *)
+  let suite_analyze pool =
+    ignore
+      (Pool.map_list pool
+         (fun b -> ignore (Analysis.analyze ~pool (Bspec.spec b)))
+         Ipet_suite.Suite.all)
+  in
+  let jobs = Pool.jobs (Pool.default ()) in
+  let (), wall_seq =
+    let seq = Pool.create ~jobs:1 in
+    time (fun () -> suite_analyze seq)
+  in
+  let (), wall_par =
+    if jobs <= 1 then ((), wall_seq)
+    else time (fun () -> suite_analyze (Pool.default ()))
+  in
   let reductions =
     List.sort compare (List.map (fun (_, _, r, _, _) -> r) entries)
   in
@@ -482,11 +485,15 @@ let json () =
     Printf.sprintf
       "{\n  \"suite\": \"ipet\",\n  \"benchmarks\": [\n%s\n  ],\n  \
        \"median_var_reduction\": %.3f,\n  \"total_wall_s_presolve\": %.4f,\n  \
-       \"total_wall_s_no_presolve\": %.4f\n}\n"
+       \"total_wall_s_no_presolve\": %.4f,\n  \"jobs\": %d,\n  \
+       \"suite_wall_s_jobs1\": %.4f,\n  \"suite_wall_s_jobsN\": %.4f,\n  \
+       \"suite_speedup\": %.2f\n}\n"
       (String.concat ",\n" (List.map (fun (_, j, _, _, _) -> j) entries))
       median
       (total (fun (_, _, _, t, _) -> t))
       (total (fun (_, _, _, _, t) -> t))
+      jobs wall_seq wall_par
+      (if wall_par > 0.0 then wall_seq /. wall_par else 1.0)
   in
   let oc = open_out "BENCH_ipet.json" in
   output_string oc out;
@@ -654,37 +661,45 @@ let sim_check () =
    serialization, and boundedness needs only the loop bounds). *)
 let export dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  (* render in parallel (pure), write sequentially in suite order *)
+  let rendered =
+    Pool.map_list (Pool.default ())
+      (fun (bench : Bspec.t) ->
+        let buf = Buffer.create 256 in
+        Buffer.add_string buf (Printf.sprintf "root %s\n" bench.Bspec.root);
+        List.iter
+          (fun (a : Ipet.Annotation.t) ->
+            match a.Ipet.Annotation.header with
+            | `Line l ->
+              Buffer.add_string buf
+                (Printf.sprintf "loop %s %d %d %d\n" a.Ipet.Annotation.func l
+                   a.Ipet.Annotation.lo a.Ipet.Annotation.hi)
+            | `Block b ->
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "# block-addressed bound skipped: %s B%d [%d,%d]\n"
+                   a.Ipet.Annotation.func b a.Ipet.Annotation.lo
+                   a.Ipet.Annotation.hi))
+          bench.Bspec.loop_bounds;
+        let nfun = List.length bench.Bspec.functional in
+        if nfun > 0 then
+          Buffer.add_string buf
+            (Printf.sprintf
+               "# %d functionality constraint(s) omitted (no textual form)\n"
+               nfun);
+        (bench.Bspec.name, bench.Bspec.source, Buffer.contents buf))
+      Ipet_suite.Suite.all
+  in
   List.iter
-    (fun (bench : Bspec.t) ->
+    (fun (name, source, ann) ->
       let write path content =
         let oc = open_out path in
         output_string oc content;
         close_out oc
       in
-      write (Filename.concat dir (bench.Bspec.name ^ ".mc")) bench.Bspec.source;
-      let buf = Buffer.create 256 in
-      Buffer.add_string buf (Printf.sprintf "root %s\n" bench.Bspec.root);
-      List.iter
-        (fun (a : Ipet.Annotation.t) ->
-          match a.Ipet.Annotation.header with
-          | `Line l ->
-            Buffer.add_string buf
-              (Printf.sprintf "loop %s %d %d %d\n" a.Ipet.Annotation.func l
-                 a.Ipet.Annotation.lo a.Ipet.Annotation.hi)
-          | `Block b ->
-            Buffer.add_string buf
-              (Printf.sprintf "# block-addressed bound skipped: %s B%d [%d,%d]\n"
-                 a.Ipet.Annotation.func b a.Ipet.Annotation.lo
-                 a.Ipet.Annotation.hi))
-        bench.Bspec.loop_bounds;
-      let nfun = List.length bench.Bspec.functional in
-      if nfun > 0 then
-        Buffer.add_string buf
-          (Printf.sprintf
-             "# %d functionality constraint(s) omitted (no textual form)\n"
-             nfun);
-      write (Filename.concat dir (bench.Bspec.name ^ ".ann")) (Buffer.contents buf))
-    Ipet_suite.Suite.all;
+      write (Filename.concat dir (name ^ ".mc")) source;
+      write (Filename.concat dir (name ^ ".ann")) ann)
+    rendered;
   Printf.printf "exported %d benchmarks to %s\n"
     (List.length Ipet_suite.Suite.all) dir
 
@@ -740,7 +755,7 @@ let bechamel () =
 
 let usage () =
   print_endline
-    "usage: main.exe \
+    "usage: main.exe [--jobs N] \
      [fig1|..|fig6|table1|table2|table3|stats|ablation-cache|ablation-refine|\
       bechamel|json|sim|sim-check|export DIR|all]"
 
@@ -774,11 +789,34 @@ let rec run_target = function
     usage ();
     exit 1
 
+(* strip --jobs N / -j N anywhere on the command line; the remaining
+   arguments dispatch as before *)
+let parse_jobs argv =
+  let jobs = ref (Ipet_par.Par_compat.recommended_domain_count ()) in
+  let rest = ref [] in
+  let rec go i =
+    if i < Array.length argv then begin
+      (match argv.(i) with
+       | "--jobs" | "-j" when i + 1 < Array.length argv ->
+         (match int_of_string_opt argv.(i + 1) with
+          | Some n when n >= 1 -> jobs := n
+          | Some _ | None ->
+            prerr_endline "--jobs expects a positive integer";
+            exit 2);
+         go (i + 2) |> ignore
+       | a -> rest := a :: !rest; go (i + 1) |> ignore)
+    end
+  in
+  go 1;
+  (!jobs, List.rev !rest)
+
 let () =
-  match Sys.argv with
-  | [| _ |] -> run_target "all"
-  | [| _; "export"; dir |] -> export dir
-  | [| _; target |] -> run_target target
+  let jobs, args = parse_jobs Sys.argv in
+  Pool.set_default ~jobs;
+  match args with
+  | [] -> run_target "all"
+  | [ "export"; dir ] -> export dir
+  | [ target ] -> run_target target
   | _ ->
     usage ();
     exit 1

@@ -21,6 +21,7 @@ module Compile = Ipet_lang.Compile
 module Icache = Ipet_machine.Icache
 module Obs = Ipet_obs.Obs
 module Diag = Ipet_obs.Diag
+module Pool = Ipet_par.Pool
 
 let read_file path =
   let ic = open_in_bin path in
@@ -33,11 +34,15 @@ let has_suffix ~suffix path =
   let np = String.length path and ns = String.length suffix in
   np >= ns && String.sub path (np - ns) ns = suffix
 
-(* --- observability plumbing ---------------------------------------------- *)
+(* --- observability and parallelism plumbing ------------------------------ *)
 
 (* Writing the sinks from [at_exit] means a run that dies through
-   [Diag.fail] still flushes whatever spans and metrics it collected. *)
-let setup_obs (trace_out, metrics_out) =
+   [Diag.fail] still flushes whatever spans and metrics it collected.
+   Handlers run in reverse registration order, so the pool gauges
+   (registered second) are recorded before the sinks (registered first)
+   render the registry. *)
+let setup_obs (trace_out, metrics_out, jobs) =
+  Pool.set_default ~jobs;
   if trace_out <> None || metrics_out <> None then begin
     Obs.enable ();
     at_exit (fun () ->
@@ -51,7 +56,13 @@ let setup_obs (trace_out, metrics_out) =
             Obs.Sink.write_file path
               (Obs.Sink.metrics_json ~span_totals:(Obs.span_totals ())
                  Obs.metrics))
-          metrics_out)
+          metrics_out);
+    at_exit (fun () ->
+        let pool = Pool.default () in
+        let s = Pool.stats pool in
+        Obs.set_gauge_int "par.jobs" (Pool.jobs pool);
+        Obs.set_gauge_int "par.tasks" s.Pool.tasks;
+        Obs.set_gauge_int "par.steal_count" s.Pool.steals)
   end
 
 (* MC source is compiled; an .s file is parsed as an E32 listing (the
@@ -501,9 +512,17 @@ let metrics_out_arg =
        & info [ "metrics-out" ] ~docv:"FILE"
            ~doc:"Write the run's metrics and span totals as JSON.")
 
+let jobs_arg =
+  Arg.(value
+       & opt int (Ipet_par.Par_compat.recommended_domain_count ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the parallel analysis (default: the \
+                 machine's recommended domain count; 1 disables \
+                 parallelism). Results are bit-identical at any value.")
+
 let obs_term =
-  Term.(const (fun trace metrics -> (trace, metrics))
-        $ trace_out_arg $ metrics_out_arg)
+  Term.(const (fun trace metrics jobs -> (trace, metrics, jobs))
+        $ trace_out_arg $ metrics_out_arg $ jobs_arg)
 
 let analyze_term =
   Term.(const analyze_cmd $ obs_term $ source_arg $ annot_arg $ root_arg

@@ -7,6 +7,7 @@ module Lp = Ipet_lp.Lp_problem
 module Ilp = Ipet_lp.Ilp
 module Rat = Ipet_num.Rat
 module Obs = Ipet_obs.Obs
+module Pool = Ipet_par.Pool
 
 exception Analysis_error of string
 
@@ -238,7 +239,7 @@ let binding_constraints constraints assignment =
    re-solve makes the reported witness a function of the problem and its
    optimal value only, so block counts are identical however the optimum
    was found (in particular, with and without presolve). *)
-let canonical_witness problem value fallback =
+let canonical_witness ~pool problem value fallback =
   Obs.span "ilp.witness" (fun () ->
     let face =
       Lp.make problem.Lp.direction problem.Lp.objective
@@ -246,11 +247,11 @@ let canonical_witness problem value fallback =
          @ [ Lp.eq ~origin:"optimal-face" problem.Lp.objective
                (L.const value) ])
     in
-    match Ilp.solve ~presolve:true face with
+    match Ilp.solve ~presolve:true ~pool face with
     | Ilp.Optimal { assignment; _ } -> assignment
     | Ilp.Infeasible _ | Ilp.Unbounded _ -> fallback)
 
-let solve_extreme spec insts base_constraints sets ~direction ~select =
+let solve_extreme spec insts base_constraints sets ~direction ~select ~pool =
   let obj =
     if spec.first_miss_refinement && direction = Lp.Maximize then
       refined_wcet_objective spec insts
@@ -289,6 +290,12 @@ let solve_extreme spec insts base_constraints sets ~direction ~select =
       pc_before := !pc_before + nc;
       pc_after := !pc_after + nc
   in
+  (* Solving one set is pure: build the ILP, solve it, return everything
+     the accumulation needs. Sets fan out over the pool — disjunctive DNF
+     sets are independent problems — and the fold below walks the results
+     in set order, so the incumbent choice, the statistics and the
+     surfaced error are those of a sequential run whatever the job
+     count. *)
   let solve_set set =
     let set_constraints =
       List.map
@@ -297,44 +304,55 @@ let solve_extreme spec insts base_constraints sets ~direction ~select =
     in
     let all_constraints = set_constraints @ base_constraints in
     let problem = Lp.make direction obj all_constraints in
-    incr solved;
-    match Ilp.solve ~presolve:spec.presolve problem with
-    | Ilp.Optimal { value; assignment; stats } ->
-      lp_calls := !lp_calls + stats.Ilp.lp_calls;
-      nodes := !nodes + stats.Ilp.nodes;
-      pivots := !pivots + stats.Ilp.pivots;
-      record_presolve problem stats;
-      if not stats.Ilp.first_lp_integral then all_first := false;
-      (match !best with
-       | Some (v, _, _, _) when not (better value v) -> ()
-       | Some _ | None ->
-         best := Some (value, assignment, all_constraints, problem))
-    | Ilp.Infeasible stats ->
-      lp_calls := !lp_calls + stats.Ilp.lp_calls;
-      nodes := !nodes + stats.Ilp.nodes;
-      pivots := !pivots + stats.Ilp.pivots;
-      record_presolve problem stats;
-      incr infeasible
-    | Ilp.Unbounded _ ->
-      fail
-        "ILP unbounded while computing %s: a loop bound or functionality \
-         constraint is missing"
-        (match direction with Lp.Maximize -> "WCET" | Lp.Minimize -> "BCET")
+    (problem, all_constraints, Ilp.solve ~presolve:spec.presolve ~pool problem)
   in
-  List.iteri
-    (fun i set ->
-      if not (Obs.enabled ()) then solve_set set
-      else
-        Obs.span "ilp.solve"
-          ~args:[ ("solver", dir_label); ("set", string_of_int i) ]
-          (fun () ->
-            let (), dt = Obs.timed (fun () -> solve_set set) in
-            Obs.observe ~labels:[ ("solver", dir_label) ] "lp.solve_seconds" dt))
-    sets;
+  let run_set (i, set) =
+    if not (Obs.enabled ()) then solve_set set
+    else
+      Obs.span "ilp.solve"
+        ~args:[ ("solver", dir_label); ("set", string_of_int i) ]
+        (fun () ->
+          let r, dt = Obs.timed (fun () -> solve_set set) in
+          Obs.observe
+            ~labels:
+              [ ("solver", dir_label);
+                ("domain", string_of_int (Ipet_par.Par_compat.domain_id ())) ]
+            "lp.solve_seconds" dt;
+          r)
+  in
+  let results =
+    Pool.map_list pool run_set (List.mapi (fun i set -> (i, set)) sets)
+  in
+  List.iter
+    (fun (problem, all_constraints, result) ->
+      incr solved;
+      match result with
+      | Ilp.Optimal { value; assignment; stats } ->
+        lp_calls := !lp_calls + stats.Ilp.lp_calls;
+        nodes := !nodes + stats.Ilp.nodes;
+        pivots := !pivots + stats.Ilp.pivots;
+        record_presolve problem stats;
+        if not stats.Ilp.first_lp_integral then all_first := false;
+        (match !best with
+         | Some (v, _, _, _) when not (better value v) -> ()
+         | Some _ | None ->
+           best := Some (value, assignment, all_constraints, problem))
+      | Ilp.Infeasible stats ->
+        lp_calls := !lp_calls + stats.Ilp.lp_calls;
+        nodes := !nodes + stats.Ilp.nodes;
+        pivots := !pivots + stats.Ilp.pivots;
+        record_presolve problem stats;
+        incr infeasible
+      | Ilp.Unbounded _ ->
+        fail
+          "ILP unbounded while computing %s: a loop bound or functionality \
+           constraint is missing"
+          (match direction with Lp.Maximize -> "WCET" | Lp.Minimize -> "BCET"))
+    results;
   match !best with
   | None -> fail "every functionality constraint set is infeasible"
   | Some (value, assignment, constraints, problem) ->
-    let assignment = canonical_witness problem value assignment in
+    let assignment = canonical_witness ~pool problem value assignment in
     let stats =
       { sets_total = 0;  (* filled by caller *)
         sets_pruned = 0;
@@ -400,25 +418,26 @@ let problems spec ~direction =
 let wcet_problems spec = problems spec ~direction:Lp.Maximize
 let bcet_problems spec = problems spec ~direction:Lp.Minimize
 
-let analyze spec =
+let analyze ?pool spec =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let insts, base, sets, total, pruned = prepare spec in
   let wcet, wstats =
     Obs.span "analysis.wcet" ~args:[ ("root", spec.root) ] (fun () ->
       solve_extreme spec insts base sets ~direction:Lp.Maximize
-        ~select:(fun b -> b.Cost.worst))
+        ~select:(fun b -> b.Cost.worst) ~pool)
   in
   let bcet, bstats =
     Obs.span "analysis.bcet" ~args:[ ("root", spec.root) ] (fun () ->
       solve_extreme spec insts base sets ~direction:Lp.Minimize
-        ~select:(fun b -> b.Cost.best))
+        ~select:(fun b -> b.Cost.best) ~pool)
   in
   { wcet;
     bcet;
     wcet_stats = { wstats with sets_total = total; sets_pruned = pruned };
     bcet_stats = { bstats with sets_total = total; sets_pruned = pruned } }
 
-let estimated_bound spec =
-  let r = analyze spec in
+let estimated_bound ?pool spec =
+  let r = analyze ?pool spec in
   (r.bcet.cycles, r.wcet.cycles)
 
 type sensitivity_row = {
@@ -429,8 +448,8 @@ type sensitivity_row = {
 
 (* how much each loop bound is worth: re-solve the WCET with hi-1 for one
    annotation at a time (the exact discrete analogue of a shadow price) *)
-let wcet_sensitivity spec =
-  let base = (analyze spec).wcet.cycles in
+let wcet_sensitivity ?pool spec =
+  let base = (analyze ?pool spec).wcet.cycles in
   List.filteri (fun _ _ -> true) spec.loop_bounds
   |> List.map (fun (ann : Annotation.t) ->
     let tightened_wcet =
@@ -443,7 +462,7 @@ let wcet_sensitivity spec =
               else a)
             spec.loop_bounds
         in
-        match analyze { spec with loop_bounds } with
+        match analyze ?pool { spec with loop_bounds } with
         | r -> r.wcet.cycles
         | exception Analysis_error _ -> base
       end

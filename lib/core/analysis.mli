@@ -92,12 +92,16 @@ type result = {
   bcet_stats : solver_stats;
 }
 
-val analyze : spec -> result
-(** @raise Analysis_error when a loop lacks a bound annotation, a
+val analyze : ?pool:Ipet_par.Pool.t -> spec -> result
+(** [pool] (default {!Ipet_par.Pool.default}) fans the disjunctive
+    constraint sets out across domains and parallelizes each set's
+    branch-and-bound ({!Ipet_lp.Ilp.solve}). The result — bounds,
+    witnesses, and every statistic — is bit-identical for any pool size.
+    @raise Analysis_error when a loop lacks a bound annotation, a
     functionality constraint does not resolve, every constraint set is
     infeasible, or the ILP is unbounded. *)
 
-val estimated_bound : spec -> int * int
+val estimated_bound : ?pool:Ipet_par.Pool.t -> spec -> int * int
 (** [(bcet, wcet)] — the paper's estimated bound [[t_min, t_max]]. *)
 
 type sensitivity_row = {
@@ -106,7 +110,7 @@ type sensitivity_row = {
   tightened_wcet : int;  (** WCET with this loop's [hi] reduced by one *)
 }
 
-val wcet_sensitivity : spec -> sensitivity_row list
+val wcet_sensitivity : ?pool:Ipet_par.Pool.t -> spec -> sensitivity_row list
 (** The discrete shadow price of each loop-bound annotation: how much the
     WCET drops if the bound is tightened by one iteration. Zero-impact
     bounds are off the critical path; the largest drop tells the user which

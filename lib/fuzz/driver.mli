@@ -23,13 +23,17 @@ val run :
   ?log:(string -> unit) ->
   ?shrink:bool ->
   ?shrink_attempts:int ->
+  ?pool:Ipet_par.Pool.t ->
   seed:int ->
   iters:int ->
   unit ->
   outcome
 (** Run [iters] cases starting at [seed]; stop at the first failure
     (shrinking it when [shrink], default true). [log] receives progress
-    lines. *)
+    lines. [pool] (default {!Ipet_par.Pool.default}) shards the seeds
+    across domains; the outcome — including which seed is reported when
+    several fail, the pass/worst-WCET tallies, and the log stream — is
+    that of the sequential loop at any job count. *)
 
 val replay_hint : int -> string
 (** The command line that replays one case. *)

@@ -5,12 +5,27 @@
    objective need not be integral in general, so we prune on <=, not on
    floor).
 
+   Parallelism is speculative. The search itself is a sequential replay
+   that visits nodes in exactly the order the single-threaded solver
+   would, so node counts, pruning decisions, the incumbent trajectory and
+   the returned witness are bit-identical at any --jobs. What runs on
+   other domains is only the expensive part of each visit: node LP
+   relaxations are pre-solved ahead of the replay, keyed by the node's
+   tree path, gated by a snapshot of the best incumbent (so speculation
+   prunes roughly where the replay will) and by a node budget. The replay
+   awaits the pre-solved relaxation when one exists and solves inline
+   otherwise; speculative results the replay never asks for are simply
+   discarded. A solved relaxation is a pure function of the node, so it
+   does not matter which domain produced it.
+
    By default the problem first goes through {!Presolve}, which eliminates
    the variables pinned down by flow-conservation equalities and tightens
    the rest; the branch and bound then runs on the reduced problem and the
    winning assignment is mapped back through the postsolve closure. *)
 
 open Ipet_num
+module Pool = Ipet_par.Pool
+module Lock = Ipet_par.Par_compat.Lock
 
 type stats = {
   lp_calls : int;
@@ -34,7 +49,14 @@ let fractional_var assignment =
   in
   go assignment
 
-let solve_raw ~max_nodes problem =
+let branch_constraints v x =
+  let lo = Linexpr.sub (Linexpr.var v) (Linexpr.const (Rat.of_bigint (Rat.floor x))) in
+  let hi = Linexpr.sub (Linexpr.const (Rat.of_bigint (Rat.ceil x))) (Linexpr.var v) in
+  (Lp_problem.constr ~origin:"branch" lo Lp_problem.Le,
+   Lp_problem.constr ~origin:"branch" hi Lp_problem.Le)
+
+let solve_raw ?pool ~max_nodes problem =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let maximize = problem.Lp_problem.direction = Lp_problem.Maximize in
   (* normalize to maximization so that bounding logic is uniform *)
   let base = { problem with
@@ -45,9 +67,9 @@ let solve_raw ~max_nodes problem =
   (* branch constraints only mention existing variables, so one sort-dedup
      serves every node's LP *)
   let vars = Lp_problem.variables base in
-  let pivots0 = Simplex.pivots () in
   let lp_calls = ref 0 in
   let nodes = ref 0 in
+  let pivot_count = ref 0 in
   let first_lp_integral = ref false in
   let incumbent = ref None in
   let better value =
@@ -56,21 +78,79 @@ let solve_raw ~max_nodes problem =
     | Some (best, _) -> Rat.compare value best > 0
   in
   let stats () =
-    { lp_calls = !lp_calls; nodes = !nodes;
-      pivots = Simplex.pivots () - pivots0;
+    { lp_calls = !lp_calls; nodes = !nodes; pivots = !pivot_count;
       first_lp_integral = !first_lp_integral; presolve = None }
   in
+  (* A node's relaxation result together with the pivots it took; the
+     simplex is deterministic, so the pair is a pure function of the node
+     and identical whichever domain computes it. *)
+  let solve_lp extra =
+    let piv = ref 0 in
+    let node_problem =
+      { base with Lp_problem.constraints = extra @ base.Lp_problem.constraints }
+    in
+    let res = Simplex.solve ~vars ~pivots:piv node_problem in
+    (res, !piv)
+  in
+  let speculating = Pool.parallel pool in
+  (* shared state read by speculative tasks; written only as hints, never
+     as results, so races cost work but not correctness *)
+  let best_known : Rat.t option Atomic.t = Atomic.make None in
+  let budget = Atomic.make max_nodes in
+  let memo : (string, (Simplex.result * int) Pool.future) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let memo_lock = Lock.create () in
+  let memo_find key =
+    Lock.with_lock memo_lock (fun () -> Hashtbl.find_opt memo key)
+  in
+  (* first submission wins; a racing duplicate burns one LP solve and is
+     dropped, the replay only ever sees the memoized future *)
+  let memo_add key fut =
+    Lock.with_lock memo_lock (fun () ->
+        if Hashtbl.mem memo key then false
+        else begin Hashtbl.add memo key fut; true end)
+  in
+  let rec speculate key extra =
+    if Atomic.fetch_and_add budget (-1) > 0 then begin
+      let fut =
+        Pool.submit pool (fun () ->
+            let (res, _) as cell = solve_lp extra in
+            (match res with
+             | Simplex.Optimal { value; assignment } ->
+               let dominated =
+                 match Atomic.get best_known with
+                 | Some best -> Rat.compare value best <= 0
+                 | None -> false
+               in
+               if not dominated then begin
+                 match fractional_var assignment with
+                 | None -> ()
+                 | Some (v, x) ->
+                   let lo, hi = branch_constraints v x in
+                   speculate (key ^ "l") (lo :: extra);
+                   speculate (key ^ "r") (hi :: extra)
+               end
+             | Simplex.Infeasible | Simplex.Unbounded -> ());
+            cell)
+      in
+      ignore (memo_add key fut)
+    end
+  in
   let unbounded = ref false in
-  let rec explore extra depth =
+  let rec explore key extra depth =
     if !unbounded then ()
     else begin
       incr nodes;
       if !nodes > max_nodes then raise Node_limit_exceeded;
       incr lp_calls;
-      let node_problem =
-        { base with Lp_problem.constraints = extra @ base.Lp_problem.constraints }
+      let res, piv =
+        match (if speculating then memo_find key else None) with
+        | Some fut -> Pool.await pool fut
+        | None -> solve_lp extra
       in
-      match Simplex.solve ~vars node_problem with
+      pivot_count := !pivot_count + piv;
+      match res with
       | Simplex.Infeasible -> ()
       | Simplex.Unbounded ->
         (* The relaxation being unbounded at the root means the ILP is
@@ -85,18 +165,22 @@ let solve_raw ~max_nodes problem =
         else begin
           match fractional_var assignment with
           | None ->
-            if better value then incumbent := Some (value, assignment)
+            if better value then begin
+              incumbent := Some (value, assignment);
+              Atomic.set best_known (Some value)
+            end
           | Some (v, x) ->
-            let lo = Linexpr.sub (Linexpr.var v) (Linexpr.const (Rat.of_bigint (Rat.floor x))) in
-            let hi = Linexpr.sub (Linexpr.const (Rat.of_bigint (Rat.ceil x))) (Linexpr.var v) in
-            let branch_le = Lp_problem.constr ~origin:"branch" lo Lp_problem.Le in
-            let branch_ge = Lp_problem.constr ~origin:"branch" hi Lp_problem.Le in
-            explore (branch_le :: extra) (depth + 1);
-            explore (branch_ge :: extra) (depth + 1)
+            let lo, hi = branch_constraints v x in
+            if speculating then begin
+              speculate (key ^ "l") (lo :: extra);
+              speculate (key ^ "r") (hi :: extra)
+            end;
+            explore (key ^ "l") (lo :: extra) (depth + 1);
+            explore (key ^ "r") (hi :: extra) (depth + 1)
         end
     end
   in
-  explore [] 0;
+  explore "" [] 0;
   if !unbounded then Unbounded (stats ())
   else
     match !incumbent with
@@ -105,8 +189,8 @@ let solve_raw ~max_nodes problem =
       let value = if maximize then value else Rat.neg value in
       Optimal { value; assignment; stats = stats () }
 
-let solve ?(max_nodes = 100_000) ?(presolve = true) problem =
-  if not presolve then solve_raw ~max_nodes problem
+let solve ?(max_nodes = 100_000) ?(presolve = true) ?pool problem =
+  if not presolve then solve_raw ?pool ~max_nodes problem
   else
     match Presolve.run ~integer:true problem with
     | Presolve.Proved_infeasible { stats; reason = _ } ->
@@ -114,7 +198,7 @@ let solve ?(max_nodes = 100_000) ?(presolve = true) problem =
         { lp_calls = 0; nodes = 0; pivots = 0; first_lp_integral = false;
           presolve = Some stats }
     | Presolve.Reduced { problem = reduced; postsolve; stats = pstats } ->
-      (match solve_raw ~max_nodes reduced with
+      (match solve_raw ?pool ~max_nodes reduced with
        | Optimal { value; assignment; stats } ->
          Optimal
            { value;

@@ -35,10 +35,19 @@ type result =
 
 exception Node_limit_exceeded
 
-val solve : ?max_nodes:int -> ?presolve:bool -> Lp_problem.t -> result
+val solve :
+  ?max_nodes:int -> ?presolve:bool -> ?pool:Ipet_par.Pool.t ->
+  Lp_problem.t -> result
 (** [solve problem] maximizes or minimizes the objective over non-negative
     integer assignments. [max_nodes] (default [100_000]) bounds the search;
     [presolve] (default [true]) runs {!Presolve.run} first. The optimal
     value, and the witness assignment modulo alternative optima, do not
     depend on [presolve].
+
+    [pool] (default {!Ipet_par.Pool.default}) supplies domains for
+    speculative parallel branch-and-bound: node LP relaxations are
+    pre-solved ahead of a deterministic sequential replay. The result
+    {e and} the {!stats} are bit-identical whatever the pool size — a
+    parallel solve visits the same nodes, performs the same per-node
+    pivots and returns the same witness as a sequential one.
     @raise Node_limit_exceeded if the bound is hit. *)

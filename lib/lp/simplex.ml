@@ -23,17 +23,18 @@ type tableau = {
   basis : int array;      (* m, column basic in each row *)
   ncols : int;
   art_start : int;        (* columns >= art_start are artificial *)
+  mutable npivots : int;  (* pivots performed on this tableau *)
 }
 
-(* process-cumulative pivot tally; callers (Ilp) read deltas around each
-   solve to attribute effort per problem without threading stats through
-   every result *)
-let total_pivots = ref 0
+(* process-cumulative pivot tally across all domains; per-solve counts
+   accumulate in the (domain-local) tableau and are folded in once at the
+   end of each solve, so concurrent solves never interleave deltas *)
+let total_pivots = Atomic.make 0
 
-let pivots () = !total_pivots
+let pivots () = Atomic.get total_pivots
 
 let pivot t ~row ~col =
-  incr total_pivots;
+  t.npivots <- t.npivots + 1;
   let m = Array.length t.a in
   let p = t.a.(row).(col) in
   assert (not (Rat.is_zero p));
@@ -169,9 +170,9 @@ let build ~vars problem =
          basis.(i) <- !next_art;
          incr next_art))
     rows;
-  ({ a; b; basis; ncols; art_start }, vars)
+  ({ a; b; basis; ncols; art_start; npivots = 0 }, vars)
 
-let solve ?vars problem =
+let solve ?vars ?pivots:pivot_count problem =
   let vars =
     match vars with Some vs -> vs | None -> Lp_problem.variables problem
   in
@@ -209,6 +210,7 @@ let solve ?vars problem =
       end
     end
   in
+  let result =
   if not feasible then Infeasible
   else begin
     let direction = problem.Lp_problem.direction in
@@ -241,3 +243,7 @@ let solve ?vars problem =
       in
       Optimal { value; assignment }
   end
+  in
+  ignore (Atomic.fetch_and_add total_pivots t.npivots);
+  (match pivot_count with Some r -> r := !r + t.npivots | None -> ());
+  result

@@ -14,16 +14,22 @@ type result =
   | Infeasible
   | Unbounded
 
-val solve : ?vars:string list -> Lp_problem.t -> result
+val solve : ?vars:string list -> ?pivots:int ref -> Lp_problem.t -> result
 (** [vars], when given, must be {!Lp_problem.variables} of the problem (or
     a sorted superset of it); callers that solve many closely related
     problems — {!Ilp.solve}'s branch-and-bound nodes — pass it to avoid
-    recomputing the sort-dedup per LP call. *)
+    recomputing the sort-dedup per LP call.
+
+    [pivots], when given, is incremented by the number of tableau pivots
+    this call performed (phase 1 and 2 combined). This is the domain-safe
+    way to attribute pivot effort to one solve: reading a before/after
+    delta of {!pivots} counts other domains' concurrent work. *)
 
 val assignment_env : (string * Rat.t) list -> string -> Rat.t
 (** Turn an assignment into a total environment (absent variables are 0). *)
 
 val pivots : unit -> int
-(** Cumulative tableau pivots performed by this process, phase 1 and 2
-    combined. Read a before/after delta to attribute pivot effort to one
-    solve ({!Ilp.solve} does, for its {!Ilp.stats}). *)
+(** Cumulative tableau pivots performed by this process across all
+    domains, phase 1 and 2 combined. Updated once per solve, after the
+    fact; for per-solve attribution pass [?pivots] to {!solve} instead of
+    reading deltas. *)

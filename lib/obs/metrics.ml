@@ -1,8 +1,16 @@
+module Lock = Ipet_par.Par_compat.Lock
+
 type labels = (string * string) list
 
-type counter = { mutable c : int }
-type gauge = { mutable g : float }
+(* Cells are written from any domain: counters are atomic, gauges are a
+   single atomic write, histograms update several fields together and take
+   a tiny per-cell lock. The registry table is guarded by its own lock;
+   handles resolved once are updated lock-free (counters/gauges) or under
+   the cell lock (histograms). *)
+type counter = { c : int Atomic.t }
+type gauge = { g : float Atomic.t }
 type hist = {
+  h_lock : Lock.t;
   mutable h_count : int;
   mutable h_sum : float;
   mutable h_min : float;
@@ -13,77 +21,83 @@ type histogram = hist
 
 type cell = C of counter | G of gauge | H of hist
 
-type t = { table : (string * labels, cell) Hashtbl.t }
+type t = { lock : Lock.t; table : (string * labels, cell) Hashtbl.t }
 
 type value =
   | Counter of int
   | Gauge of float
   | Histogram of { count : int; sum : float; min : float; max : float }
 
-let create () = { table = Hashtbl.create 64 }
+let create () = { lock = Lock.create (); table = Hashtbl.create 64 }
 
-let reset t = Hashtbl.reset t.table
+let reset t = Lock.with_lock t.lock (fun () -> Hashtbl.reset t.table)
 
 let key name labels =
   (name, List.sort (fun (a, _) (b, _) -> compare a b) labels)
 
 let find_or_add t name labels ~make ~cast =
   let k = key name labels in
-  match Hashtbl.find_opt t.table k with
-  | Some cell -> cast cell
-  | None ->
-    let fresh = make () in
-    Hashtbl.add t.table k fresh;
-    cast fresh
+  Lock.with_lock t.lock (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some cell -> cast cell
+      | None ->
+        let fresh = make () in
+        Hashtbl.add t.table k fresh;
+        cast fresh)
 
 let counter t ?(labels = []) name =
   find_or_add t name labels
-    ~make:(fun () -> C { c = 0 })
+    ~make:(fun () -> C { c = Atomic.make 0 })
     ~cast:(function
       | C c -> c
       | G _ | H _ -> invalid_arg (name ^ ": registered with another kind"))
 
-let incr c = c.c <- c.c + 1
-let add c n = c.c <- c.c + n
-let counter_value c = c.c
+let incr c = Atomic.incr c.c
+let add c n = ignore (Atomic.fetch_and_add c.c n)
+let counter_value c = Atomic.get c.c
 
 let gauge t labels name =
   find_or_add t name labels
-    ~make:(fun () -> G { g = 0.0 })
+    ~make:(fun () -> G { g = Atomic.make 0.0 })
     ~cast:(function
       | G g -> g
       | C _ | H _ -> invalid_arg (name ^ ": registered with another kind"))
 
-let set_gauge t ?(labels = []) name v = (gauge t labels name).g <- v
+let set_gauge t ?(labels = []) name v = Atomic.set (gauge t labels name).g v
 let set_gauge_int t ?labels name v = set_gauge t ?labels name (float_of_int v)
 
 let histogram t ?(labels = []) name =
   find_or_add t name labels
-    ~make:(fun () -> H { h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity })
+    ~make:(fun () ->
+      H { h_lock = Lock.create ();
+          h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity })
     ~cast:(function
       | H h -> h
       | C _ | G _ -> invalid_arg (name ^ ": registered with another kind"))
 
 let observe h x =
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. x;
-  if x < h.h_min then h.h_min <- x;
-  if x > h.h_max then h.h_max <- x
+  Lock.with_lock h.h_lock (fun () ->
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. x;
+      if x < h.h_min then h.h_min <- x;
+      if x > h.h_max then h.h_max <- x)
 
 let items t =
-  Hashtbl.fold
-    (fun (name, labels) cell acc ->
-      let value =
-        match cell with
-        | C c -> Counter c.c
-        | G g -> Gauge g.g
-        | H h ->
-          Histogram
-            { count = h.h_count;
-              sum = h.h_sum;
-              min = (if h.h_count = 0 then 0.0 else h.h_min);
-              max = (if h.h_count = 0 then 0.0 else h.h_max) }
-      in
-      (name, labels, value) :: acc)
-    t.table []
+  Lock.with_lock t.lock (fun () ->
+      Hashtbl.fold
+        (fun (name, labels) cell acc ->
+          let value =
+            match cell with
+            | C c -> Counter (Atomic.get c.c)
+            | G g -> Gauge (Atomic.get g.g)
+            | H h ->
+              Lock.with_lock h.h_lock (fun () ->
+                  Histogram
+                    { count = h.h_count;
+                      sum = h.h_sum;
+                      min = (if h.h_count = 0 then 0.0 else h.h_min);
+                      max = (if h.h_count = 0 then 0.0 else h.h_max) })
+          in
+          (name, labels, value) :: acc)
+        t.table [])
   |> List.sort (fun (n1, l1, _) (n2, l2, _) -> compare (n1, l1) (n2, l2))

@@ -1,8 +1,26 @@
+module Pc = Ipet_par.Par_compat
+
 let on = ref false
 
 let clock = ref Unix.gettimeofday
 
-let engine = Span.create ~clock:(fun () -> !clock ())
+(* One span engine per domain, created lazily on first use and sharing one
+   origin so all timestamps live on a common axis. Each engine is touched
+   only by its own domain (enter/exit are not synchronized); the table
+   itself is the only shared structure and is lock-guarded. *)
+let lock = Pc.Lock.create ()
+let engines : (int, Span.t) Hashtbl.t = Hashtbl.create 8
+let origin = ref (!clock ())
+
+let engine_for_caller () =
+  let tid = Pc.domain_id () in
+  Pc.Lock.with_lock lock (fun () ->
+      match Hashtbl.find_opt engines tid with
+      | Some e -> e
+      | None ->
+        let e = Span.create ~origin:!origin ~tid ~clock:(fun () -> !clock ()) () in
+        Hashtbl.add engines tid e;
+        e)
 
 let metrics = Metrics.create ()
 
@@ -11,16 +29,19 @@ let enable () = on := true
 let disable () = on := false
 
 let reset () =
-  Span.reset engine;
+  Pc.Lock.with_lock lock (fun () ->
+      Hashtbl.reset engines;
+      origin := !clock ());
   Metrics.reset metrics
 
 let set_clock c =
   clock := c;
-  Span.reset engine
+  reset ()
 
 let span ?args name f =
   if not !on then f ()
   else begin
+    let engine = engine_for_caller () in
     Span.enter engine ?args name;
     match f () with
     | v ->
@@ -36,7 +57,16 @@ let timed f =
   let v = f () in
   (v, !clock () -. t0)
 
-let spans () = Span.completed engine
+(* engines grouped by domain id, each engine's spans in completion order;
+   with a single domain this is exactly the engine's completion order *)
+let spans () =
+  let per_engine =
+    Pc.Lock.with_lock lock (fun () ->
+        Hashtbl.fold (fun tid e acc -> (tid, e) :: acc) engines [])
+  in
+  List.sort (fun (a, _) (b, _) -> compare (a : int) b) per_engine
+  |> List.concat_map (fun (_, e) -> Span.completed e)
+
 let span_totals () = Span.totals (spans ())
 
 let counter ?labels name = Metrics.counter metrics ?labels name

@@ -6,10 +6,14 @@
     it when [--trace-out]/[--metrics-out] is given; benchmarks enable it
     to harvest phase timings.
 
-    One global span engine and one global metrics registry serve the whole
-    process — instrumentation points in the libraries write here without
-    any plumbing, and the sinks read from here at exit. {!reset} restarts
-    both (used per-benchmark and by tests).
+    One span engine {e per domain} (created lazily, all sharing one time
+    origin) and one global metrics registry serve the whole process —
+    instrumentation points in the libraries write here without any
+    plumbing, and the sinks read from here at exit. Spans carry the domain
+    id as their [tid]; metrics cells are atomic or lock-guarded, so
+    parallel analyses ({!Ipet_par.Pool}) can record freely from any
+    domain. {!reset} restarts everything (used per-benchmark and by
+    tests).
 
     The clock is injectable ({!set_clock}) so tests can drive spans
     deterministically; the default is [Unix.gettimeofday], with
@@ -34,7 +38,9 @@ val timed : (unit -> 'a) -> 'a * float
     (works whether or not observability is enabled). *)
 
 val spans : unit -> Span.completed list
-(** Completed spans so far, completion order. *)
+(** Completed spans so far: engines grouped by ascending domain id, each
+    engine's spans in completion order. With a single domain this is plain
+    completion order. *)
 
 val span_totals : unit -> (string * (int * int)) list
 (** {!Span.totals} of {!spans}. *)

@@ -4,6 +4,7 @@ type completed = {
   start_us : int;
   dur_us : int;
   depth : int;
+  tid : int;
 }
 
 type open_span = { o_name : string; o_args : (string * string) list; o_start : int }
@@ -14,13 +15,17 @@ type t = {
   mutable last_us : int;  (* highest timestamp handed out; enforces monotony *)
   mutable stack : open_span list;
   mutable completed_rev : completed list;
+  tid : int;
 }
 
-let create ~clock =
-  { clock; origin = clock (); last_us = 0; stack = []; completed_rev = [] }
+let create ?origin ?(tid = 0) ~clock () =
+  let origin = match origin with Some o -> o | None -> clock () in
+  { clock; origin; last_us = 0; stack = []; completed_rev = []; tid }
 
-let reset t =
-  t.origin <- t.clock ();
+let origin t = t.origin
+
+let reset ?origin t =
+  t.origin <- (match origin with Some o -> o | None -> t.clock ());
   t.last_us <- 0;
   t.stack <- [];
   t.completed_rev <- []
@@ -49,7 +54,8 @@ let exit_ t =
         args = o.o_args;
         start_us = o.o_start;
         dur_us = stop - o.o_start;
-        depth = List.length rest }
+        depth = List.length rest;
+        tid = t.tid }
       :: t.completed_rev
 
 let depth t = List.length t.stack

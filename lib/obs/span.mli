@@ -17,19 +17,28 @@ type completed = {
   start_us : int;                 (** microseconds since the engine origin *)
   dur_us : int;
   depth : int;                    (** 0 for top-level spans *)
+  tid : int;                      (** the engine's thread/domain id *)
 }
 
 type t
 
-val create : clock:(unit -> float) -> t
-(** [clock] returns seconds (any epoch; only differences are used). *)
+val create : ?origin:float -> ?tid:int -> clock:(unit -> float) -> unit -> t
+(** [clock] returns seconds (any epoch; only differences are used).
+    [origin] (default [clock ()]) anchors timestamp zero — {!Obs} passes
+    one shared origin to every per-domain engine so their spans line up on
+    a common axis. [tid] (default [0]) stamps this engine's completed
+    spans. An engine is single-owner: only the domain that entered a span
+    may exit it. *)
+
+val origin : t -> float
 
 val set_clock : t -> (unit -> float) -> unit
 (** Replace the clock and re-anchor the origin (tests inject a
     deterministic clock). Implies {!reset}. *)
 
-val reset : t -> unit
-(** Drop all open and completed spans and re-anchor the origin. *)
+val reset : ?origin:float -> t -> unit
+(** Drop all open and completed spans and re-anchor the origin (to
+    [origin] when given, the current clock otherwise). *)
 
 val enter : t -> ?args:(string * string) list -> string -> unit
 val exit_ : t -> unit

@@ -9,17 +9,17 @@ let event (s : Span.completed) =
        ("cat", Jsonw.str "ipet");
        ("ph", Jsonw.str "X");
        ("pid", "1");
-       ("tid", "1");
+       ("tid", string_of_int s.Span.tid);
        ("ts", string_of_int s.Span.start_us);
        ("dur", string_of_int s.Span.dur_us) ]
      @ args)
 
-let metadata name value =
+let metadata ?(tid = 0) name value =
   Jsonw.obj
     [ ("name", Jsonw.str name);
       ("ph", Jsonw.str "M");
       ("pid", "1");
-      ("tid", "1");
+      ("tid", string_of_int tid);
       ("args", Jsonw.obj [ ("name", Jsonw.str value) ]) ]
 
 let to_string ?(process_name = "cinderella") spans =
@@ -28,10 +28,14 @@ let to_string ?(process_name = "cinderella") spans =
       (fun (a : Span.completed) b -> compare a.Span.start_us b.Span.start_us)
       spans
   in
+  let tids =
+    List.sort_uniq compare (List.map (fun (s : Span.completed) -> s.Span.tid) sorted)
+  in
+  let thread_names =
+    List.map (fun tid -> metadata ~tid "thread_name" (Printf.sprintf "domain-%d" tid)) tids
+  in
   let events =
-    metadata "process_name" process_name
-    :: metadata "thread_name" "pipeline"
-    :: List.map event sorted
+    (metadata "process_name" process_name :: thread_names) @ List.map event sorted
   in
   "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n  "
   ^ String.concat ",\n  " events

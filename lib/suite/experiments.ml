@@ -61,10 +61,10 @@ let calculated_cost spec counts ~select =
     (fun acc ((func, block), count) -> acc + (count * select (costs func).(block)))
     0 counts
 
-let run ?cache ?dcache (bench : Bspec.t) =
+let run ?cache ?dcache ?pool (bench : Bspec.t) =
   let compiled = Bspec.compile bench in
   let spec = Bspec.spec ?cache ?dcache bench in
-  let result = Analysis.analyze spec in
+  let result = Analysis.analyze ?pool spec in
   let worst_runs =
     List.map
       (fun d -> simulate ?cache ?dcache compiled bench d ~flush:true ~warm:false)
@@ -111,4 +111,38 @@ let run ?cache ?dcache (bench : Bspec.t) =
       result.Analysis.wcet_stats.Analysis.all_first_lp_integral
       && result.Analysis.bcet_stats.Analysis.all_first_lp_integral }
 
-let run_all ?cache ?dcache () = List.map (run ?cache ?dcache) Suite.all
+(* Benchmarks are sharded across the pool; each shard's analysis reuses
+   the same pool for its inner fan-outs (helping awaits make the nesting
+   safe). Results come back in suite order regardless of completion
+   order, so the row list is identical at any job count. *)
+let run_all ?cache ?dcache ?pool () =
+  let pool =
+    match pool with Some p -> p | None -> Ipet_par.Pool.default ()
+  in
+  Ipet_par.Pool.map_list pool (fun b -> run ?cache ?dcache ~pool b) Suite.all
+
+(* --- table rendering ------------------------------------------------------ *)
+
+let pp_interval { lo; hi } = Printf.sprintf "[%d, %d]" lo hi
+
+let render_against ~reference_label ~reference rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "  %-17s %-24s %-24s %s\n" "Function" "Estimated Bound"
+       reference_label "Pessimism");
+  List.iter
+    (fun row ->
+      let plo, phi = pessimism ~estimated:row.estimated ~reference:(reference row) in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-17s %-24s %-24s [%.2f, %.2f]\n" row.bench
+           (pp_interval row.estimated) (pp_interval (reference row)) plo phi))
+    rows;
+  Buffer.contents buf
+
+let render_table2 rows =
+  render_against ~reference_label:"Calculated Bound"
+    ~reference:(fun r -> r.calculated) rows
+
+let render_table3 rows =
+  render_against ~reference_label:"Measured Bound"
+    ~reference:(fun r -> r.measured) rows

@@ -32,13 +32,31 @@ val pessimism : estimated:interval -> reference:interval -> float * float
 val run :
   ?cache:Ipet_machine.Icache.config ->
   ?dcache:Ipet_machine.Icache.config ->
+  ?pool:Ipet_par.Pool.t ->
   Bspec.t ->
   row
 (** Analyze, simulate and measure one benchmark; [dcache] enables the
-    data-cache model in both the analysis and the simulation. *)
+    data-cache model in both the analysis and the simulation. [pool]
+    (default {!Ipet_par.Pool.default}) parallelizes the analysis. *)
 
 val run_all :
   ?cache:Ipet_machine.Icache.config ->
   ?dcache:Ipet_machine.Icache.config ->
+  ?pool:Ipet_par.Pool.t ->
   unit ->
   row list
+(** Every suite benchmark, sharded across [pool]; the row list is in
+    suite order and identical at any job count. *)
+
+(** {1 Table rendering}
+
+    Fixed-width plain text, exactly the paper's Tables II/III layout; used
+    by the bench driver and checked against golden files by the test
+    suite. *)
+
+val render_table2 : row list -> string
+(** Estimated vs calculated bound with path-analysis pessimism, one line
+    per row, header included. *)
+
+val render_table3 : row list -> string
+(** Estimated vs measured bound with total pessimism. *)

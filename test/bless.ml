@@ -1,0 +1,28 @@
+(* Regenerates the golden files checked by [test_golden.ml].
+
+   Run from the repository root:
+
+     dune exec test/bless.exe            # writes test/golden/*.txt
+     dune exec test/bless.exe -- DIR     # writes DIR/*.txt
+
+   [dune exec] runs the binary from the invocation directory, so the
+   default relative path lands in the source tree, not in _build. *)
+
+module E = Ipet_suite.Experiments
+
+let write path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else
+      Filename.concat "test" "golden"
+  in
+  let rows = E.run_all () in
+  let table2 = Filename.concat dir "table2.txt" in
+  let table3 = Filename.concat dir "table3.txt" in
+  write table2 (E.render_table2 rows);
+  write table3 (E.render_table3 rows);
+  Printf.printf "blessed %s and %s\n" table2 table3

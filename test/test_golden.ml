@@ -1,0 +1,58 @@
+(* Golden-output tests for the paper's Tables II and III.
+
+   The rendered tables are compared byte-for-byte against the checked-in
+   files under [test/golden/]. When a legitimate change (a new benchmark,
+   a cost-model fix) moves the numbers, regenerate the golden files from
+   the repository root with
+
+     dune exec test/bless.exe
+
+   and review the diff like any other source change. *)
+
+module E = Ipet_suite.Experiments
+
+let rows = lazy (E.run_all ())
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let first_difference expected got =
+  let n = min (String.length expected) (String.length got) in
+  let rec go i line col =
+    if i >= n then (line, col)
+    else if expected.[i] <> got.[i] then (line, col)
+    else if expected.[i] = '\n' then go (i + 1) (line + 1) 1
+    else go (i + 1) line (col + 1)
+  in
+  go 0 1 1
+
+(* [dune runtest] runs us in the test directory, [dune exec] wherever it
+   was invoked; same dodge as [test_fuzz.corpus_dir] *)
+let golden_dir () =
+  if Sys.file_exists "golden" then "golden"
+  else Filename.concat "test" "golden"
+
+let check_golden ~golden render () =
+  let path = Filename.concat (golden_dir ()) golden in
+  let expected = read_file path in
+  let got = render (Lazy.force rows) in
+  if String.equal expected got then ()
+  else begin
+    let line, col = first_difference expected got in
+    Alcotest.failf
+      "%s differs from golden output (first difference at line %d, column \
+       %d).@.--- expected ---@.%s@.--- got ---@.%s@.If the change is \
+       intended, regenerate with: dune exec test/bless.exe"
+      golden line col expected got
+  end
+
+let suite =
+  [
+    Alcotest.test_case "Table II matches golden output" `Slow
+      (check_golden ~golden:"table2.txt" E.render_table2);
+    Alcotest.test_case "Table III matches golden output" `Slow
+      (check_golden ~golden:"table3.txt" E.render_table3);
+  ]

@@ -19,4 +19,7 @@ let () =
       ("suite", Test_suite.suite);
       ("edge", Test_edge.suite);
       ("obs", Test_obs.suite);
-      ("fuzz", Test_fuzz.suite) ]
+      ("fuzz", Test_fuzz.suite);
+      ("par", Test_par.suite);
+      ("solver_oracle", Test_solver_oracle.suite);
+      ("golden", Test_golden.suite) ]

@@ -146,7 +146,7 @@ let as_str = function Jstr s -> s | _ -> Alcotest.fail "not a string"
 
 let test_span_nesting () =
   let t = ref 0.0 in
-  let engine = Span.create ~clock:(fun () -> !t) in
+  let engine = Span.create ~clock:(fun () -> !t) () in
   Span.enter engine "outer";
   t := 0.001;
   Span.enter engine ~args:[ ("k", "v") ] "inner";
@@ -171,7 +171,7 @@ let test_span_nesting () =
 
 let test_span_monotonic_clamp () =
   let t = ref 0.005 in
-  let engine = Span.create ~clock:(fun () -> !t) in
+  let engine = Span.create ~clock:(fun () -> !t) () in
   Span.enter engine "a";
   t := 0.002;
   (* the clock stepped backwards *)
@@ -184,7 +184,7 @@ let test_span_monotonic_clamp () =
 
 let test_span_totals () =
   let t = ref 0.0 in
-  let engine = Span.create ~clock:(fun () -> !t) in
+  let engine = Span.create ~clock:(fun () -> !t) () in
   let tick name us =
     Span.enter engine name;
     t := !t +. (float_of_int us /. 1e6);
@@ -219,7 +219,7 @@ let test_enabled_exception_safe () =
 
 let test_trace_event_document () =
   let t = ref 0.0 in
-  let engine = Span.create ~clock:(fun () -> !t) in
+  let engine = Span.create ~clock:(fun () -> !t) () in
   Span.enter engine "outer";
   t := 0.00001;
   Span.enter engine ~args:[ ("set", "0") ] "inner";

@@ -1,0 +1,280 @@
+(* The determinism lockdown for the multicore engine: the pool itself, the
+   analysis of every suite benchmark, the ILP branch-and-bound and the fuzz
+   driver must all produce byte-identical output at any job count.
+
+   On the OCaml 4 fallback (Par_compat.available = false) every pool is
+   sequential, so these tests still run — they then check the degenerate
+   equality 1-vs-1, keeping the suite green on both CI lanes. *)
+
+module Pool = Ipet_par.Pool
+module Pc = Ipet_par.Par_compat
+module Analysis = Ipet.Analysis
+module Report = Ipet.Report
+module Suite = Ipet_suite.Suite
+module Bspec = Ipet_suite.Bspec
+module Driver = Ipet_fuzz.Driver
+module Lp = Ipet_lp
+module Rat = Ipet_num.Rat
+
+let with_pool ~jobs f =
+  let pool = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+(* {1 Pool unit tests} *)
+
+let test_map_array_matches_sequential () =
+  let input = Array.init 500 (fun i -> i) in
+  let f i = (i * i) + 7 in
+  let expected = Array.map f input in
+  List.iter
+    (fun jobs ->
+      with_pool ~jobs (fun pool ->
+          let got = Pool.map_array pool f input in
+          Alcotest.(check (array int))
+            (Printf.sprintf "map_array = Array.map at jobs %d" jobs)
+            expected got))
+    [ 1; 2; 4 ]
+
+let test_map_list_matches_sequential () =
+  let input = List.init 97 (fun i -> i) in
+  let f i = string_of_int (i * 3) in
+  let expected = List.map f input in
+  with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (list string))
+        "map_list = List.map" expected
+        (Pool.map_list pool f input))
+
+let test_smallest_index_exception () =
+  (* Several inputs raise; the exception surfaced must be the one a
+     sequential [Array.map] would have raised: the smallest index. *)
+  let f i = if i mod 7 = 3 then failwith (Printf.sprintf "boom %d" i) else i in
+  List.iter
+    (fun jobs ->
+      with_pool ~jobs (fun pool ->
+          match Pool.map_array pool f (Array.init 100 (fun i -> i)) with
+          | _ -> Alcotest.fail "expected an exception"
+          | exception Failure msg ->
+            Alcotest.(check string)
+              (Printf.sprintf "smallest failing index at jobs %d" jobs)
+              "boom 3" msg))
+    [ 1; 2; 4 ]
+
+let test_nested_fanout () =
+  (* map inside map: the helping await must keep nested fan-out from
+     deadlocking, and the result must still be positional. *)
+  with_pool ~jobs:4 (fun pool ->
+      let outer = Array.init 20 (fun i -> i) in
+      let got =
+        Pool.map_array pool
+          (fun i ->
+            Pool.map_array pool (fun j -> (i * 31) + j) (Array.init 20 Fun.id)
+            |> Array.fold_left ( + ) 0)
+          outer
+      in
+      let expected =
+        Array.map
+          (fun i ->
+            Array.init 20 (fun j -> (i * 31) + j) |> Array.fold_left ( + ) 0)
+          outer
+      in
+      Alcotest.(check (array int)) "nested fan-out" expected got)
+
+let test_sequential_pool_is_sequential () =
+  let pool = Pool.create ~jobs:1 in
+  Alcotest.(check int) "jobs" 1 (Pool.jobs pool);
+  Alcotest.(check bool) "parallel" false (Pool.parallel pool);
+  Pool.shutdown pool
+
+let test_pool_stats_count_tasks () =
+  with_pool ~jobs:4 (fun pool ->
+      if Pool.parallel pool then begin
+        ignore (Pool.map_array pool (fun i -> i + 1) (Array.init 256 Fun.id));
+        let s = Pool.stats pool in
+        Alcotest.(check bool) "tasks counted" true (s.Pool.tasks >= 256);
+        Alcotest.(check bool) "steals non-negative" true (s.Pool.steals >= 0)
+      end)
+
+(* {1 Benchmark determinism differential}
+
+   The observable report of every suite benchmark — bound summary plus the
+   full solver statistics, which include lp_calls, nodes and pivots — must
+   be byte-identical whatever the pool size. *)
+
+let benchmarks = Suite.all @ Suite.extended
+
+let render_report pool (b : Bspec.t) =
+  let r = Analysis.analyze ~pool (Bspec.spec b) in
+  Report.bound_summary r ^ "\n" ^ Report.lp_stats r
+
+let render_suite pool =
+  List.map (fun (b : Bspec.t) -> (b.Bspec.name, render_report pool b)) benchmarks
+
+let check_same_renders ~what reference got =
+  List.iter2
+    (fun (name, ref_render) (name', render) ->
+      Alcotest.(check string) (what ^ ": benchmark order " ^ name) name name';
+      Alcotest.(check string) (what ^ ": report of " ^ name) ref_render render)
+    reference got
+
+let test_suite_determinism () =
+  Alcotest.(check int) "the whole 21-benchmark suite" 21
+    (List.length benchmarks);
+  let reference = with_pool ~jobs:1 render_suite in
+  List.iter
+    (fun jobs ->
+      let got = with_pool ~jobs render_suite in
+      check_same_renders ~what:(Printf.sprintf "jobs 1 vs %d" jobs) reference
+        got)
+    [ 2; 4; 8 ]
+
+let test_repeated_runs_stable () =
+  (* Parallel scheduling is nondeterministic; the reports must not be.
+     Five 4-job runs of the paper's own benchmark set, all identical. *)
+  let render pool =
+    List.map (fun (b : Bspec.t) -> (b.Bspec.name, render_report pool b))
+      Suite.all
+  in
+  let first = with_pool ~jobs:4 render in
+  for i = 2 to 5 do
+    let again = with_pool ~jobs:4 render in
+    check_same_renders ~what:(Printf.sprintf "4-job run %d vs run 1" i) first
+      again
+  done
+
+(* {1 Concurrency smoke: Ilp.solve hammered from four domains}
+
+   A small ILP whose root relaxation is fractional (so branch-and-bound
+   actually branches) solved repeatedly from concurrent domains. Checks
+   that every solve returns the right value and that the process-wide
+   [Simplex.pivots] counter converges to exactly the sum of the per-solve
+   pivot statistics — i.e. no update was lost to a race. *)
+
+let branching_ilp =
+  (* max x + y  s.t.  2x + 2y <= 5: LP optimum 5/2 (fractional), ILP
+     optimum 2. *)
+  let open Lp.Linexpr.Infix in
+  Lp.Lp_problem.make Lp.Lp_problem.Maximize
+    (v "x" + v "y")
+    [ Lp.Lp_problem.le ((2 * v "x") + (2 * v "y")) (int 5) ]
+
+let test_concurrent_ilp_solves () =
+  let solves_per_domain = 25 in
+  let before = Lp.Simplex.pivots () in
+  let work () =
+    let pivots = ref 0 in
+    let pool = Pool.create ~jobs:1 in
+    for _ = 1 to solves_per_domain do
+      match Lp.Ilp.solve ~presolve:false ~pool branching_ilp with
+      | Lp.Ilp.Optimal { value; stats; _ } ->
+        if not (Rat.equal value (Rat.of_int 2)) then
+          failwith "wrong ILP optimum under concurrency";
+        pivots := !pivots + stats.Lp.Ilp.pivots
+      | _ -> failwith "expected Optimal"
+    done;
+    Pool.shutdown pool;
+    !pivots
+  in
+  let handles = List.init 4 (fun _ -> Pc.spawn work) in
+  let per_domain = List.map Pc.join handles in
+  let after = Lp.Simplex.pivots () in
+  let expected_delta = List.fold_left ( + ) 0 per_domain in
+  Alcotest.(check bool) "some pivots were performed" true (expected_delta > 0);
+  Alcotest.(check int) "global pivot counter lost no update" expected_delta
+    (after - before);
+  (* stats are deterministic: every domain solved the same problem the
+     same number of times, so all four sums agree *)
+  (match per_domain with
+   | first :: rest ->
+     List.iter
+       (fun p -> Alcotest.(check int) "per-domain pivot sums agree" first p)
+       rest
+   | [] -> assert false)
+
+let test_ilp_parallel_stats_identical () =
+  (* One solve, sequential vs parallel pool: stats must be bit-identical,
+     not merely the value. *)
+  let solve pool =
+    match Lp.Ilp.solve ~presolve:false ~pool branching_ilp with
+    | Lp.Ilp.Optimal { value; assignment; stats } ->
+      ( Rat.to_string value,
+        List.map (fun (x, q) -> (x, Rat.to_string q)) assignment,
+        stats.Lp.Ilp.lp_calls,
+        stats.Lp.Ilp.nodes,
+        stats.Lp.Ilp.pivots,
+        stats.Lp.Ilp.first_lp_integral )
+    | _ -> Alcotest.fail "expected Optimal"
+  in
+  let reference = with_pool ~jobs:1 solve in
+  List.iter
+    (fun jobs ->
+      let v0, a0, c0, n0, p0, i0 = reference in
+      let v1, a1, c1, n1, p1, i1 = with_pool ~jobs solve in
+      Alcotest.(check string) "value" v0 v1;
+      Alcotest.(check (list (pair string string))) "assignment" a0 a1;
+      Alcotest.(check int) "lp_calls" c0 c1;
+      Alcotest.(check int) "nodes" n0 n1;
+      Alcotest.(check int) "pivots" p0 p1;
+      Alcotest.(check bool) "first_lp_integral" i0 i1)
+    [ 2; 4 ]
+
+(* {1 Fuzz driver determinism}
+
+   Same seeds, different job counts: the outcome record and the whole log
+   stream must match the sequential run. *)
+
+let run_fuzz pool ~seed ~iters =
+  let logs = ref [] in
+  let outcome =
+    Driver.run ~log:(fun l -> logs := l :: !logs) ~shrink:false ~pool ~seed
+      ~iters ()
+  in
+  let report =
+    Option.map
+      (fun r -> Format.asprintf "%a" Driver.pp_report r)
+      outcome.Driver.report
+  in
+  ( outcome.Driver.iters_run,
+    outcome.Driver.passed,
+    outcome.Driver.worst_wcet,
+    report,
+    List.rev !logs )
+
+let test_fuzz_determinism () =
+  let seed = 20260806 and iters = 30 in
+  let i0, p0, w0, r0, l0 = with_pool ~jobs:1 (run_fuzz ~seed ~iters) in
+  List.iter
+    (fun jobs ->
+      let i1, p1, w1, r1, l1 = with_pool ~jobs (run_fuzz ~seed ~iters) in
+      let what = Printf.sprintf "fuzz jobs 1 vs %d" jobs in
+      Alcotest.(check int) (what ^ ": iters_run") i0 i1;
+      Alcotest.(check int) (what ^ ": passed") p0 p1;
+      Alcotest.(check int) (what ^ ": worst_wcet") w0 w1;
+      Alcotest.(check (option string)) (what ^ ": report") r0 r1;
+      Alcotest.(check (list string)) (what ^ ": log stream") l0 l1)
+    [ 2; 4 ]
+
+let suite =
+  [
+    Alcotest.test_case "map_array matches Array.map" `Quick
+      test_map_array_matches_sequential;
+    Alcotest.test_case "map_list matches List.map" `Quick
+      test_map_list_matches_sequential;
+    Alcotest.test_case "smallest-index exception" `Quick
+      test_smallest_index_exception;
+    Alcotest.test_case "nested fan-out does not deadlock" `Quick
+      test_nested_fanout;
+    Alcotest.test_case "jobs 1 pool is sequential" `Quick
+      test_sequential_pool_is_sequential;
+    Alcotest.test_case "pool stats count tasks" `Quick
+      test_pool_stats_count_tasks;
+    Alcotest.test_case "ILP stats identical at any job count" `Quick
+      test_ilp_parallel_stats_identical;
+    Alcotest.test_case "concurrent ILP solves keep counters exact" `Quick
+      test_concurrent_ilp_solves;
+    Alcotest.test_case "21-benchmark reports identical at jobs 1/2/4/8" `Slow
+      test_suite_determinism;
+    Alcotest.test_case "five 4-job runs are stable" `Slow
+      test_repeated_runs_stable;
+    Alcotest.test_case "fuzz outcome and log identical at any job count" `Slow
+      test_fuzz_determinism;
+  ]
