@@ -659,35 +659,38 @@ let sim_check () =
    the cinderella CLI can be driven over the whole suite from the shell
    (loop bounds only: the functional-constraint DSL values have no textual
    serialization, and boundedness needs only the loop bounds). *)
+let render_ann (bench : Bspec.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "root %s\n" bench.Bspec.root);
+  List.iter
+    (fun (a : Ipet.Annotation.t) ->
+      match a.Ipet.Annotation.header with
+      | `Line l ->
+        Buffer.add_string buf
+          (Printf.sprintf "loop %s %d %d %d\n" a.Ipet.Annotation.func l
+             a.Ipet.Annotation.lo a.Ipet.Annotation.hi)
+      | `Block b ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "# block-addressed bound skipped: %s B%d [%d,%d]\n"
+             a.Ipet.Annotation.func b a.Ipet.Annotation.lo
+             a.Ipet.Annotation.hi))
+    bench.Bspec.loop_bounds;
+  let nfun = List.length bench.Bspec.functional in
+  if nfun > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "# %d functionality constraint(s) omitted (no textual form)\n"
+         nfun);
+  Buffer.contents buf
+
 let export dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   (* render in parallel (pure), write sequentially in suite order *)
   let rendered =
     Pool.map_list (Pool.default ())
       (fun (bench : Bspec.t) ->
-        let buf = Buffer.create 256 in
-        Buffer.add_string buf (Printf.sprintf "root %s\n" bench.Bspec.root);
-        List.iter
-          (fun (a : Ipet.Annotation.t) ->
-            match a.Ipet.Annotation.header with
-            | `Line l ->
-              Buffer.add_string buf
-                (Printf.sprintf "loop %s %d %d %d\n" a.Ipet.Annotation.func l
-                   a.Ipet.Annotation.lo a.Ipet.Annotation.hi)
-            | `Block b ->
-              Buffer.add_string buf
-                (Printf.sprintf
-                   "# block-addressed bound skipped: %s B%d [%d,%d]\n"
-                   a.Ipet.Annotation.func b a.Ipet.Annotation.lo
-                   a.Ipet.Annotation.hi))
-          bench.Bspec.loop_bounds;
-        let nfun = List.length bench.Bspec.functional in
-        if nfun > 0 then
-          Buffer.add_string buf
-            (Printf.sprintf
-               "# %d functionality constraint(s) omitted (no textual form)\n"
-               nfun);
-        (bench.Bspec.name, bench.Bspec.source, Buffer.contents buf))
+        (bench.Bspec.name, bench.Bspec.source, render_ann bench))
       Ipet_suite.Suite.all
   in
   List.iter
@@ -702,6 +705,220 @@ let export dir =
     rendered;
   Printf.printf "exported %d benchmarks to %s\n"
     (List.length Ipet_suite.Suite.all) dir
+
+(* --- serve load generator ------------------------------------------------ *)
+
+module J = Ipet_serve.Json
+
+(* One analyze request line per paper benchmark (loop bounds only, like
+   [export]: the functional-constraint DSL has no textual serialization). *)
+let serve_requests ~use_cache =
+  List.map
+    (fun (bench : Bspec.t) ->
+      ( bench.Bspec.name,
+        J.to_string
+          (J.Obj
+             [ ("v", J.Int Ipet_serve.Protocol.version);
+               ("op", J.Str "analyze");
+               ("id", J.Str bench.Bspec.name);
+               ("source", J.Str bench.Bspec.source);
+               ("annotations", J.Str (render_ann bench));
+               ("options", J.Obj [ ("use_cache", J.Bool use_cache) ]) ]) ))
+    Ipet_suite.Suite.all
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n -> sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+(* One client process: drive the whole request list sequentially over a
+   single connection, appending "name ms" latency lines to [out]. *)
+let serve_client ~socket ~out requests =
+  let t = Ipet_serve.Client.connect socket in
+  let oc = open_out out in
+  List.iter
+    (fun (name, line) ->
+      let t0 = Unix.gettimeofday () in
+      match Ipet_serve.Client.request t line with
+      | Some response ->
+        let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+        let ok =
+          match J.parse response with
+          | Ok j -> (match J.member "ok" j with
+                     | Some (J.Bool true) -> true
+                     | _ -> false)
+          | Error _ -> false
+        in
+        if not ok then begin
+          Printf.eprintf "serve bench: %s failed: %s\n%!" name response;
+          exit 1
+        end;
+        Printf.fprintf oc "%s %.3f\n" name ms
+      | None ->
+        Printf.eprintf "serve bench: server hung up on %s\n%!" name;
+        exit 1)
+    requests;
+  close_out oc;
+  Ipet_serve.Client.close t
+
+(* Run one pass: [clients] forked client processes, each sending the full
+   suite concurrently. Returns (wall seconds, latencies in ms). *)
+let serve_pass ~socket ~dir ~clients ~pass requests =
+  let t0 = Unix.gettimeofday () in
+  let pids =
+    List.init clients (fun i ->
+        let out = Filename.concat dir (Printf.sprintf "%s_%d.lat" pass i) in
+        match Unix.fork () with
+        | 0 ->
+          (try serve_client ~socket ~out requests
+           with e ->
+             Printf.eprintf "serve bench client: %s\n%!" (Printexc.to_string e);
+             Unix._exit 1);
+          Unix._exit 0
+        | pid -> (pid, out))
+  in
+  List.iter
+    (fun (pid, _) ->
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _ ->
+        prerr_endline "serve bench: a client failed";
+        exit 1)
+    pids;
+  let wall = Unix.gettimeofday () -. t0 in
+  let latencies =
+    List.concat_map
+      (fun (_, out) ->
+        let ic = open_in out in
+        let rec lines acc =
+          match input_line ic with
+          | line ->
+            (match String.split_on_char ' ' line with
+             | [ _; ms ] -> lines (float_of_string ms :: acc)
+             | _ -> lines acc)
+          | exception End_of_file -> acc
+        in
+        let l = lines [] in
+        close_in ic;
+        l)
+      pids
+  in
+  (wall, latencies)
+
+let pass_json name wall latencies =
+  let sorted = Array.of_list latencies in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rps = float_of_int n /. wall in
+  Printf.printf
+    "%s: %d analyses in %.2fs (%.1f/s), p50 %.1fms, p99 %.1fms\n" name n wall
+    rps (percentile sorted 0.50) (percentile sorted 0.99);
+  Printf.sprintf
+    "  \"%s\": { \"analyses\": %d, \"wall_s\": %.4f, \"per_s\": %.2f, \
+     \"p50_ms\": %.3f, \"p99_ms\": %.3f }"
+    name n wall rps (percentile sorted 0.50) (percentile sorted 0.99)
+
+(* Load-test the daemon: fork it (before any domain is spawned in this
+   process — OCaml 5 domains and fork do not mix), run a cold pass with an
+   empty cache and a warm pass over the identical requests, and report the
+   cold-vs-warm throughput ratio. With [check], enforce a floor on that
+   ratio (override with SERVE_CHECK_RATIO) — the regression this guards is
+   the cache silently losing its hits. *)
+let bench_serve ~jobs ~check =
+  let clients =
+    match Sys.getenv_opt "SERVE_CLIENTS" with
+    | Some s -> max 1 (int_of_string s)
+    | None -> 4
+  in
+  let dir =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "cinderella-serve-bench-%d" (Unix.getpid ()))
+    in
+    if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+    d
+  in
+  let socket = Filename.concat dir "serve.sock" in
+  match Unix.fork () with
+  | 0 ->
+    (* daemon child: safe to spawn domains now *)
+    Pool.set_default ~jobs;
+    (try
+       Ipet_serve.Server.run
+         { Ipet_serve.Server.socket_path = socket;
+           pool = Some (Pool.default ());
+           cache =
+             Some
+               (Ipet_serve.Cache.create ~dir:(Filename.concat dir "cache")
+                  ~cap_bytes:(64 * 1024 * 1024));
+           default_timeout_ms = None;
+           max_request_bytes = 16 * 1024 * 1024 }
+     with e ->
+       Printf.eprintf "serve bench daemon: %s\n%!" (Printexc.to_string e);
+       Unix._exit 1);
+    Unix._exit 0
+  | daemon ->
+    let rec await tries =
+      if Sys.file_exists socket then ()
+      else if tries = 0 then begin
+        prerr_endline "serve bench: daemon socket never appeared";
+        exit 1
+      end
+      else begin
+        ignore (Unix.select [] [] [] 0.1);
+        await (tries - 1)
+      end
+    in
+    await 100;
+    (* cold: every request solves from scratch (cache bypassed — with N
+       clients sending the same suite, later duplicates would otherwise
+       ride on earlier clients' cache fills and understate the cold cost);
+       fill (untimed): one sequential pass populates the cache;
+       warm: every request is a cache hit *)
+    let cold_wall, cold_lat =
+      serve_pass ~socket ~dir ~clients ~pass:"cold"
+        (serve_requests ~use_cache:false)
+    in
+    let warm_requests = serve_requests ~use_cache:true in
+    let _ = serve_pass ~socket ~dir ~clients:1 ~pass:"fill" warm_requests in
+    let warm_wall, warm_lat =
+      serve_pass ~socket ~dir ~clients ~pass:"warm" warm_requests
+    in
+    ignore
+      (Ipet_serve.Client.one_shot ~socket
+         (J.to_string
+            (J.Obj
+               [ ("v", J.Int Ipet_serve.Protocol.version);
+                 ("op", J.Str "shutdown") ])));
+    ignore (Unix.waitpid [] daemon);
+    let speedup = cold_wall /. warm_wall in
+    let cold_json = pass_json "cold" cold_wall cold_lat in
+    let warm_json = pass_json "warm" warm_wall warm_lat in
+    Printf.printf "warm-cache speedup: %.1fx\n" speedup;
+    let oc = open_out "BENCH_serve.json" in
+    Printf.fprintf oc
+      "{\n  \"clients\": %d,\n  \"benchmarks\": %d,\n%s,\n%s,\n  \
+       \"warm_speedup\": %.2f\n}\n"
+      clients
+      (List.length Ipet_suite.Suite.all)
+      cold_json warm_json speedup;
+    close_out oc;
+    print_endline "wrote BENCH_serve.json";
+    if check then begin
+      let floor =
+        match Sys.getenv_opt "SERVE_CHECK_RATIO" with
+        | Some s -> float_of_string s
+        | None -> 3.0
+      in
+      if speedup < floor then begin
+        Printf.printf
+          "serve-check: FAIL — warm-cache speedup %.1fx below the %.1fx \
+           floor\n"
+          speedup floor;
+        exit 1
+      end
+      else Printf.printf "serve-check: ok (floor %.1fx)\n" floor
+    end
 
 (* --- bechamel micro-benchmarks ------------------------------------------ *)
 
@@ -757,7 +974,7 @@ let usage () =
   print_endline
     "usage: main.exe [--jobs N] \
      [fig1|..|fig6|table1|table2|table3|stats|ablation-cache|ablation-refine|\
-      bechamel|json|sim|sim-check|export DIR|all]"
+      bechamel|json|sim|sim-check|serve|serve-check|export DIR|all]"
 
 let rec run_target = function
   | "fig1" -> fig1 ()
@@ -812,11 +1029,17 @@ let parse_jobs argv =
 
 let () =
   let jobs, args = parse_jobs Sys.argv in
-  Pool.set_default ~jobs;
   match args with
-  | [] -> run_target "all"
-  | [ "export"; dir ] -> export dir
-  | [ target ] -> run_target target
+  (* the serve targets fork the daemon, so they must run before this
+     process spawns any domain — the daemon child sets up its own pool *)
+  | [ "serve" ] -> bench_serve ~jobs ~check:false
+  | [ "serve-check" ] -> bench_serve ~jobs ~check:true
   | _ ->
-    usage ();
-    exit 1
+    Pool.set_default ~jobs;
+    (match args with
+     | [] -> run_target "all"
+     | [ "export"; dir ] -> export dir
+     | [ target ] -> run_target target
+     | _ ->
+       usage ();
+       exit 1)

@@ -595,6 +595,91 @@ let asm =
     (Cmd.info "asm" ~doc:"Print the compiled E32 assembly.")
     Term.(const asm_cmd $ obs_term $ source_arg)
 
+(* --- serve / query -------------------------------------------------------- *)
+
+let serve_cmd obs socket cache_dir no_cache cache_cap timeout_ms =
+  setup_obs obs;
+  let cache =
+    if no_cache then None
+    else Some (Ipet_serve.Cache.create ~dir:cache_dir ~cap_bytes:cache_cap)
+  in
+  let config =
+    { Ipet_serve.Server.socket_path = socket;
+      pool = Some (Pool.default ());
+      cache;
+      default_timeout_ms = timeout_ms;
+      max_request_bytes = 16 * 1024 * 1024 }
+  in
+  Printf.eprintf "cinderella %s serving on %s (cache: %s)\n%!"
+    Ipet_serve.Version.version socket
+    (match cache with
+     | Some c -> Ipet_serve.Cache.dir c
+     | None -> "disabled");
+  Ipet_serve.Server.run config
+
+module J = Ipet_serve.Json
+
+let query_request source_path annot_path root timeout_ms no_cache =
+  match source_path with
+  | None ->
+    Diag.fail ~code:Diag.exit_input "query needs SOURCE.mc, --op or --raw"
+  | Some path ->
+    let source = read_file path in
+    let lang = if has_suffix ~suffix:".s" path then "asm" else "mc" in
+    let options =
+      (if no_cache then [ ("use_cache", J.Bool false) ] else [])
+      @ (match timeout_ms with
+         | Some ms -> [ ("timeout_ms", J.Int ms) ]
+         | None -> [])
+    in
+    J.to_string
+      (J.Obj
+         ([ ("v", J.Int Ipet_serve.Protocol.version);
+            ("op", J.Str "analyze");
+            ("lang", J.Str lang);
+            ("source", J.Str source) ]
+          @ (match annot_path with
+             | Some p -> [ ("annotations", J.Str (read_file p)) ]
+             | None -> [])
+          @ (match root with Some r -> [ ("root", J.Str r) ] | None -> [])
+          @ (if options = [] then [] else [ ("options", J.Obj options) ])))
+
+let query_cmd socket source_path annot_path root raw op timeout_ms no_cache =
+  let line =
+    match (raw, op) with
+    | Some s, _ -> s
+    | None, Some (("hello" | "stats" | "shutdown") as op) ->
+      J.to_string
+        (J.Obj [ ("v", J.Int Ipet_serve.Protocol.version); ("op", J.Str op) ])
+    | None, Some op -> Diag.fail ~code:Diag.exit_input "unknown op %s" op
+    | None, None -> query_request source_path annot_path root timeout_ms no_cache
+  in
+  match Ipet_serve.Client.one_shot ~socket line with
+  | exception Unix.Unix_error (e, _, _) ->
+    Diag.fail ~code:Diag.exit_input "cannot reach server at %s: %s" socket
+      (Unix.error_message e)
+  | None ->
+    Diag.fail ~code:Diag.exit_analysis
+      "server closed the connection without replying"
+  | Some response ->
+    print_endline response;
+    let failure_code =
+      match J.parse response with
+      | Ok j ->
+        (match J.member "ok" j with
+         | Some (J.Bool true) -> None
+         | _ ->
+           (match
+              Option.bind
+                (Option.bind (J.member "error" j) (J.member "code"))
+                J.to_str
+            with
+            | Some ("proto" | "input") -> Some Diag.exit_input
+            | Some _ | None -> Some Diag.exit_analysis))
+      | Error _ -> Some Diag.exit_analysis
+    in
+    Option.iter exit failure_code
+
 (* --- fuzz ---------------------------------------------------------------- *)
 
 let fuzz_cmd obs seed iters no_shrink shrink_attempts quiet =
@@ -644,10 +729,67 @@ let fuzz =
     Term.(const fuzz_cmd $ obs_term $ seed_arg $ iters_arg $ no_shrink_arg
           $ shrink_attempts_arg $ quiet_arg)
 
+(* --- serve / query terms -------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(value & opt string "cinderella.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket the daemon listens on.")
+
+let cache_dir_arg =
+  Arg.(value & opt string ".cinderella-cache"
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Directory for the persistent analysis cache.")
+
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-cache" ] ~doc:"Run without the persistent result cache.")
+
+let cache_cap_arg =
+  Arg.(value & opt int (64 * 1024 * 1024)
+       & info [ "cache-cap" ] ~docv:"BYTES"
+           ~doc:"Cache size cap; least-recently-used entries are evicted.")
+
+let timeout_ms_arg =
+  Arg.(value & opt (some int) None
+       & info [ "timeout-ms" ] ~docv:"MS"
+           ~doc:"Per-request analysis deadline in milliseconds.")
+
+let serve =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the analysis daemon: line-delimited JSON requests over a \
+             unix-domain socket, with per-function incremental re-analysis \
+             backed by a persistent content-addressed cache.")
+    Term.(const serve_cmd $ obs_term $ socket_arg $ cache_dir_arg
+          $ no_cache_arg $ cache_cap_arg $ timeout_ms_arg)
+
+let query_source_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"SOURCE.mc")
+
+let raw_arg =
+  Arg.(value & opt (some string) None
+       & info [ "raw" ] ~docv:"JSON"
+           ~doc:"Send this exact request line instead of building one.")
+
+let op_arg =
+  Arg.(value & opt (some string) None
+       & info [ "op" ] ~docv:"OP"
+           ~doc:"Send a bare request: hello, stats or shutdown.")
+
+let query =
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Send one request to a running analysis daemon and print the \
+             response line. Exit status follows the response: 0 on ok, \
+             2 on protocol/input errors, 1 on analysis errors.")
+    Term.(const query_cmd $ socket_arg $ query_source_arg $ annot_arg
+          $ root_arg $ raw_arg $ op_arg $ timeout_ms_arg $ no_cache_arg)
+
 let main =
   Cmd.group
-    (Cmd.info "cinderella" ~version:"1.0"
+    (Cmd.info "cinderella" ~version:Ipet_serve.Version.version
        ~doc:"Static execution-time analysis by implicit path enumeration.")
-    [ analyze; listing; cfg; asm; sim; attribute; fuzz ]
+    [ analyze; listing; cfg; asm; sim; attribute; fuzz; serve; query ]
 
 let () = exit (Cmd.eval main)

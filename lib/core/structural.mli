@@ -24,6 +24,14 @@ val constraints :
   Ipet_isa.Prog.t -> instance list -> Ipet_lp.Lp_problem.constr list
 (** All structural constraints of the expanded program. *)
 
+val instance_constraints :
+  instance -> is_root:bool -> Ipet_lp.Lp_problem.constr list
+(** Structural constraints of a single instance: flow conservation at every
+    block, call-site f-edge coupling, and — when [is_root] — the entry edge
+    pinned to 1 (constraint (13)). Building one instance with [is_root:true]
+    and no [sites] yields the per-entry flow problem of a function in
+    isolation, the unit of the incremental server's decomposition. *)
+
 val block_sum : instance list -> func:string -> block:int -> Ipet_lp.Linexpr.t
 (** Sum of the block's count variable across every instance of [func] —
     what an unqualified [x_i] means in user constraints. *)

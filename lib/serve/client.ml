@@ -1,0 +1,50 @@
+type t = { fd : Unix.file_descr; buf : Buffer.t }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec fd;
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; buf = Buffer.create 256 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_line t line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then go (off + Unix.write t.fd b off (len - off))
+  in
+  go 0
+
+let recv_line t =
+  let chunk = Bytes.create 65536 in
+  let rec take () =
+    let content = Buffer.contents t.buf in
+    match String.index_opt content '\n' with
+    | Some nl ->
+      Buffer.clear t.buf;
+      Buffer.add_substring t.buf content (nl + 1)
+        (String.length content - nl - 1);
+      Some (String.sub content 0 nl)
+    | None ->
+      (match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+       | 0 ->
+         Buffer.clear t.buf;
+         if content = "" then None else Some content
+       | n ->
+         Buffer.add_subbytes t.buf chunk 0 n;
+         take ()
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> take ())
+  in
+  take ()
+
+let request t line =
+  send_line t line;
+  recv_line t
+
+let one_shot ~socket line =
+  let t = connect socket in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> request t line)

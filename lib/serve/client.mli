@@ -1,0 +1,23 @@
+(** Minimal blocking client for the serve protocol — used by
+    [cinderella query], the load generator and the tests. *)
+
+type t
+
+val connect : string -> t
+(** Connect to the daemon's unix-domain socket.
+    @raise Unix.Unix_error when the daemon isn't there. *)
+
+val close : t -> unit
+
+val send_line : t -> string -> unit
+(** Write one request line (newline appended). *)
+
+val recv_line : t -> string option
+(** Read the next response line; [None] when the server closed the
+    connection. *)
+
+val request : t -> string -> string option
+(** [send_line] then [recv_line]. *)
+
+val one_shot : socket:string -> string -> string option
+(** Connect, exchange a single request/response, disconnect. *)

@@ -1,0 +1,54 @@
+(** Incremental (cache-aware) analysis for the server.
+
+    The monolithic {!Ipet.Analysis.analyze} expands every call path and
+    solves one whole-program ILP — the right shape for a one-shot CLI run,
+    the wrong shape for a daemon asked to re-analyze a program after a
+    one-function edit. This module decomposes the analysis into {e units}
+    keyed by {!Key} and persists each unit's result in a {!Cache}:
+
+    - {b per-function units} (the common case): every function reachable
+      from the root is solved in isolation with its entry edge pinned to 1,
+      callees before callers; a call block's objective coefficient folds in
+      the callee's per-entry extreme, so the root's per-entry bound is the
+      whole-program bound. Because loop-bound constraints are homogeneous
+      in the entry count ([lo·e ≤ iter ≤ hi·e]), the per-entry polytope of
+      a function instance is the projection of the monolithic one — the
+      decomposition reproduces the monolithic bounds exactly whenever the
+      monolithic ILP decomposes by instance (empirically: on the whole
+      benchmark suite the two agree). A request that edits one function
+      re-solves only the units whose keys changed — typically exactly one.
+    - {b one whole-program unit} (fallback): functionality constraints and
+      the first-miss refinement couple flow variables across functions, so
+      those requests run the monolithic analysis and cache it as a single
+      unit keyed by {!Key.program_key}.
+
+    Witness counts are aggregated callers-first: a function's per-entry
+    witness counts are scaled by the number of entries its callers'
+    witnesses induce. All report content is deterministic — a warm re-run
+    of an identical request is byte-identical to the cold run. *)
+
+exception Timeout
+(** Raised (between unit solves — cooperative, never mid-simplex) when the
+    [deadline] passes. *)
+
+type stats = {
+  units_total : int;   (** analysis units this request decomposed into *)
+  units_cached : int;  (** served from the cache *)
+  units_solved : int;  (** actually (re-)solved *)
+  ilp_solves : int;    (** ILP solver invocations performed *)
+}
+
+val analyze :
+  ?pool:Ipet_par.Pool.t ->
+  ?cache:Cache.t ->
+  ?deadline:float ->
+  Ipet.Analysis.spec ->
+  Json.t * stats
+(** Analyze a request, consulting and filling [cache] (no caching when
+    omitted). [deadline] is an absolute {!Unix.gettimeofday} instant. The
+    returned JSON is the report — schema, root, unit kind, [bcet]/[wcet]
+    cycles, witness counts and binding constraints per extreme, and the
+    per-unit summary table (name, key, per-entry bounds, entry counts).
+    @raise Ipet.Analysis.Analysis_error as the monolithic analysis would
+    (missing loop bounds, infeasible constraint sets, ...).
+    @raise Timeout when the deadline passes. *)

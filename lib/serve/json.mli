@@ -1,0 +1,37 @@
+(** Minimal JSON values for the serve protocol: a parser and a
+    deterministic printer, with no dependency beyond the stdlib.
+
+    The printer is the inverse of the parser on the supported value space
+    and renders object fields in the order given — responses built from
+    the same data are byte-identical, which the cold/warm determinism
+    guarantee of the analysis cache relies on. Integers are kept distinct
+    from floats so execution counts round-trip exactly through cache
+    files. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** One JSON document; trailing whitespace allowed, anything else after
+    the value is an error. Numbers without [.], [e] or [E] parse as
+    {!Int}. Nesting depth is capped (malformed input cannot blow the
+    stack). *)
+
+val to_string : t -> string
+(** Compact rendering (no added whitespace), object fields in order. *)
+
+(** {1 Accessors} (all total; [None] on shape mismatch) *)
+
+val member : string -> t -> t option
+(** Field of an {!Obj}; [None] for absent fields and non-objects. *)
+
+val to_str : t -> string option
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_list : t -> t list option

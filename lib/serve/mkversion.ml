@@ -1,0 +1,18 @@
+(* Build-time helper: extract the (version X) stanza from dune-project and
+   print it as an OCaml module. Run by the dune rule in this directory. *)
+let () =
+  let ic = open_in Sys.argv.(1) in
+  let version = ref "dev" in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       let prefix = "(version " in
+       let np = String.length prefix in
+       if
+         String.length line > np + 1
+         && String.sub line 0 np = prefix
+         && line.[String.length line - 1] = ')'
+       then version := String.trim (String.sub line np (String.length line - np - 1))
+     done
+   with End_of_file -> close_in ic);
+  Printf.printf "let version = %S\n" !version

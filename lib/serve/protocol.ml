@@ -1,0 +1,234 @@
+module Frontend = Ipet_lang.Frontend
+module Compile = Ipet_lang.Compile
+module Icache = Ipet_machine.Icache
+module P = Ipet_isa.Prog
+module Obs = Ipet_obs.Obs
+
+type config = {
+  pool : Ipet_par.Pool.t option;
+  cache : Cache.t option;
+  default_timeout_ms : int option;
+}
+
+type outcome = Continue | Shutdown
+
+let version = 1
+
+exception Reject of string * string  (* code, message *)
+
+let reject code fmt = Printf.ksprintf (fun m -> raise (Reject (code, m))) fmt
+
+let error_response ?id code message =
+  Json.Obj
+    ((match id with Some id -> [ ("id", id) ] | None -> [])
+     @ [ ("ok", Json.Bool false);
+         ( "error",
+           Json.Obj
+             [ ("code", Json.Str code); ("message", Json.Str message) ] ) ])
+
+let ok_response ?id op fields =
+  Json.Obj
+    ((match id with Some id -> [ ("id", id) ] | None -> [])
+     @ [ ("ok", Json.Bool true); ("op", Json.Str op) ]
+     @ fields)
+
+(* --- request field access ------------------------------------------------ *)
+
+let str_field req name =
+  Option.bind (Json.member name req) Json.to_str
+
+let require_str req name =
+  match str_field req name with
+  | Some s -> s
+  | None -> reject "proto" "missing string field %S" name
+
+let opt_int j name = Option.bind (Json.member name j) Json.to_int
+let opt_bool j name = Option.bind (Json.member name j) Json.to_bool
+
+(* --- analyze ------------------------------------------------------------- *)
+
+let parse_icache options =
+  match Option.bind options (Json.member "icache") with
+  | None -> Icache.i960kb
+  | Some j ->
+    (match (opt_int j "size_bytes", opt_int j "line_bytes",
+            opt_int j "miss_penalty")
+     with
+     | Some size_bytes, Some line_bytes, Some miss_penalty ->
+       { Icache.size_bytes; line_bytes; miss_penalty }
+     | _ ->
+       reject "proto"
+         "icache needs integer size_bytes, line_bytes, miss_penalty")
+
+(* In-memory memo of compiled programs: an editor-driven client resends the
+   same (or a near-identical) source on every keystroke, and compilation is
+   pure, so keying on the digest of (lang, source) is exact. Bounded by a
+   full reset — the memo is a throughput aid, not a store. *)
+let compile_memo : (string, P.t) Hashtbl.t = Hashtbl.create 16
+let compile_memo_cap = 64
+
+let compile_uncached ~lang source =
+  match lang with
+  | "mc" ->
+    (match Frontend.compile_string source with
+     | Ok compiled -> compiled.Compile.prog
+     | Error { Frontend.message; line } ->
+       reject "input" "line %d: %s" line message)
+  | "asm" ->
+    (match Ipet_isa.Asm_parser.parse source with
+     | prog -> prog
+     | exception Ipet_isa.Asm_parser.Error (message, line) ->
+       reject "input" "line %d: %s" line message)
+  | lang -> reject "proto" "unknown lang %S (expected \"mc\" or \"asm\")" lang
+
+let compile_source ~lang source =
+  let key = Digest.string (lang ^ "\x00" ^ source) in
+  match Hashtbl.find_opt compile_memo key with
+  | Some prog -> prog
+  | None ->
+    let prog = compile_uncached ~lang source in
+    if Hashtbl.length compile_memo >= compile_memo_cap then
+      Hashtbl.reset compile_memo;
+    Hashtbl.add compile_memo key prog;
+    prog
+
+let parse_annotations req =
+  match str_field req "annotations" with
+  | None ->
+    { Ipet.Constraint_parser.root = None; loop_bounds = []; functional = [] }
+  | Some text ->
+    (match Ipet.Constraint_parser.parse_annotation_text text with
+     | a -> a
+     | exception Ipet.Constraint_parser.Parse_error msg ->
+       reject "input" "%s" msg)
+
+let analyze config req =
+  let source = require_str req "source" in
+  let lang = Option.value ~default:"mc" (str_field req "lang") in
+  let options = Json.member "options" req in
+  let annotations = parse_annotations req in
+  let root =
+    match (str_field req "root", annotations.Ipet.Constraint_parser.root) with
+    | Some r, _ -> r
+    | None, Some r -> r
+    | None, None ->
+      reject "input"
+        "no analysis root: pass \"root\" or add a 'root' line to the \
+         annotations"
+  in
+  let prog = compile_source ~lang source in
+  if P.find_func_opt prog root = None then
+    reject "input" "unknown function %s" root;
+  let cache_config = parse_icache options in
+  let first_miss =
+    Option.value ~default:false
+      (Option.bind options (fun o -> opt_bool o "first_miss"))
+  in
+  let use_cache =
+    Option.value ~default:true
+      (Option.bind options (fun o -> opt_bool o "use_cache"))
+  in
+  let timeout_ms =
+    match Option.bind options (fun o -> opt_int o "timeout_ms") with
+    | Some ms -> Some ms
+    | None -> config.default_timeout_ms
+  in
+  let spec =
+    Ipet.Analysis.spec ~cache:cache_config
+      ~loop_bounds:annotations.Ipet.Constraint_parser.loop_bounds
+      ~functional:annotations.Ipet.Constraint_parser.functional
+      ~first_miss_refinement:first_miss ~root prog
+  in
+  let deadline =
+    Option.map (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+      timeout_ms
+  in
+  let cache = if use_cache then config.cache else None in
+  let t0 = Unix.gettimeofday () in
+  let report, stats =
+    match
+      Obs.span "serve.analyze" ~args:[ ("root", root) ] (fun () ->
+          Incremental.analyze ?pool:config.pool ?cache ?deadline spec)
+    with
+    | result -> result
+    | exception Incremental.Timeout ->
+      reject "timeout" "analysis exceeded %d ms"
+        (Option.value ~default:0 timeout_ms)
+    | exception Ipet.Analysis.Analysis_error msg ->
+      reject "analysis" "analysis error: %s" msg
+    | exception Ipet.Functional.Resolution_error msg ->
+      reject "input" "constraint error: %s" msg
+    | exception Ipet.Annotation.Bad_annotation msg ->
+      reject "input" "annotation error: %s" msg
+  in
+  let wall_ms =
+    int_of_float (Float.round ((Unix.gettimeofday () -. t0) *. 1000.))
+  in
+  [ ("report", report);
+    ( "stats",
+      Json.Obj
+        [ ("units_total", Json.Int stats.Incremental.units_total);
+          ("units_cached", Json.Int stats.Incremental.units_cached);
+          ("units_solved", Json.Int stats.Incremental.units_solved);
+          ("ilp_solves", Json.Int stats.Incremental.ilp_solves);
+          ("wall_ms", Json.Int wall_ms) ] ) ]
+
+(* --- dispatch ------------------------------------------------------------ *)
+
+let cache_stats_json = function
+  | None -> Json.Null
+  | Some cache ->
+    let s = Cache.stats cache in
+    Json.Obj
+      [ ("dir", Json.Str (Cache.dir cache));
+        ("cap_bytes", Json.Int (Cache.cap_bytes cache));
+        ("entries", Json.Int s.Cache.entries);
+        ("bytes", Json.Int s.Cache.bytes);
+        ("hits", Json.Int s.Cache.hits);
+        ("misses", Json.Int s.Cache.misses);
+        ("evictions", Json.Int s.Cache.evictions) ]
+
+let hello_fields =
+  [ ("server", Json.Str "cinderella");
+    ("version", Json.Str Version.version);
+    ("protocol", Json.Int version);
+    ("key_schema", Json.Int Key.schema) ]
+
+let handle_request config req =
+  match Json.member "v" req with
+  | Some (Json.Int v) when v = version ->
+    let id = Json.member "id" req in
+    (match str_field req "op" with
+     | Some "hello" -> (ok_response ?id "hello" hello_fields, Continue)
+     | Some "analyze" ->
+       Obs.add "serve.requests.analyze" 1;
+       (ok_response ?id "analyze" (analyze config req), Continue)
+     | Some "stats" ->
+       ( ok_response ?id "stats"
+           [ ("cache", cache_stats_json config.cache) ],
+         Continue )
+     | Some "shutdown" -> (ok_response ?id "shutdown" [], Shutdown)
+     | Some op -> reject "proto" "unknown op %S" op
+     | None -> reject "proto" "missing string field \"op\"")
+  | Some (Json.Int v) ->
+    reject "proto" "unsupported protocol version %d (server speaks %d)" v
+      version
+  | Some _ | None -> reject "proto" "missing integer field \"v\""
+
+let handle_line config line =
+  let id, result =
+    match Json.parse line with
+    | Error msg -> (None, Error ("proto", "bad JSON: " ^ msg))
+    | Ok req ->
+      let id = Json.member "id" req in
+      (match handle_request config req with
+       | response -> (id, Ok response)
+       | exception Reject (code, message) -> (id, Error (code, message))
+       | exception exn ->
+         (id, Error ("internal", Printexc.to_string exn)))
+  in
+  match result with
+  | Ok (response, outcome) -> (Json.to_string response, outcome)
+  | Error (code, message) ->
+    Obs.add "serve.requests.errors" 1;
+    (Json.to_string (error_response ?id code message), Continue)

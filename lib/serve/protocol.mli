@@ -1,0 +1,43 @@
+(** The serve wire protocol, version 1.
+
+    Transport is line-delimited JSON over a unix-domain socket: one request
+    per line, one response line per request, in order. Every request is an
+    object with ["v"] (protocol version, currently [1]) and ["op"], plus an
+    optional ["id"] echoed verbatim in the response so clients can multiplex.
+
+    Operations:
+    - [hello] — handshake; returns server name, {!Version.version},
+      protocol version and cache-key {!Key.schema};
+    - [analyze] — ["source"] (MC program text, or an assembly listing when
+      ["lang"] is ["asm"]), optional ["annotations"] (annotation-file text:
+      [root]/[loop]/[constr] lines), optional ["root"] override, optional
+      ["options"] object: [use_cache] (default true), [timeout_ms],
+      [first_miss] (first-miss refinement), [icache]
+      [{size_bytes, line_bytes, miss_penalty}] (default the paper's i960KB
+      configuration);
+    - [stats] — server counters and cache occupancy;
+    - [shutdown] — acknowledge, then the server exits gracefully.
+
+    A success response is [{"ok": true, "op": ..., ...}]; a failure is
+    [{"ok": false, "error": {"code", "message"}}] with code [proto]
+    (malformed JSON / unknown op / bad version), [input] (program or
+    annotations don't parse, unknown root — the CLI's exit-2 class),
+    [analysis] (the analysis itself failed — exit-1 class), [timeout], or
+    [internal]. A request failure never terminates the server. *)
+
+type config = {
+  pool : Ipet_par.Pool.t option;  (** shared solver pool *)
+  cache : Cache.t option;         (** [None]: caching disabled *)
+  default_timeout_ms : int option;
+      (** applied to analyze requests that don't set [timeout_ms] *)
+}
+
+type outcome = Continue | Shutdown
+
+val handle_line : config -> string -> string * outcome
+(** Process one request line, returning the response line (no trailing
+    newline) and whether the server should keep going. Total: every
+    exception is mapped to an error response. *)
+
+val version : int
+(** Protocol version this server speaks. *)

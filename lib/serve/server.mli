@@ -1,0 +1,29 @@
+(** The analysis daemon: a single-threaded accept/select loop over a
+    unix-domain socket, speaking {!Protocol} version 1.
+
+    Requests on one connection are served in order; connections are
+    multiplexed, so a slow analysis on one connection delays others (the
+    solver itself still fans out across the shared domain pool). A
+    malformed or failing request produces an error response on its own
+    connection and nothing else — the daemon never dies with a client.
+
+    Shutdown is graceful on SIGINT, SIGTERM or a [shutdown] request:
+    in-flight responses are written, the socket file is unlinked, the
+    cache index is flushed, and [run] returns (letting the caller's
+    [at_exit] observability sinks render). SIGPIPE is ignored; a client
+    that disappears mid-response just loses the response. *)
+
+type config = {
+  socket_path : string;
+  pool : Ipet_par.Pool.t option;
+  cache : Cache.t option;
+  default_timeout_ms : int option;
+  max_request_bytes : int;
+      (** a connection whose pending line exceeds this is sent a [proto]
+          error and closed (guards daemon memory against a stuck or
+          malicious writer) *)
+}
+
+val run : config -> unit
+(** Bind [socket_path] (replacing a stale socket file), serve until told to
+    stop, clean up. @raise Unix.Unix_error if the socket cannot be bound. *)

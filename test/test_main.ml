@@ -22,4 +22,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("par", Test_par.suite);
       ("solver_oracle", Test_solver_oracle.suite);
+      ("serve", Test_serve.suite);
       ("golden", Test_golden.suite) ]

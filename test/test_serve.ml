@@ -1,0 +1,506 @@
+(* The serve subsystem: JSON wire format, content-addressed cache keys
+   (the single-edit invalidation property over the fuzz generator), the
+   incremental engine against the monolithic analysis, cold/warm report
+   identity, LRU eviction, the request protocol, and a spawned-daemon
+   socket round trip. *)
+
+module J = Ipet_serve.Json
+module Key = Ipet_serve.Key
+module Cache = Ipet_serve.Cache
+module Incr = Ipet_serve.Incremental
+module Protocol = Ipet_serve.Protocol
+module Client = Ipet_serve.Client
+module A = Ipet.Analysis
+module P = Ipet_isa.Prog
+module Instr = Ipet_isa.Instr
+module Layout = Ipet_isa.Layout
+module Cost = Ipet_machine.Cost
+module Icache = Ipet_machine.Icache
+module Compile = Ipet_lang.Compile
+module Frontend = Ipet_lang.Frontend
+module Gen = Ipet_fuzz.Gen
+module Render = Ipet_fuzz.Render
+module Bspec = Ipet_suite.Bspec
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let tmp_counter = ref 0
+
+let tmp_dir prefix =
+  incr tmp_counter;
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) !tmp_counter)
+  in
+  if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+  d
+
+(* --- JSON ----------------------------------------------------------------- *)
+
+let roundtrip v =
+  match J.parse (J.to_string v) with
+  | Ok v' -> v' = v
+  | Error _ -> false
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [ ("null", J.Null);
+        ("bools", J.List [ J.Bool true; J.Bool false ]);
+        ("ints", J.List [ J.Int 0; J.Int (-7); J.Int max_int; J.Int min_int ]);
+        ("floats", J.List [ J.Float 1.5; J.Float (-0.125); J.Float 1e100 ]);
+        ("str", J.Str "line\nbreak \"quoted\" \\ tab\t control\x01 utf8 \xc3\xa9");
+        ("nested", J.Obj [ ("empty_list", J.List []); ("empty_obj", J.Obj []) ]) ]
+  in
+  check_bool "compound value survives a print/parse round trip" true
+    (roundtrip v);
+  (* ints and floats stay distinct *)
+  check_bool "int is parsed as Int" true (J.parse "42" = Ok (J.Int 42));
+  check_bool "exponent is parsed as Float" true
+    (J.parse "1e2" = Ok (J.Float 100.0));
+  (* unicode escapes, including a surrogate pair *)
+  check_bool "\\u escape decodes to UTF-8" true
+    (J.parse {|"\u00e9 \ud83d\ude00"|} = Ok (J.Str "\xc3\xa9 \xf0\x9f\x98\x80"))
+
+let test_json_errors () =
+  let rejects s = match J.parse s with Ok _ -> false | Error _ -> true in
+  List.iter
+    (fun s -> check_bool (Printf.sprintf "rejects %S" s) true (rejects s))
+    [ ""; "nul"; "{"; "[1,]"; "{\"a\":}"; "\"unterminated"; "1 2";
+      "{\"a\":1}garbage"; "\"\\q\""; "\"\xc3"; "\"\\ud800\"";
+      String.make 600 '[' ^ String.make 600 ']' ]
+
+let json_gen =
+  let open QCheck.Gen in
+  sized
+  @@ fix (fun self n ->
+    let leaf =
+      oneof
+        [ return J.Null;
+          map (fun b -> J.Bool b) bool;
+          map (fun i -> J.Int i) int;
+          map (fun s -> J.Str s) (string_size (int_bound 12));
+          (* odd/8 is never integral, so the printer can't collapse the
+             float to an int literal (huge integral floats would re-parse
+             as Int; real reports only carry ints) *)
+          map
+            (fun i -> J.Float (float_of_int ((2 * i) + 1) /. 8.0))
+            (int_bound 1_000_000) ]
+    in
+    if n = 0 then leaf
+    else
+      oneof
+        [ leaf;
+          map (fun l -> J.List l) (list_size (int_bound 4) (self (n / 2)));
+          map
+            (fun l -> J.Obj l)
+            (list_size (int_bound 4)
+               (pair (string_size (int_bound 8)) (self (n / 2)))) ])
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"random values survive a print/parse round trip"
+    ~count:200 (QCheck.make json_gen) roundtrip
+
+(* --- cache keys ----------------------------------------------------------- *)
+
+let compile_case seed =
+  let case = Gen.case seed in
+  match Frontend.compile_string (Render.program case.Gen.prog) with
+  | Ok compiled -> (case.Gen.cache, compiled.Compile.prog)
+  | Error { Frontend.message; _ } ->
+    Alcotest.failf "fuzz case %d does not compile: %s" seed message
+
+(* bump the first integer-immediate ALU operand found in the function *)
+let mutate_imm (f : P.func) =
+  let changed = ref false in
+  let blocks =
+    Array.map
+      (fun (b : P.block) ->
+        { b with
+          P.instrs =
+            Array.map
+              (fun i ->
+                if !changed then i
+                else
+                  match i with
+                  | Instr.Alu (op, r, a, Instr.Imm n) ->
+                    changed := true;
+                    Instr.Alu (op, r, a, Instr.Imm (n + 1))
+                  | i -> i)
+              b.P.instrs })
+      f.P.blocks
+  in
+  if !changed then Some { f with P.blocks = blocks } else None
+
+(* distinct serializations must have distinct digests (and identical
+   serializations identical digests) across everything the run hashes *)
+let seen_keys : (string, string) Hashtbl.t = Hashtbl.create 64
+
+let record_key bytes key =
+  (match Hashtbl.find_opt seen_keys key with
+   | Some bytes' ->
+     check_string "equal keys imply equal serializations" bytes' bytes
+   | None -> Hashtbl.add seen_keys key bytes);
+  key
+
+let func_key_checked ~cache ~costs f =
+  let bytes =
+    Key.func_bytes ~cache ~dcache:None ~costs ~annotations:[] ~callees:[] f
+  in
+  record_key bytes
+    (Key.func_key ~cache ~dcache:None ~costs ~annotations:[] ~callees:[] f)
+
+(* the single-edit property: changing one immediate in one function changes
+   that function's key and nobody else's *)
+let prop_single_edit_invalidation =
+  QCheck.Test.make
+    ~name:"an immediate edit invalidates exactly the edited function's key"
+    ~count:25
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let cache, prog = compile_case seed in
+      let layout = Layout.make prog in
+      let costs f = Cost.func_bounds ~prog cache layout f in
+      let keys =
+        Array.map
+          (fun f -> (f, func_key_checked ~cache ~costs:(costs f) f))
+          prog.P.funcs
+      in
+      match List.find_map mutate_imm (Array.to_list prog.P.funcs) with
+      | None -> true (* no immediate anywhere: nothing to edit *)
+      | Some mutated ->
+        Array.for_all
+          (fun ((f : P.func), key) ->
+            if f.P.name = mutated.P.name then
+              (* same block structure, same costs — only the compiled
+                 bytes change the key *)
+              func_key_checked ~cache ~costs:(costs f) mutated <> key
+            else func_key_checked ~cache ~costs:(costs f) f = key)
+          keys)
+
+let test_key_callee_interval () =
+  let _, prog = compile_case 3 in
+  let cache = Icache.i960kb in
+  let layout = Layout.make prog in
+  let f = prog.P.funcs.(0) in
+  let costs = Cost.func_bounds ~prog cache layout f in
+  let key callees =
+    Key.func_key ~cache ~dcache:None ~costs ~annotations:[] ~callees f
+  in
+  check_bool "callee interval is part of the key" true
+    (key [ ("g", 10, 2) ] <> key [ ("g", 11, 2) ]);
+  check_bool "same callee intervals, same key" true
+    (key [ ("g", 10, 2) ] = key [ ("g", 10, 2) ])
+
+(* --- incremental vs monolithic ------------------------------------------- *)
+
+let bounds_of_report rep =
+  match
+    ( Option.bind (J.member "bcet" rep) J.to_int,
+      Option.bind (J.member "wcet" rep) J.to_int )
+  with
+  | Some b, Some w -> (b, w)
+  | _ -> Alcotest.fail "report lacks integer bcet/wcet"
+
+let test_matches_monolithic () =
+  List.iter
+    (fun name ->
+      let spec = Bspec.spec (Ipet_suite.Suite.find name) in
+      (* the per-function decomposition path: these benchmarks carry no
+         functionality constraints *)
+      let spec = { spec with A.functional = [] } in
+      let mono = A.estimated_bound spec in
+      let rep, stats = Incr.analyze spec in
+      Alcotest.(check (pair int int))
+        (name ^ ": incremental bounds equal the monolithic analysis")
+        mono (bounds_of_report rep);
+      check_bool (name ^ ": decomposed per function") true
+        (stats.Incr.units_total > 0
+         && J.member "unit" rep = Some (J.Str "func")))
+    [ "circle"; "line"; "des"; "recon" ]
+
+let test_functional_fallback () =
+  (* check_data's functionality constraints couple functions, so the
+     incremental engine must fall back to one whole-program unit — and
+     still reproduce the monolithic bounds *)
+  let spec = Bspec.spec (Ipet_suite.Suite.find "check_data") in
+  let mono = A.estimated_bound spec in
+  let rep, stats = Incr.analyze spec in
+  Alcotest.(check (pair int int))
+    "fallback bounds equal the monolithic analysis" mono
+    (bounds_of_report rep);
+  check_bool "analyzed as a single program unit" true
+    (J.member "unit" rep = Some (J.Str "program") && stats.Incr.units_total = 1)
+
+(* --- cold/warm cache behavior -------------------------------------------- *)
+
+let test_cold_warm_identical () =
+  let spec = Bspec.spec (Ipet_suite.Suite.find "des") in
+  let spec = { spec with A.functional = [] } in
+  let cache =
+    Cache.create ~dir:(tmp_dir "serve-coldwarm") ~cap_bytes:(16 * 1024 * 1024)
+  in
+  let uncached, _ = Incr.analyze spec in
+  let cold, cold_stats = Incr.analyze ~cache spec in
+  let warm, warm_stats = Incr.analyze ~cache spec in
+  check_string "cached report is byte-identical to the uncached one"
+    (J.to_string uncached) (J.to_string cold);
+  check_string "warm report is byte-identical to the cold one"
+    (J.to_string cold) (J.to_string warm);
+  check_bool "cold run solved every unit" true
+    (cold_stats.Incr.units_solved = cold_stats.Incr.units_total
+     && cold_stats.Incr.ilp_solves > 0);
+  check_int "warm run solved nothing" 0 warm_stats.Incr.units_solved;
+  check_int "warm run invoked no solver" 0 warm_stats.Incr.ilp_solves
+
+(* a two-function program whose leaf we can edit without changing its
+   per-entry interval (addition costs the same whatever the immediate) *)
+let edit_source imm =
+  Printf.sprintf
+    {|int leaf(int x) {
+  return (x + %d);
+}
+
+int main(int n) {
+  int acc = 0;
+  int i;
+  for (i = 0; i < 8; i = i + 1) {
+    acc = acc + leaf(i);
+  }
+  return acc;
+}
+|}
+    imm
+
+let edit_spec source =
+  match Frontend.compile_string source with
+  | Error _ -> Alcotest.fail "edit example does not compile"
+  | Ok compiled ->
+    let line = Bspec.line_containing ~source "for (" in
+    A.spec
+      ~loop_bounds:[ Ipet.Annotation.loop ~func:"main" ~line ~lo:8 ~hi:8 ]
+      ~root:"main" compiled.Compile.prog
+
+let test_one_function_edit () =
+  let cache =
+    Cache.create ~dir:(tmp_dir "serve-edit") ~cap_bytes:(16 * 1024 * 1024)
+  in
+  let _, cold = Incr.analyze ~cache (edit_spec (edit_source 3)) in
+  check_int "cold run solves both functions" 2 cold.Incr.units_solved;
+  (* a size-preserving, timing-neutral edit to leaf: x+3 -> x+5 keeps
+     leaf's interval, so main's key (costs + callee intervals) is
+     unchanged and only leaf is re-solved *)
+  let _, incr = Incr.analyze ~cache (edit_spec (edit_source 5)) in
+  check_int "the edit re-solves only the edited function" 1
+    incr.Incr.units_solved;
+  check_int "the caller is served from the cache" 1 incr.Incr.units_cached;
+  let _, warm = Incr.analyze ~cache (edit_spec (edit_source 5)) in
+  check_int "repeating the edited request solves nothing" 0
+    warm.Incr.units_solved
+
+(* --- LRU eviction --------------------------------------------------------- *)
+
+let test_lru_eviction () =
+  let dir = tmp_dir "serve-lru" in
+  let k i = Digest.to_hex (Digest.string (string_of_int i)) in
+  let payload i =
+    J.Obj [ ("n", J.Int i); ("pad", J.Str (String.make 40 'x')) ]
+  in
+  let entry_bytes = String.length (J.to_string (payload 0)) in
+  let cache = Cache.create ~dir ~cap_bytes:(2 * entry_bytes) in
+  Cache.put cache (k 1) (payload 1);
+  Cache.put cache (k 2) (payload 2);
+  (* refresh 1 so 2 is now least recently used *)
+  check_bool "k1 present" true (Cache.get cache (k 1) <> None);
+  Cache.put cache (k 3) (payload 3);
+  let s = Cache.stats cache in
+  check_int "one entry was evicted" 1 s.Cache.evictions;
+  check_int "two entries remain" 2 s.Cache.entries;
+  check_bool "the least-recently-used entry went" true
+    (Cache.get cache (k 2) = None);
+  check_bool "the refreshed entry stayed" true (Cache.get cache (k 1) <> None);
+  (* recency and entries survive a restart via the index file *)
+  let reopened = Cache.create ~dir ~cap_bytes:(2 * entry_bytes) in
+  check_int "reopened cache sees the surviving entries" 2
+    (Cache.stats reopened).Cache.entries;
+  check_bool "entries are readable after reopen" true
+    (Cache.get reopened (k 3) = Some (payload 3))
+
+(* --- protocol ------------------------------------------------------------- *)
+
+let pconfig = { Protocol.pool = None; cache = None; default_timeout_ms = None }
+
+let response_code response =
+  match J.parse response with
+  | Error _ -> Alcotest.failf "unparsable response: %s" response
+  | Ok j ->
+    (match J.member "ok" j with
+     | Some (J.Bool true) -> "ok"
+     | _ ->
+       (match
+          Option.bind
+            (Option.bind (J.member "error" j) (J.member "code"))
+            J.to_str
+        with
+        | Some code -> code
+        | None -> Alcotest.failf "error without code: %s" response))
+
+let analyze_request ?(extra = []) source =
+  J.to_string
+    (J.Obj
+       ([ ("v", J.Int Protocol.version);
+          ("op", J.Str "analyze");
+          ("source", J.Str source) ]
+        @ extra))
+
+let test_protocol_errors () =
+  let code line =
+    let response, outcome = Protocol.handle_line pconfig line in
+    check_bool "errors never stop the server" true
+      (outcome = Protocol.Continue);
+    response_code response
+  in
+  check_string "garbage" "proto" (code "this is not json");
+  check_string "missing v" "proto" (code {|{"op":"hello"}|});
+  check_string "future version" "proto" (code {|{"v":99,"op":"hello"}|});
+  check_string "unknown op" "proto" (code {|{"v":1,"op":"frobnicate"}|});
+  check_string "analyze without source" "proto"
+    (code {|{"v":1,"op":"analyze"}|});
+  check_string "unparsable source" "input"
+    (code (analyze_request "int main( {"));
+  check_string "no root" "input"
+    (code (analyze_request "int f() {\n  return 1;\n}\n"));
+  check_string "unknown root" "input"
+    (code
+       (analyze_request "int f() {\n  return 1;\n}\n"
+          ~extra:[ ("root", J.Str "g") ]));
+  check_string "bad annotations" "input"
+    (code
+       (analyze_request "int main() {\n  return 1;\n}\n"
+          ~extra:[ ("annotations", J.Str "loop main oops") ]));
+  check_string "missing loop bound" "analysis"
+    (code
+       (analyze_request
+          "int main(int n) {\n\
+           \  int i;\n\
+           \  for (i = 0; i < n; i = i + 1) {\n\
+           \  }\n\
+           \  return i;\n\
+           }\n"
+          ~extra:[ ("root", J.Str "main") ]));
+  check_string "zero deadline" "timeout"
+    (code
+       (analyze_request "int main() {\n  return 1;\n}\n"
+          ~extra:
+            [ ("root", J.Str "main");
+              ("options", J.Obj [ ("timeout_ms", J.Int 0) ]) ]))
+
+let edit_annotations = "root main\nloop main 8 8 8\n"
+
+let test_protocol_requests () =
+  let handle line = Protocol.handle_line pconfig line in
+  let hello, outcome = handle {|{"v":1,"op":"hello","id":7}|} in
+  check_bool "hello continues" true (outcome = Protocol.Continue);
+  (match J.parse hello with
+   | Ok j ->
+     check_bool "hello reports the build version" true
+       (J.member "version" j = Some (J.Str Ipet_serve.Version.version));
+     check_bool "hello echoes the id" true (J.member "id" j = Some (J.Int 7))
+   | Error _ -> Alcotest.fail "unparsable hello");
+  let response, _ =
+    handle
+      (analyze_request (edit_source 3)
+         ~extra:[ ("annotations", J.Str edit_annotations) ])
+  in
+  check_string "analyze succeeds" "ok" (response_code response);
+  (match J.parse response with
+   | Ok j ->
+     let report = Option.get (J.member "report" j) in
+     check_bool "report has a positive wcet" true
+       (match bounds_of_report report with b, w -> b > 0 && w >= b)
+   | Error _ -> Alcotest.fail "unparsable analyze response");
+  let _, outcome = handle {|{"v":1,"op":"shutdown"}|} in
+  check_bool "shutdown stops the server" true (outcome = Protocol.Shutdown)
+
+(* --- spawned daemon over a real socket ------------------------------------ *)
+
+let await_file path =
+  let rec go tries =
+    if Sys.file_exists path then ()
+    else if tries = 0 then Alcotest.failf "%s never appeared" path
+    else begin
+      ignore (Unix.select [] [] [] 0.1);
+      go (tries - 1)
+    end
+  in
+  go 100
+
+let test_socket_e2e () =
+  (* the test binary lives in _build/default/test, the daemon next door *)
+  let exe =
+    Filename.concat (Filename.dirname Sys.executable_name)
+      "../bin/cinderella.exe"
+  in
+  let dir = tmp_dir "serve-e2e" in
+  let socket = Filename.concat dir "serve.sock" in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process exe
+      [| exe; "serve"; "--socket"; socket; "--cache-dir";
+         Filename.concat dir "cache"; "-j"; "1" |]
+      devnull devnull devnull
+  in
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      (* idempotent: the normal path has already reaped the daemon *)
+      try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+    (fun () ->
+      await_file socket;
+      let t = Client.connect socket in
+      check_string "handshake" "ok"
+        (response_code
+           (Option.get (Client.request t {|{"v":1,"op":"hello"}|})));
+      (* a malformed request neither kills the daemon nor the connection *)
+      check_string "malformed request on a live connection" "proto"
+        (response_code (Option.get (Client.request t "garbage")));
+      check_string "the same connection still works" "ok"
+        (response_code
+           (Option.get
+              (Client.request t
+                 (analyze_request (edit_source 3)
+                    ~extra:[ ("annotations", J.Str edit_annotations) ]))));
+      Client.close t;
+      check_string "shutdown request" "ok"
+        (response_code
+           (Option.get (Client.one_shot ~socket {|{"v":1,"op":"shutdown"}|})));
+      (match Unix.waitpid [] pid with
+       | _, Unix.WEXITED 0 -> ()
+       | _ -> Alcotest.fail "daemon did not exit cleanly");
+      check_bool "socket file was removed" false (Sys.file_exists socket))
+
+let suite =
+  [ Alcotest.test_case "json: compound round trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json: malformed inputs are rejected" `Quick
+      test_json_errors;
+    QCheck_alcotest.to_alcotest prop_json_roundtrip;
+    QCheck_alcotest.to_alcotest prop_single_edit_invalidation;
+    Alcotest.test_case "key: callee intervals are hashed" `Quick
+      test_key_callee_interval;
+    Alcotest.test_case "incremental bounds match the monolithic analysis"
+      `Quick test_matches_monolithic;
+    Alcotest.test_case "functionality constraints fall back to one unit"
+      `Quick test_functional_fallback;
+    Alcotest.test_case "cold and warm reports are byte-identical" `Quick
+      test_cold_warm_identical;
+    Alcotest.test_case "a one-function edit re-solves one function" `Quick
+      test_one_function_edit;
+    Alcotest.test_case "cache: LRU eviction and restart" `Quick
+      test_lru_eviction;
+    Alcotest.test_case "protocol: every failure is a structured error" `Quick
+      test_protocol_errors;
+    Alcotest.test_case "protocol: hello, analyze, shutdown" `Quick
+      test_protocol_requests;
+    Alcotest.test_case "daemon: socket round trip" `Quick test_socket_e2e ]
