@@ -156,12 +156,16 @@ let analyze_cmd obs source_path annot_path root_flag cache_size line_size
   (match dump_lp with
    | Some path ->
      let oc = open_out path in
-     List.iteri
-       (fun i problem ->
-         output_string oc
-           (Ipet_lp.Lp_format.to_string ~name:(Printf.sprintf "%s set %d" root i)
-              problem))
-       (Ipet.Analysis.wcet_problems spec);
+     let dump kind problems =
+       List.iteri
+         (fun i problem ->
+           output_string oc
+             (Ipet_lp.Lp_format.to_string
+                ~name:(Printf.sprintf "%s %s set %d" root kind i) problem))
+         problems
+     in
+     dump "wcet" (Ipet.Analysis.wcet_problems spec);
+     dump "bcet" (Ipet.Analysis.bcet_problems spec);
      close_out oc;
      Printf.printf "ILPs written to %s\n" path
    | None -> ());
@@ -483,7 +487,7 @@ let auto_bounds_arg =
 let dump_lp_arg =
   Arg.(value & opt (some string) None
        & info [ "dump-lp" ] ~docv:"FILE"
-           ~doc:"Write the WCET ILPs in CPLEX LP format.")
+           ~doc:"Write the WCET and BCET ILPs in CPLEX LP format.")
 
 let sensitivity_arg =
   Arg.(value & flag

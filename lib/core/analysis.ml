@@ -37,6 +37,9 @@ type solver_stats = {
   lp_calls : int;
   bnb_nodes : int;
   simplex_pivots : int;
+  refactorizations : int;
+  warm_hits : int;
+  warm_misses : int;
   all_first_lp_integral : bool;
   presolve_vars_before : int;
   presolve_vars_after : int;
@@ -269,6 +272,9 @@ let solve_extreme spec insts base_constraints sets ~direction ~select ~pool =
   let lp_calls = ref 0 in
   let nodes = ref 0 in
   let pivots = ref 0 in
+  let refactors = ref 0 in
+  let whits = ref 0 in
+  let wmisses = ref 0 in
   let infeasible = ref 0 in
   let all_first = ref true in
   let solved = ref 0 in
@@ -331,6 +337,9 @@ let solve_extreme spec insts base_constraints sets ~direction ~select ~pool =
         lp_calls := !lp_calls + stats.Ilp.lp_calls;
         nodes := !nodes + stats.Ilp.nodes;
         pivots := !pivots + stats.Ilp.pivots;
+        refactors := !refactors + stats.Ilp.refactorizations;
+        whits := !whits + stats.Ilp.warm_hits;
+        wmisses := !wmisses + stats.Ilp.warm_misses;
         record_presolve problem stats;
         if not stats.Ilp.first_lp_integral then all_first := false;
         (match !best with
@@ -341,6 +350,9 @@ let solve_extreme spec insts base_constraints sets ~direction ~select ~pool =
         lp_calls := !lp_calls + stats.Ilp.lp_calls;
         nodes := !nodes + stats.Ilp.nodes;
         pivots := !pivots + stats.Ilp.pivots;
+        refactors := !refactors + stats.Ilp.refactorizations;
+        whits := !whits + stats.Ilp.warm_hits;
+        wmisses := !wmisses + stats.Ilp.warm_misses;
         record_presolve problem stats;
         incr infeasible
       | Ilp.Unbounded _ ->
@@ -361,6 +373,9 @@ let solve_extreme spec insts base_constraints sets ~direction ~select ~pool =
         lp_calls = !lp_calls;
         bnb_nodes = !nodes;
         simplex_pivots = !pivots;
+        refactorizations = !refactors;
+        warm_hits = !whits;
+        warm_misses = !wmisses;
         all_first_lp_integral = !all_first;
         presolve_vars_before = !pv_before;
         presolve_vars_after = !pv_after;

@@ -57,7 +57,14 @@ type solver_stats = {
   sets_infeasible : int; (** sets the simplex proved empty *)
   lp_calls : int;        (** total LP relaxations over all ILPs *)
   bnb_nodes : int;       (** branch-and-bound nodes over all ILPs *)
-  simplex_pivots : int;  (** simplex tableau pivots over all LP calls *)
+  simplex_pivots : int;  (** simplex pivots over all LP calls *)
+  refactorizations : int;
+      (** basis refactorizations over all LP calls (the revised simplex
+          rebuilds its eta-file factorization periodically) *)
+  warm_hits : int;
+      (** branch-and-bound children re-optimized from the parent basis by
+          the dual simplex *)
+  warm_misses : int;     (** children that needed a cold fallback solve *)
   all_first_lp_integral : bool;
       (** the paper's observation: every first relaxation was integral *)
   presolve_vars_before : int;

@@ -205,8 +205,8 @@ let global_array rng k =
     Ast.ginit = init;
     Ast.gline = no_pos }
 
-let func rng ~name ~nparams ~globals_int ~garrays ~callees ~call_budget
-    ~stmt_budget =
+let func ?(fill = false) rng ~name ~nparams ~globals_int ~garrays ~callees
+    ~call_budget ~stmt_budget =
   let params = List.init nparams (fun k -> Printf.sprintf "p%d" k) in
   let nlocals = Rng.range rng 1 3 in
   let locals = List.init nlocals (fun k -> Printf.sprintf "t%d" k) in
@@ -236,7 +236,19 @@ let func rng ~name ~nparams ~globals_int ~garrays ~callees ~call_budget
         ind_vars
   in
   let budget = ref stmt_budget in
-  let body = stmts sc ~budget ~loop_depth:0 ~in_loop:false in
+  (* one [stmts] run emits at most a handful of top-level statements; the
+     sized generator keeps going until the budget is actually spent so
+     program size scales linearly with it *)
+  let body =
+    if fill then begin
+      let rec go acc =
+        if !budget <= 0 then List.concat (List.rev acc)
+        else go (stmts sc ~budget ~loop_depth:0 ~in_loop:false :: acc)
+      in
+      go []
+    end
+    else stmts sc ~budget ~loop_depth:0 ~in_loop:false
+  in
   let body = decls @ body @ [ mk_s (Ast.Return (Some (expr sc 2))) ] in
   { Ast.ret = Ast.Tint;
     Ast.fname = name;
@@ -293,5 +305,59 @@ let program rng =
 let case seed =
   let rng = Rng.create seed in
   let prog = program rng in
+  let cache = cache_config rng in
+  { seed; prog; cache }
+
+(* Sized variant for the LP scaling benchmark: same grammar and the same
+   pipeline guardrails, but the statement budget (and with it the CFG and
+   therefore the ILP variable count) is caller-chosen instead of the
+   small fuzzing default. A separate entry point so [case]'s RNG stream —
+   and with it every recorded fuzz seed — is untouched. Helpers are kept
+   few and the call budget tight: call sites multiply virtual-inlining
+   instances, and the point here is to grow the per-instance constraint
+   matrix, not the instance count. *)
+let program_sized rng ~stmt_budget =
+  let nscalars = 3 in
+  let narrays = 2 in
+  let globals =
+    List.init nscalars (global_scalar rng)
+    @ List.init narrays (global_array rng)
+  in
+  let globals_int =
+    List.filteri (fun k _ -> k < nscalars) globals
+    |> List.map (fun g -> g.Ast.gname)
+  in
+  let garrays =
+    List.filteri (fun k _ -> k >= nscalars) globals
+    |> List.map (fun g -> (g.Ast.gname, Option.get g.Ast.gsize))
+  in
+  let call_budget = ref 4 in
+  let nhelpers = 2 in
+  let helper_budget = max 4 (stmt_budget / 8) in
+  let rec build k callees acc =
+    if k = nhelpers then List.rev acc
+    else begin
+      let name = Printf.sprintf "f%d" k in
+      let f =
+        func ~fill:true rng ~name ~nparams:1 ~globals_int ~garrays ~callees
+          ~call_budget ~stmt_budget:helper_budget
+      in
+      build (k + 1) ((name, 1) :: callees) (f :: acc)
+    end
+  in
+  let helpers = build 0 [] [] in
+  let callees =
+    List.map (fun (f : Ast.func) -> (f.Ast.fname, List.length f.Ast.params))
+      helpers
+  in
+  let main =
+    func ~fill:true rng ~name:"main" ~nparams:0 ~globals_int ~garrays
+      ~callees ~call_budget ~stmt_budget
+  in
+  { Ast.globals; Ast.funcs = helpers @ [ main ] }
+
+let case_sized ~stmt_budget seed =
+  let rng = Rng.create seed in
+  let prog = program_sized rng ~stmt_budget in
   let cache = cache_config rng in
   { seed; prog; cache }

@@ -21,3 +21,10 @@ type case = {
 
 val case : int -> case
 (** The (deterministic) case for a seed. The program's root is [main]. *)
+
+val case_sized : stmt_budget:int -> int -> case
+(** [case_sized ~stmt_budget seed] — the same grammar and guardrails with
+    a caller-chosen statement budget for [main], used by the [bench lp]
+    scaling suite to produce programs whose ILPs are 10x–100x the fuzzing
+    default. Deterministic in [(stmt_budget, seed)]; uses an RNG stream
+    separate from {!case}, so recorded fuzz seeds replay unchanged. *)

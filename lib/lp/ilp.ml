@@ -1,22 +1,34 @@
-(* Depth-first branch and bound. Each node adds bound constraints
-   [x <= floor v] / [x >= ceil v] for a fractional variable of the node's LP
-   relaxation. Pruning uses the incumbent: for maximization a node whose
-   relaxation value is <= the incumbent objective cannot improve it (the
-   objective need not be integral in general, so we prune on <=, not on
-   floor).
+(* Depth-first branch and bound with warm-started child solves.
+
+   Branching tightens variable BOUNDS, never adds rows: a node is a pair
+   of maps (raised lower bounds, lowered upper bounds) over the columns
+   of one shared sparse instance built once per solve. The root
+   relaxation is a cold primal solve ({!Revised.solve_primal}, the exact
+   dense-trajectory-compatible path). Every child starts from its
+   parent's optimal basis: only bounds changed, and the branched variable
+   was basic in the parent, so the parent basis is still dual feasible
+   and {!Revised.solve_dual} re-optimizes without a phase 1. If the dual
+   gives up ({!Revised.Stuck} — iteration cap or singular warm basis),
+   the node falls back to the historical cold solve with explicit bound
+   rows; children of a fallback node inherit no snapshot and fall back
+   too. Both paths are deterministic, so a node's result is a pure
+   function of (bounds, parent snapshot).
+
+   Pruning uses the incumbent: for maximization a node whose relaxation
+   value is <= the incumbent objective cannot improve it (the objective
+   need not be integral in general, so we prune on <=, not on floor).
 
    Parallelism is speculative. The search itself is a sequential replay
    that visits nodes in exactly the order the single-threaded solver
-   would, so node counts, pruning decisions, the incumbent trajectory and
-   the returned witness are bit-identical at any --jobs. What runs on
-   other domains is only the expensive part of each visit: node LP
-   relaxations are pre-solved ahead of the replay, keyed by the node's
-   tree path, gated by a snapshot of the best incumbent (so speculation
-   prunes roughly where the replay will) and by a node budget. The replay
-   awaits the pre-solved relaxation when one exists and solves inline
-   otherwise; speculative results the replay never asks for are simply
-   discarded. A solved relaxation is a pure function of the node, so it
-   does not matter which domain produced it.
+   would, so node counts, pruning decisions, warm-start accounting, the
+   incumbent trajectory and the returned witness are bit-identical at any
+   --jobs. What runs on other domains is only the expensive part of each
+   visit: node solves are pre-computed ahead of the replay, keyed by the
+   node's tree path, gated by a snapshot of the best incumbent (so
+   speculation prunes roughly where the replay will) and by a node
+   budget. The replay awaits the pre-solved node when one exists and
+   solves inline otherwise; speculative results the replay never asks for
+   are simply discarded.
 
    By default the problem first goes through {!Presolve}, which eliminates
    the variables pinned down by flow-conservation equalities and tightens
@@ -26,11 +38,15 @@
 open Ipet_num
 module Pool = Ipet_par.Pool
 module Lock = Ipet_par.Par_compat.Lock
+module IMap = Map.Make (Int)
 
 type stats = {
   lp_calls : int;
   nodes : int;
   pivots : int;
+  refactorizations : int;
+  warm_hits : int;
+  warm_misses : int;
   first_lp_integral : bool;
   presolve : Presolve.stats option;
 }
@@ -49,11 +65,16 @@ let fractional_var assignment =
   in
   go assignment
 
-let branch_constraints v x =
-  let lo = Linexpr.sub (Linexpr.var v) (Linexpr.const (Rat.of_bigint (Rat.floor x))) in
-  let hi = Linexpr.sub (Linexpr.const (Rat.of_bigint (Rat.ceil x))) (Linexpr.var v) in
-  (Lp_problem.constr ~origin:"branch" lo Lp_problem.Le,
-   Lp_problem.constr ~origin:"branch" hi Lp_problem.Le)
+(* node solve outcome: enough for pruning, branching and warm-starting *)
+type node_sol = {
+  nvalue : Rat.t;                       (* maximization value incl. constant *)
+  nassign : (string * Rat.t) list;      (* vars-order nonzero assignment *)
+  nsnap : Revised.snapshot option;      (* None after a row-based fallback *)
+}
+
+type node_res = NOptimal of node_sol | NInfeasible | NUnbounded
+
+type warm_kind = Root | Hit | Miss
 
 let solve_raw ?pool ~max_nodes problem =
   let pool = match pool with Some p -> p | None -> Pool.default () in
@@ -64,12 +85,24 @@ let solve_raw ?pool ~max_nodes problem =
                objective = (if maximize then problem.Lp_problem.objective
                             else Linexpr.neg problem.Lp_problem.objective) }
   in
-  (* branch constraints only mention existing variables, so one sort-dedup
-     serves every node's LP *)
+  (* branch bounds only mention existing variables, so one sort-dedup and
+     one sparse instance serve every node *)
   let vars = Lp_problem.variables base in
+  let inst = Sparse.build ~vars base in
+  let nstruct = inst.Sparse.nstruct in
+  let col_of_var = Hashtbl.create (2 * nstruct + 1) in
+  Array.iteri (fun i v -> Hashtbl.replace col_of_var v i) inst.Sparse.vars;
+  let cost = Array.make nstruct Rat.zero in
+  Array.iteri
+    (fun i v -> cost.(i) <- Linexpr.coeff base.Lp_problem.objective v)
+    inst.Sparse.vars;
+  let obj_const = Linexpr.constant base.Lp_problem.objective in
   let lp_calls = ref 0 in
   let nodes = ref 0 in
   let pivot_count = ref 0 in
+  let refactor_count = ref 0 in
+  let warm_hits = ref 0 in
+  let warm_misses = ref 0 in
   let first_lp_integral = ref false in
   let incumbent = ref None in
   let better value =
@@ -79,25 +112,89 @@ let solve_raw ?pool ~max_nodes problem =
   in
   let stats () =
     { lp_calls = !lp_calls; nodes = !nodes; pivots = !pivot_count;
+      refactorizations = !refactor_count;
+      warm_hits = !warm_hits; warm_misses = !warm_misses;
       first_lp_integral = !first_lp_integral; presolve = None }
   in
-  (* A node's relaxation result together with the pivots it took; the
-     simplex is deterministic, so the pair is a pure function of the node
-     and identical whichever domain computes it. *)
-  let solve_lp extra =
-    let piv = ref 0 in
+  let assignment_of_xstruct xstruct =
+    let out = ref [] in
+    for i = Array.length xstruct - 1 downto 0 do
+      if not (Rat.is_zero xstruct.(i)) then
+        out := (inst.Sparse.vars.(i), xstruct.(i)) :: !out
+    done;
+    !out
+  in
+  (* cold re-solve with the node's bounds as explicit rows — the
+     historical behaviour, kept as the fallback when a warm start cannot
+     be completed *)
+  let solve_fallback (lom, upm) piv refs =
+    let extra = ref [] in
+    for j = nstruct - 1 downto 0 do
+      (match IMap.find_opt j upm with
+       | Some u ->
+         let e =
+           Linexpr.sub (Linexpr.var inst.Sparse.vars.(j)) (Linexpr.const u)
+         in
+         extra := Lp_problem.constr ~origin:"branch" e Lp_problem.Le :: !extra
+       | None -> ());
+      (match IMap.find_opt j lom with
+       | Some l when Rat.sign l > 0 ->
+         let e =
+           Linexpr.sub (Linexpr.const l) (Linexpr.var inst.Sparse.vars.(j))
+         in
+         extra := Lp_problem.constr ~origin:"branch" e Lp_problem.Le :: !extra
+       | _ -> ());
+    done;
     let node_problem =
-      { base with Lp_problem.constraints = extra @ base.Lp_problem.constraints }
+      { base with Lp_problem.constraints = !extra @ base.Lp_problem.constraints }
     in
-    let res = Simplex.solve ~vars ~pivots:piv node_problem in
-    (res, !piv)
+    match Simplex.solve ~vars ~pivots:piv ~refactors:refs node_problem with
+    | Simplex.Optimal { value; assignment } ->
+      NOptimal { nvalue = value; nassign = assignment; nsnap = None }
+    | Simplex.Infeasible -> NInfeasible
+    | Simplex.Unbounded -> NUnbounded
+  in
+  (* A node's result together with the work it took; every path is
+     deterministic, so the tuple is a pure function of the node and
+     identical whichever domain computes it. *)
+  let solve_node ~warm bounds =
+    let lom, upm = bounds in
+    let piv = ref 0 and refs = ref 0 in
+    let of_run (run : Revised.run) =
+      Simplex.record ~pivots:piv ~refactors:refs run;
+      match run.Revised.verdict with
+      | Revised.Infeasible -> NInfeasible
+      | Revised.Unbounded -> NUnbounded
+      | Revised.Optimal sol ->
+        NOptimal
+          { nvalue = Rat.add sol.Revised.value obj_const;
+            nassign = assignment_of_xstruct sol.Revised.xstruct;
+            nsnap = Some sol.Revised.snapshot }
+    in
+    let res, kind =
+      match warm with
+      | Some snap ->
+        let lower = Array.make nstruct Rat.zero in
+        IMap.iter (fun j l -> lower.(j) <- l) lom;
+        let upper = Array.make nstruct None in
+        IMap.iter (fun j u -> upper.(j) <- Some u) upm;
+        (try
+           (of_run (Revised.solve_dual inst ~cost ~lower ~upper ~warm:snap),
+            Hit)
+         with Revised.Stuck -> (solve_fallback bounds piv refs, Miss))
+      | None ->
+        if IMap.is_empty lom && IMap.is_empty upm then
+          (of_run (Revised.solve_primal inst ~cost), Root)
+        else (solve_fallback bounds piv refs, Miss)
+    in
+    (res, !piv, !refs, kind)
   in
   let speculating = Pool.parallel pool in
   (* shared state read by speculative tasks; written only as hints, never
      as results, so races cost work but not correctness *)
   let best_known : Rat.t option Atomic.t = Atomic.make None in
   let budget = Atomic.make max_nodes in
-  let memo : (string, (Simplex.result * int) Pool.future) Hashtbl.t =
+  let memo : (string, (node_res * int * int * warm_kind) Pool.future) Hashtbl.t =
     Hashtbl.create 64
   in
   let memo_lock = Lock.create () in
@@ -111,76 +208,99 @@ let solve_raw ?pool ~max_nodes problem =
         if Hashtbl.mem memo key then false
         else begin Hashtbl.add memo key fut; true end)
   in
-  let rec speculate key extra =
+  let branch bounds v x =
+    let lom, upm = bounds in
+    let j = Hashtbl.find col_of_var v in
+    let f = Rat.of_bigint (Rat.floor x) and c = Rat.of_bigint (Rat.ceil x) in
+    let left =
+      (lom,
+       IMap.update j
+         (function Some u -> Some (Rat.min u f) | None -> Some f)
+         upm)
+    in
+    let right =
+      (IMap.update j
+         (function Some l -> Some (Rat.max l c) | None -> Some c)
+         lom,
+       upm)
+    in
+    (left, right)
+  in
+  let rec speculate key bounds warm =
     if Atomic.fetch_and_add budget (-1) > 0 then begin
       let fut =
         Pool.submit pool (fun () ->
-            let (res, _) as cell = solve_lp extra in
+            let (res, _, _, _) as cell = solve_node ~warm bounds in
             (match res with
-             | Simplex.Optimal { value; assignment } ->
+             | NOptimal sol ->
                let dominated =
                  match Atomic.get best_known with
-                 | Some best -> Rat.compare value best <= 0
+                 | Some best -> Rat.compare sol.nvalue best <= 0
                  | None -> false
                in
                if not dominated then begin
-                 match fractional_var assignment with
+                 match fractional_var sol.nassign with
                  | None -> ()
                  | Some (v, x) ->
-                   let lo, hi = branch_constraints v x in
-                   speculate (key ^ "l") (lo :: extra);
-                   speculate (key ^ "r") (hi :: extra)
+                   let left, right = branch bounds v x in
+                   speculate (key ^ "l") left sol.nsnap;
+                   speculate (key ^ "r") right sol.nsnap
                end
-             | Simplex.Infeasible | Simplex.Unbounded -> ());
+             | NInfeasible | NUnbounded -> ());
             cell)
       in
       ignore (memo_add key fut)
     end
   in
   let unbounded = ref false in
-  let rec explore key extra depth =
+  let rec explore key bounds warm depth =
     if !unbounded then ()
     else begin
       incr nodes;
       if !nodes > max_nodes then raise Node_limit_exceeded;
       incr lp_calls;
-      let res, piv =
+      let res, piv, refs, kind =
         match (if speculating then memo_find key else None) with
         | Some fut -> Pool.await pool fut
-        | None -> solve_lp extra
+        | None -> solve_node ~warm bounds
       in
       pivot_count := !pivot_count + piv;
+      refactor_count := !refactor_count + refs;
+      (match kind with
+       | Hit -> incr warm_hits
+       | Miss -> incr warm_misses
+       | Root -> ());
       match res with
-      | Simplex.Infeasible -> ()
-      | Simplex.Unbounded ->
+      | NInfeasible -> ()
+      | NUnbounded ->
         (* The relaxation being unbounded at the root means the ILP is
            unbounded or infeasible; for IPET problems (flow polytopes with a
            unit source) feasibility is immediate, so report unbounded. *)
         if depth = 0 then unbounded := true
         else ()
-      | Simplex.Optimal { value; assignment } ->
-        if depth = 0 && fractional_var assignment = None then
+      | NOptimal sol ->
+        if depth = 0 && fractional_var sol.nassign = None then
           first_lp_integral := true;
-        if !incumbent <> None && not (better value) then ()
+        if !incumbent <> None && not (better sol.nvalue) then ()
         else begin
-          match fractional_var assignment with
+          match fractional_var sol.nassign with
           | None ->
-            if better value then begin
-              incumbent := Some (value, assignment);
-              Atomic.set best_known (Some value)
+            if better sol.nvalue then begin
+              incumbent := Some (sol.nvalue, sol.nassign);
+              Atomic.set best_known (Some sol.nvalue)
             end
           | Some (v, x) ->
-            let lo, hi = branch_constraints v x in
+            let left, right = branch bounds v x in
             if speculating then begin
-              speculate (key ^ "l") (lo :: extra);
-              speculate (key ^ "r") (hi :: extra)
+              speculate (key ^ "l") left sol.nsnap;
+              speculate (key ^ "r") right sol.nsnap
             end;
-            explore (key ^ "l") (lo :: extra) (depth + 1);
-            explore (key ^ "r") (hi :: extra) (depth + 1)
+            explore (key ^ "l") left sol.nsnap (depth + 1);
+            explore (key ^ "r") right sol.nsnap (depth + 1)
         end
     end
   in
-  explore "" [] 0;
+  explore "" (IMap.empty, IMap.empty) None 0;
   if !unbounded then Unbounded (stats ())
   else
     match !incumbent with
@@ -195,7 +315,8 @@ let solve ?(max_nodes = 100_000) ?(presolve = true) ?pool problem =
     match Presolve.run ~integer:true problem with
     | Presolve.Proved_infeasible { stats; reason = _ } ->
       Infeasible
-        { lp_calls = 0; nodes = 0; pivots = 0; first_lp_integral = false;
+        { lp_calls = 0; nodes = 0; pivots = 0; refactorizations = 0;
+          warm_hits = 0; warm_misses = 0; first_lp_integral = false;
           presolve = Some stats }
     | Presolve.Reduced { problem = reduced; postsolve; stats = pstats } ->
       (match solve_raw ?pool ~max_nodes reduced with

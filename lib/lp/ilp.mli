@@ -17,7 +17,14 @@ open Ipet_num
 type stats = {
   lp_calls : int;          (** number of LP relaxations solved *)
   nodes : int;             (** branch-and-bound nodes explored *)
-  pivots : int;            (** simplex tableau pivots over all relaxations *)
+  pivots : int;            (** simplex pivots over all relaxations *)
+  refactorizations : int;  (** basis refactorizations over all relaxations *)
+  warm_hits : int;
+      (** non-root nodes re-optimized from the parent basis by the dual
+          simplex, skipping phase 1 *)
+  warm_misses : int;
+      (** non-root nodes that fell back to a cold solve (dual gave up, or
+          the parent itself was solved cold) *)
   first_lp_integral : bool;
       (** the root relaxation was already integer-valued *)
   presolve : Presolve.stats option;
@@ -43,6 +50,13 @@ val solve :
     [presolve] (default [true]) runs {!Presolve.run} first. The optimal
     value, and the witness assignment modulo alternative optima, do not
     depend on [presolve].
+
+    Branching tightens variable bounds on one shared sparse instance
+    rather than adding constraint rows, and each child node warm-starts
+    from its parent's optimal basis via the dual simplex
+    ({!Revised.solve_dual}); {!stats} reports the resulting hit/miss
+    split. The root relaxation is solved cold and pivot-for-pivot
+    identically to the historical dense solver.
 
     [pool] (default {!Ipet_par.Pool.default}) supplies domains for
     speculative parallel branch-and-bound: node LP relaxations are

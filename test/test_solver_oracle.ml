@@ -253,6 +253,207 @@ let prop_ilp_matches_box_enumeration =
       check_ilp_against_enumeration ~presolve:true shape brute
       && check_ilp_against_enumeration ~presolve:false shape brute)
 
+(* --- hand-picked solver stress cases ------------------------------------ *)
+
+module Sparse = Ipet_lp.Sparse
+module Revised = Ipet_lp.Revised
+module Dense = Ipet_lp.Dense
+
+let rat a b = Rat.of_ints a b
+
+let check_optimal name expected = function
+  | S.Optimal { value; assignment } ->
+    Alcotest.(check bool)
+      (name ^ ": optimum")
+      true
+      (Rat.equal value expected);
+    let env = S.assignment_env assignment in
+    env
+  | S.Infeasible -> Alcotest.fail (name ^ ": unexpectedly infeasible")
+  | S.Unbounded -> Alcotest.fail (name ^ ": unexpectedly unbounded")
+
+(* Beale's classic cycling example: maximally degenerate (every ratio test
+   at the origin ties at zero), the textbook witness that Dantzig pricing
+   cycles. Bland's rule — which both solvers implement — must terminate at
+   z* = 1/20, x = (1/25, 0, 1, 0). *)
+let test_beale_degenerate () =
+  let x1 = "x1" and x2 = "x2" and x3 = "x3" and x4 = "x4" in
+  let lin l =
+    List.fold_left
+      (fun acc (c, v) -> L.add acc (L.var ~coeff:c v))
+      L.zero l
+  in
+  let problem =
+    P.make P.Maximize
+      (lin [ (rat 3 4, x1); (Rat.of_int (-150), x2); (rat 1 50, x3);
+             (Rat.of_int (-6), x4) ])
+      [ P.le
+          (lin [ (rat 1 4, x1); (Rat.of_int (-60), x2); (rat (-1) 25, x3);
+                 (Rat.of_int 9, x4) ])
+          L.zero;
+        P.le
+          (lin [ (rat 1 2, x1); (Rat.of_int (-90), x2); (rat (-1) 50, x3);
+                 (Rat.of_int 3, x4) ])
+          L.zero;
+        P.le (lin [ (Rat.one, x3) ]) (L.of_int 1) ]
+  in
+  let env = check_optimal "beale" (rat 1 20) (S.solve problem) in
+  Alcotest.(check bool) "beale: x1 = 1/25" true (Rat.equal (env x1) (rat 1 25));
+  Alcotest.(check bool) "beale: x3 = 1" true (Rat.equal (env x3) Rat.one);
+  (* the dense tableau must walk the identical trajectory *)
+  (match Dense.solve problem with
+   | Dense.Optimal { value; _ } ->
+     Alcotest.(check bool) "beale: dense agrees" true (Rat.equal value (rat 1 20))
+   | _ -> Alcotest.fail "beale: dense solver disagrees")
+
+(* Linearly dependent rows: the refactorization's elimination must cope
+   with a rank-deficient basis candidate set (the duplicate slack rows
+   can never both be pivotal). *)
+let test_redundant_rows () =
+  let lin l =
+    List.fold_left
+      (fun acc (c, v) -> L.add acc (L.var ~coeff:(Rat.of_int c) v))
+      L.zero l
+  in
+  let problem =
+    P.make P.Maximize
+      (lin [ (3, "x"); (2, "y") ])
+      [ P.le (lin [ (1, "x"); (1, "y") ]) (L.of_int 5);
+        P.le (lin [ (1, "x"); (1, "y") ]) (L.of_int 5);
+        P.le (lin [ (2, "x"); (2, "y") ]) (L.of_int 10);
+        P.eq (lin [ (1, "x"); (-1, "y") ]) (L.of_int 1);
+        P.eq (lin [ (2, "x"); (-2, "y") ]) (L.of_int 2) ]
+  in
+  (* x - y = 1, x + y = 5 -> (3, 2), z = 13 *)
+  let env = check_optimal "redundant" (Rat.of_int 13) (S.solve problem) in
+  Alcotest.(check bool) "redundant: x = 3" true (Rat.equal (env "x") (Rat.of_int 3));
+  Alcotest.(check bool) "redundant: y = 2" true (Rat.equal (env "y") (Rat.of_int 2))
+
+(* Columns that appear in no constraint: an unfavourable one must stay at
+   its lower bound, a favourable one makes the LP unbounded. *)
+let test_empty_column () =
+  let lin l =
+    List.fold_left
+      (fun acc (c, v) -> L.add acc (L.var ~coeff:(Rat.of_int c) v))
+      L.zero l
+  in
+  let bounded =
+    P.make P.Maximize
+      (lin [ (5, "x"); (-2, "loose") ])
+      [ P.le (lin [ (1, "x") ]) (L.of_int 4) ]
+  in
+  let env = check_optimal "empty-column" (Rat.of_int 20) (S.solve bounded) in
+  Alcotest.(check bool) "empty-column: loose stays 0" true
+    (Rat.is_zero (env "loose"));
+  let unbounded =
+    P.make P.Maximize
+      (lin [ (5, "x"); (2, "loose") ])
+      [ P.le (lin [ (1, "x") ]) (L.of_int 4) ]
+  in
+  (match S.solve unbounded with
+   | S.Unbounded -> ()
+   | _ -> Alcotest.fail "empty-column: favourable free column not unbounded")
+
+(* --- warm-started dual vs cold primal on random B&B children ------------ *)
+
+(* The branch-and-bound handshake in one property: solve a random problem
+   cold, then for each branching-style child (one variable's upper bound
+   tightened below its optimal value) check the dual simplex warm-started
+   from the parent basis agrees verdict-for-verdict and value-for-value
+   with a cold bounded primal solve. *)
+let prop_warm_dual_matches_cold_primal =
+  QCheck.Test.make ~name:"warm dual re-solve agrees with cold primal"
+    ~count:150
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 0xd0a1 |] in
+      let shape = gen_problem rng in
+      (* normalize to maximization the way Simplex.solve does *)
+      let problem = shape.problem in
+      let vars = P.variables problem in
+      let inst = Sparse.build ~vars problem in
+      let obj =
+        match problem.P.direction with
+        | P.Maximize -> problem.P.objective
+        | P.Minimize -> L.neg problem.P.objective
+      in
+      let nstruct = inst.Sparse.nstruct in
+      let cost = Array.make nstruct Rat.zero in
+      Array.iteri (fun i v -> cost.(i) <- L.coeff obj v) inst.Sparse.vars;
+      match (Revised.solve_primal inst ~cost).Revised.verdict with
+      | Revised.Infeasible -> true  (* no parent basis to warm-start from *)
+      | Revised.Unbounded ->
+        QCheck.Test.fail_report "unbounded on a box-bounded problem"
+      | Revised.Optimal parent ->
+        let zeros = Array.make nstruct Rat.zero in
+        let check_child j =
+          if Rat.compare parent.Revised.xstruct.(j) Rat.one < 0 then true
+          else begin
+            let upper = Array.make nstruct None in
+            upper.(j) <-
+              Some (Rat.of_bigint (Rat.floor
+                      (Rat.sub parent.Revised.xstruct.(j) Rat.one)));
+            let cold = Revised.solve_primal ~upper inst ~cost in
+            let warm =
+              match
+                Revised.solve_dual inst ~cost ~lower:zeros ~upper
+                  ~warm:parent.Revised.snapshot
+              with
+              | run -> Some run.Revised.verdict
+              | exception Revised.Stuck -> None
+            in
+            match (warm, cold.Revised.verdict) with
+            | None, _ ->
+              (* dual gave up; the production fallback re-solves cold *)
+              true
+            | Some (Revised.Optimal w), Revised.Optimal c ->
+              Rat.equal w.Revised.value c.Revised.value
+              || QCheck.Test.fail_report
+                   (Printf.sprintf "child %d: warm %s, cold %s" j
+                      (Rat.to_string w.Revised.value)
+                      (Rat.to_string c.Revised.value))
+            | Some Revised.Infeasible, Revised.Infeasible -> true
+            | Some _, _ ->
+              QCheck.Test.fail_report
+                (Printf.sprintf "child %d: warm/cold verdict mismatch" j)
+          end
+        in
+        let ok = ref true in
+        for j = 0 to nstruct - 1 do
+          ok := !ok && check_child j
+        done;
+        !ok)
+
+(* The rewritten solver must match the historical dense tableau not just
+   in value but in the witness assignment — the trajectory-parity claim
+   golden reports rest on. *)
+let prop_revised_matches_dense =
+  QCheck.Test.make ~name:"revised simplex replays the dense trajectory"
+    ~count:150
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 0xde45 |] in
+      let shape = gen_problem rng in
+      match (S.solve shape.problem, Dense.solve shape.problem) with
+      | S.Infeasible, Dense.Infeasible -> true
+      | S.Unbounded, Dense.Unbounded -> true
+      | S.Optimal { value = rv; assignment = ra },
+        Dense.Optimal { value = dv; assignment = da } ->
+        (Rat.equal rv dv
+         || QCheck.Test.fail_report
+              (Printf.sprintf "value mismatch: revised %s, dense %s"
+                 (Rat.to_string rv) (Rat.to_string dv)))
+        && (ra = da
+            || QCheck.Test.fail_report "witness assignment mismatch")
+      | _ -> QCheck.Test.fail_report "verdict mismatch")
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_simplex_matches_vertex_enumeration; prop_ilp_matches_box_enumeration ]
+    [ prop_simplex_matches_vertex_enumeration; prop_ilp_matches_box_enumeration;
+      prop_warm_dual_matches_cold_primal; prop_revised_matches_dense ]
+  @ [ Alcotest.test_case "Beale degenerate LP terminates (Bland)" `Quick
+        test_beale_degenerate;
+      Alcotest.test_case "redundant rows are harmless" `Quick
+        test_redundant_rows;
+      Alcotest.test_case "empty columns: idle vs unbounded" `Quick
+        test_empty_column ]
