@@ -122,8 +122,11 @@ let infer_bounds ~verbose source_path src =
       bounds;
   bounds
 
-let run_analysis spec =
-  match Obs.span "analysis.analyze" (fun () -> Ipet.Analysis.analyze spec) with
+let run_analysis ?(certify = false) spec =
+  match
+    Obs.span "analysis.analyze" (fun () ->
+        Ipet.Analysis.analyze ~certify spec)
+  with
   | result -> result
   | exception Ipet.Analysis.Analysis_error msg ->
     Diag.fail ~code:Diag.exit_analysis "analysis error: %s" msg
@@ -132,10 +135,52 @@ let run_analysis spec =
   | exception Ipet.Annotation.Bad_annotation msg ->
     Diag.fail ~code:Diag.exit_input "annotation error: %s" msg
 
+(* Export certificates next to --dump-lp when asked, then refuse to exit
+   cleanly if the trusted checker rejected either bound's proof. *)
+let finish_certificates ?cert_out (result : Ipet.Analysis.result) =
+  let sides =
+    [ ("wcet", result.Ipet.Analysis.wcet_cert);
+      ("bcet", result.Ipet.Analysis.bcet_cert) ]
+  in
+  (match cert_out with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     let field (side, c) =
+       match c with
+       | None -> None
+       | Some (c : Ipet.Analysis.certificate) ->
+         Some
+           (Printf.sprintf "\"%s\":{\"valid\":%b,\"gap_closed\":%b,\"certificate\":%s}"
+              side
+              (match c.Ipet.Analysis.verdict with
+               | Ipet_cert.Checker.Valid _ -> true
+               | Ipet_cert.Checker.Invalid _ -> false)
+              (Ipet_cert.Checker.gap_closed c.Ipet.Analysis.verdict)
+              (Ipet_cert.Certificate.to_json_string c.Ipet.Analysis.cert))
+     in
+     output_string oc
+       ("{" ^ String.concat "," (List.filter_map field sides) ^ "}\n");
+     close_out oc;
+     Printf.printf "certificates written to %s\n" path);
+  List.iter
+    (fun (side, c) ->
+      match c with
+      | Some (c : Ipet.Analysis.certificate) ->
+        (match c.Ipet.Analysis.verdict with
+         | Ipet_cert.Checker.Invalid errs ->
+           Diag.fail ~code:Diag.exit_analysis
+             "%s certificate rejected by the checker: %s" side
+             (String.concat "; " errs)
+         | Ipet_cert.Checker.Valid _ -> ())
+      | None -> ())
+    sides
+
 (* --- analyze ------------------------------------------------------------- *)
 
 let analyze_cmd obs source_path annot_path root_flag cache_size line_size
-    miss_penalty verbose auto_bounds dump_lp sensitivity no_presolve lp_stats =
+    miss_penalty verbose auto_bounds dump_lp sensitivity no_presolve lp_stats
+    certify cert_out =
   setup_obs obs;
   let src, compiled = load_program source_path in
   let annotations = load_annotations annot_path in
@@ -175,7 +220,7 @@ let analyze_cmd obs source_path annot_path root_flag cache_size line_size
     print_string
       (Ipet.Report.constraints_listing (Ipet.Analysis.structural_constraints spec))
   end;
-  let result = run_analysis spec in
+  let result = run_analysis ~certify:(certify || cert_out <> None) spec in
   if Obs.enabled () then begin
     Obs.set_gauge_int "analysis.wcet_cycles"
       result.Ipet.Analysis.wcet.Ipet.Analysis.cycles;
@@ -202,7 +247,8 @@ let analyze_cmd obs source_path annot_path root_flag cache_size line_size
           where ann.Ipet.Annotation.lo ann.Ipet.Annotation.hi
           (row.Ipet.Analysis.base_wcet - row.Ipet.Analysis.tightened_wcet))
       (Ipet.Analysis.wcet_sensitivity spec)
-  end
+  end;
+  finish_certificates ?cert_out result
 
 (* --- listing / cfg / asm -------------------------------------------------- *)
 
@@ -222,7 +268,7 @@ let listing_cmd obs source_path func =
     funcs
 
 let cfg_cmd obs source_path func annot_path root_flag auto_bounds cache_size
-    line_size miss_penalty =
+    line_size miss_penalty certify =
   setup_obs obs;
   let src, compiled = load_program source_path in
   let prog = compiled.Compile.prog in
@@ -254,7 +300,7 @@ let cfg_cmd obs source_path func annot_path root_flag auto_bounds cache_size
         ~loop_bounds:(annotations.Ipet.Constraint_parser.loop_bounds @ inferred)
         ~functional:annotations.Ipet.Constraint_parser.functional ~root prog
     in
-    let result = run_analysis spec in
+    let result = run_analysis ~certify spec in
     let costs = Ipet.Analysis.block_costs spec ~func in
     let count b =
       match
@@ -275,7 +321,8 @@ let cfg_cmd obs source_path func annot_path root_flag auto_bounds cache_size
     print_string
       (Ipet_cfg.Dot.cfg_to_dot ~highlight_loops:loops ~block_info
          ~hot:(fun b -> count b > 0)
-         cfg)
+         cfg);
+    finish_certificates result
 
 let asm_cmd obs source_path =
   setup_obs obs;
@@ -388,7 +435,7 @@ let sim_cmd obs source_path root args sets flush profile =
    witness count x worst-case cost against measured count and self
    cycles. *)
 let attribute_cmd obs source_path annot_path root_flag args sets flush
-    auto_bounds cache_size line_size miss_penalty =
+    auto_bounds cache_size line_size miss_penalty certify =
   setup_obs obs;
   let src, compiled = load_program source_path in
   let annotations = load_annotations annot_path in
@@ -406,7 +453,7 @@ let attribute_cmd obs source_path annot_path root_flag args sets flush
       ~loop_bounds:(annotations.Ipet.Constraint_parser.loop_bounds @ inferred)
       ~functional:annotations.Ipet.Constraint_parser.functional ~root prog
   in
-  let result = run_analysis spec in
+  let result = run_analysis ~certify spec in
   if Obs.enabled () then Ipet.Report.record_lp_metrics Obs.metrics result;
   let m =
     Ipet_sim.Interp.create ~cache ~profile:true prog
@@ -438,7 +485,8 @@ let attribute_cmd obs source_path annot_path root_flag args sets flush
   print_string
     (Ipet.Report.pp_attribution
        ~wcet:result.Ipet.Analysis.wcet.Ipet.Analysis.cycles
-       ~simulated:(Ipet_sim.Interp.cycles m) rows)
+       ~simulated:(Ipet_sim.Interp.cycles m) rows);
+  finish_certificates result
 
 (* --- cmdliner wiring ------------------------------------------------------ *)
 
@@ -528,11 +576,24 @@ let obs_term =
   Term.(const (fun trace metrics jobs -> (trace, metrics, jobs))
         $ trace_out_arg $ metrics_out_arg $ jobs_arg)
 
+let certify_arg =
+  Arg.(value & flag
+       & info [ "certify" ]
+           ~doc:"Emit an exact LP-duality certificate for each reported \
+                 bound and validate it with the trusted checker; exit \
+                 non-zero if a certificate is rejected.")
+
+let cert_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cert-out" ] ~docv:"FILE"
+           ~doc:"Write the WCET/BCET certificates as JSON (implies \
+                 $(b,--certify)).")
+
 let analyze_term =
   Term.(const analyze_cmd $ obs_term $ source_arg $ annot_arg $ root_arg
         $ cache_size_arg $ line_size_arg $ miss_penalty_arg $ verbose_arg
         $ auto_bounds_arg $ dump_lp_arg $ sensitivity_arg $ no_presolve_arg
-        $ lp_stats_arg)
+        $ lp_stats_arg $ certify_arg $ cert_out_arg)
 
 let analyze =
   Cmd.v
@@ -576,7 +637,7 @@ let attribute =
              measured count and cycles, ranked by contribution.")
     Term.(const attribute_cmd $ obs_term $ source_arg $ annot_arg $ root_arg
           $ args_arg $ set_arg $ flush_arg $ auto_bounds_arg $ cache_size_arg
-          $ line_size_arg $ miss_penalty_arg)
+          $ line_size_arg $ miss_penalty_arg $ certify_arg)
 
 let listing =
   Cmd.v
@@ -592,7 +653,7 @@ let cfg =
              blocks are filled.")
     Term.(const cfg_cmd $ obs_term $ source_arg $ func_req_arg $ annot_arg
           $ root_arg $ auto_bounds_arg $ cache_size_arg $ line_size_arg
-          $ miss_penalty_arg)
+          $ miss_penalty_arg $ certify_arg)
 
 let asm =
   Cmd.v

@@ -1,0 +1,48 @@
+(** Proof-carrying bound certificates.
+
+    A certificate makes a reported WCET/BCET bound auditable without
+    re-running the solver: it packages exact-rational dual multipliers
+    (one per constraint of the original, pre-presolve problem), the
+    integral witness assignment, and a digest of the constraint set the
+    proof is about. {!Checker.check} validates all of it against the
+    problem in exact arithmetic; nothing in this module or the checker
+    depends on the simplex implementations. *)
+
+open Ipet_num
+open Ipet_lp
+
+type t = {
+  direction : Lp_problem.direction;
+  bound : Rat.t;        (** the reported extreme: the witness objective *)
+  dual_bound : Rat.t;
+      (** what the duals prove: an upper bound on every feasible
+          objective for [Maximize], a lower bound for [Minimize] *)
+  duals : Rat.t array;
+      (** one multiplier per constraint, in the problem's constraint
+          order *)
+  witness : (string * Rat.t) list;
+      (** the integral optimal assignment, nonzeros only, sorted by
+          variable name; absent variables are zero *)
+  digest : string;
+      (** MD5 hex of {!digest_problem} for the certified problem *)
+}
+
+val digest_problem : Lp_problem.t -> string
+(** Canonical digest of direction, objective, and every constraint
+    (coefficients, relation, origin) — computed from the problem
+    representation only, so producer and checker agree on what exactly
+    is being certified. *)
+
+val witness_of_assignment : (string * Rat.t) list -> (string * Rat.t) list
+(** Drop zeros, sort by name: the canonical witness form stored in a
+    certificate. *)
+
+val to_json_string : t -> string
+(** Render as a single-line JSON object (rationals as strings), for
+    [--cert-out] export and log artifacts. *)
+
+val to_string : t -> string
+(** Compact line-oriented serialization, round-tripped by {!of_string};
+    used by the serve cache to persist certificates with entries. *)
+
+val of_string : string -> (t, string) result

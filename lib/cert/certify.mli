@@ -1,0 +1,32 @@
+(** Certificate production.
+
+    [certify problem ~witness ~bound] re-solves the LP relaxation of the
+    {e original, pre-presolve} problem once with the revised primal
+    simplex and recovers the dual multipliers from its final basis (one
+    BTRAN over exact rationals), then packages them with the witness and
+    the problem digest.
+
+    The extra cold solve is deliberate: the production solve runs on the
+    presolved problem, and presolve rounds bounds to integers for ILPs —
+    a rounded bound is a {e strictly stronger} constraint than the
+    original row, so duals of the presolved LP do not in general certify
+    the original one. Solving the untouched problem keeps the proof about
+    exactly the constraint set the digest names (see DESIGN.md §5).
+
+    The resulting certificate's [dual_bound] is the true LP-relaxation
+    optimum: the gap closes exactly when the relaxation's optimum equals
+    the integral bound (the paper's observation for all 13 benchmarks). *)
+
+open Ipet_num
+open Ipet_lp
+
+val certify :
+  ?refactor_every:int ->
+  Lp_problem.t ->
+  witness:(string * Rat.t) list ->
+  bound:Rat.t ->
+  (Certificate.t, string) result
+(** [witness] is a solver assignment for [problem] (zeros allowed; it is
+    canonicalized), [bound] its objective value. Fails when the LP
+    relaxation is infeasible or unbounded — neither can happen for a
+    problem whose ILP was solved to optimality. *)

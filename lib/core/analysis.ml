@@ -54,11 +54,20 @@ type extreme = {
   binding : string list;
 }
 
+type certificate = {
+  cert : Ipet_cert.Certificate.t;
+  verdict : Ipet_cert.Checker.verdict;
+  emit_seconds : float;
+  check_seconds : float;
+}
+
 type result = {
   wcet : extreme;
   bcet : extreme;
   wcet_stats : solver_stats;
   bcet_stats : solver_stats;
+  wcet_cert : certificate option;
+  bcet_cert : certificate option;
 }
 
 let instances spec = Structural.instances spec.prog ~root:spec.root
@@ -254,7 +263,35 @@ let canonical_witness ~pool problem value fallback =
     | Ilp.Optimal { assignment; _ } -> assignment
     | Ilp.Infeasible _ | Ilp.Unbounded _ -> fallback)
 
-let solve_extreme spec insts base_constraints sets ~direction ~select ~pool =
+(* Certify the winning bound: one un-presolved LP re-solve recovers exact
+   dual multipliers for the original constraint set (Certify), then the
+   trusted checker validates the whole package. Production failure is an
+   analysis error — the ILP was just solved to optimality, so its LP
+   relaxation cannot be infeasible or unbounded — while a rejected
+   certificate is carried in the result for the caller to surface. *)
+let certify_extreme ~dir_label problem value assignment =
+  let produced, emit_seconds =
+    Obs.timed (fun () ->
+        Ipet_cert.Certify.certify problem ~witness:assignment ~bound:value)
+  in
+  match produced with
+  | Error e -> fail "certificate production failed (%s): %s" dir_label e
+  | Ok cert ->
+    let verdict, check_seconds =
+      Obs.timed (fun () -> Ipet_cert.Checker.check problem cert)
+    in
+    let labels = [ ("solver", dir_label) ] in
+    Obs.observe ~labels "cert.emit_seconds" emit_seconds;
+    Obs.observe ~labels "cert.check_seconds" check_seconds;
+    Obs.add ~labels
+      (match verdict with
+       | Ipet_cert.Checker.Valid _ -> "cert.valid"
+       | Ipet_cert.Checker.Invalid _ -> "cert.invalid")
+      1;
+    { cert; verdict; emit_seconds; check_seconds }
+
+let solve_extreme spec insts base_constraints sets ~direction ~select ~pool
+    ~certify =
   let obj =
     if spec.first_miss_refinement && direction = Lp.Maximize then
       refined_wcet_objective spec insts
@@ -365,6 +402,10 @@ let solve_extreme spec insts base_constraints sets ~direction ~select ~pool =
   | None -> fail "every functionality constraint set is infeasible"
   | Some (value, assignment, constraints, problem) ->
     let assignment = canonical_witness ~pool problem value assignment in
+    let certificate =
+      if certify then Some (certify_extreme ~dir_label problem value assignment)
+      else None
+    in
     let stats =
       { sets_total = 0;  (* filled by caller *)
         sets_pruned = 0;
@@ -386,7 +427,8 @@ let solve_extreme spec insts base_constraints sets ~direction ~select ~pool =
     ( { cycles = Rat.to_int value;
         counts = counts_of_assignment insts assignment;
         binding = binding_constraints constraints assignment },
-      stats )
+      stats,
+      certificate )
 
 let prepare spec =
   Obs.span "analysis.prepare" ~args:[ ("root", spec.root) ] (fun () ->
@@ -433,23 +475,25 @@ let problems spec ~direction =
 let wcet_problems spec = problems spec ~direction:Lp.Maximize
 let bcet_problems spec = problems spec ~direction:Lp.Minimize
 
-let analyze ?pool spec =
+let analyze ?pool ?(certify = false) spec =
   let pool = match pool with Some p -> p | None -> Pool.default () in
   let insts, base, sets, total, pruned = prepare spec in
-  let wcet, wstats =
+  let wcet, wstats, wcet_cert =
     Obs.span "analysis.wcet" ~args:[ ("root", spec.root) ] (fun () ->
       solve_extreme spec insts base sets ~direction:Lp.Maximize
-        ~select:(fun b -> b.Cost.worst) ~pool)
+        ~select:(fun b -> b.Cost.worst) ~pool ~certify)
   in
-  let bcet, bstats =
+  let bcet, bstats, bcet_cert =
     Obs.span "analysis.bcet" ~args:[ ("root", spec.root) ] (fun () ->
       solve_extreme spec insts base sets ~direction:Lp.Minimize
-        ~select:(fun b -> b.Cost.best) ~pool)
+        ~select:(fun b -> b.Cost.best) ~pool ~certify)
   in
   { wcet;
     bcet;
     wcet_stats = { wstats with sets_total = total; sets_pruned = pruned };
-    bcet_stats = { bstats with sets_total = total; sets_pruned = pruned } }
+    bcet_stats = { bstats with sets_total = total; sets_pruned = pruned };
+    wcet_cert;
+    bcet_cert }
 
 let estimated_bound ?pool spec =
   let r = analyze ?pool spec in

@@ -92,21 +92,37 @@ type extreme = {
           extreme (flow equations excluded) *)
 }
 
+type certificate = {
+  cert : Ipet_cert.Certificate.t;
+      (** duals, witness, and digest for the winning constraint set's
+          ILP — the problem the reported bound came from *)
+  verdict : Ipet_cert.Checker.verdict;
+      (** the trusted checker's validation, run eagerly at production *)
+  emit_seconds : float;  (** certificate production time (one LP re-solve) *)
+  check_seconds : float; (** trusted-checker validation time *)
+}
+
 type result = {
   wcet : extreme;
   bcet : extreme;
   wcet_stats : solver_stats;
   bcet_stats : solver_stats;
+  wcet_cert : certificate option;  (** present when [certify] was set *)
+  bcet_cert : certificate option;
 }
 
-val analyze : ?pool:Ipet_par.Pool.t -> spec -> result
+val analyze : ?pool:Ipet_par.Pool.t -> ?certify:bool -> spec -> result
 (** [pool] (default {!Ipet_par.Pool.default}) fans the disjunctive
     constraint sets out across domains and parallelizes each set's
     branch-and-bound ({!Ipet_lp.Ilp.solve}). The result — bounds,
     witnesses, and every statistic — is bit-identical for any pool size.
+    [certify] (default [false]) additionally emits an exact duality
+    certificate per extreme (see {!Ipet_cert.Certify}) and validates it
+    with the trusted checker; check time and verdicts are surfaced as
+    [cert.*] observability metrics.
     @raise Analysis_error when a loop lacks a bound annotation, a
     functionality constraint does not resolve, every constraint set is
-    infeasible, or the ILP is unbounded. *)
+    infeasible, the ILP is unbounded, or certificate production fails. *)
 
 val estimated_bound : ?pool:Ipet_par.Pool.t -> spec -> int * int
 (** [(bcet, wcet)] — the paper's estimated bound [[t_min, t_max]]. *)

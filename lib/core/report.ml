@@ -63,6 +63,20 @@ let bound_summary (r : Analysis.result) =
       (Printf.sprintf "presolve: %d -> %d variables, %d -> %d constraints\n"
          s.Analysis.presolve_vars_before s.Analysis.presolve_vars_after
          s.Analysis.presolve_constrs_before s.Analysis.presolve_constrs_after);
+  (* only present under --certify, so the default output (and the golden
+     tables built from it) is untouched *)
+  let cert_line side (c : Analysis.certificate) =
+    Buffer.add_string buf
+      (Format.asprintf
+         "%s certificate: %a; %d duals, %d witness vars (emit %.1f ms, check %.2f ms)\n"
+         side Ipet_cert.Checker.pp_verdict c.Analysis.verdict
+         (Array.length c.Analysis.cert.Ipet_cert.Certificate.duals)
+         (List.length c.Analysis.cert.Ipet_cert.Certificate.witness)
+         (1000. *. c.Analysis.emit_seconds)
+         (1000. *. c.Analysis.check_seconds))
+  in
+  Option.iter (cert_line "wcet") r.Analysis.wcet_cert;
+  Option.iter (cert_line "bcet") r.Analysis.bcet_cert;
   Buffer.contents buf
 
 module Metrics = Ipet_obs.Metrics
@@ -90,7 +104,26 @@ let record_lp_metrics registry (r : Analysis.result) =
     set "lp.presolve_rounds" s.Analysis.presolve_rounds
   in
   side "wcet" r.Analysis.wcet_stats;
-  side "bcet" r.Analysis.bcet_stats
+  side "bcet" r.Analysis.bcet_stats;
+  let cert_side solver (c : Analysis.certificate option) =
+    match c with
+    | None -> ()
+    | Some c ->
+      let labels = [ ("solver", solver) ] in
+      let set name v = Metrics.set_gauge_int registry ~labels name v in
+      set "cert.valid"
+        (match c.Analysis.verdict with
+         | Ipet_cert.Checker.Valid _ -> 1
+         | Ipet_cert.Checker.Invalid _ -> 0);
+      set "cert.gap_closed"
+        (if Ipet_cert.Checker.gap_closed c.Analysis.verdict then 1 else 0);
+      set "cert.emit_micros"
+        (int_of_float (1e6 *. c.Analysis.emit_seconds));
+      set "cert.check_micros"
+        (int_of_float (1e6 *. c.Analysis.check_seconds))
+  in
+  cert_side "wcet" r.Analysis.wcet_cert;
+  cert_side "bcet" r.Analysis.bcet_cert
 
 let lp_stats (r : Analysis.result) =
   (* a fresh registry so repeated reports (wcet_sensitivity re-solves, the

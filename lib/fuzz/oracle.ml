@@ -21,6 +21,7 @@ type failure_kind =
   | Constraint_violation
   | Optimizer_divergence
   | Presolve_divergence
+  | Certificate_reject
   | Unexpected_exception
 
 let kind_name = function
@@ -31,6 +32,7 @@ let kind_name = function
   | Constraint_violation -> "constraint-violation"
   | Optimizer_divergence -> "optimizer-divergence"
   | Presolve_divergence -> "presolve-divergence"
+  | Certificate_reject -> "certificate-reject"
   | Unexpected_exception -> "unexpected-exception"
 
 type failure = { kind : failure_kind; detail : string }
@@ -149,12 +151,30 @@ let run cache source =
   let spec =
     Analysis.spec ~cache ~loop_bounds:bounds ~root:"main" compiled.Lang.Compile.prog
   in
-  let bcet, wcet =
-    try Analysis.estimated_bound spec with
+  (* the certifying run: every bound comes with an exact duality
+     certificate, validated by the trusted checker — a reject here means
+     the solver produced a value it cannot prove *)
+  let result =
+    try Analysis.analyze ~certify:true spec with
     | Analysis.Analysis_error m -> fail Analysis_reject "%s" m
     | Invalid_argument m -> fail Analysis_reject "%s" m
     | Annotation.Bad_annotation m -> fail Analysis_reject "annotation: %s" m
   in
+  let bcet, wcet =
+    (result.Analysis.bcet.Analysis.cycles, result.Analysis.wcet.Analysis.cycles)
+  in
+  let check_cert what (c : Analysis.certificate option) =
+    match c with
+    | None -> fail Certificate_reject "%s: no certificate was produced" what
+    | Some c ->
+      (match c.Analysis.verdict with
+       | Ipet_cert.Checker.Valid _ -> ()
+       | Ipet_cert.Checker.Invalid reasons ->
+         fail Certificate_reject "%s certificate rejected: %s" what
+           (String.concat "; " reasons))
+  in
+  check_cert "wcet" result.Analysis.wcet_cert;
+  check_cert "bcet" result.Analysis.bcet_cert;
   (* presolve is required to be semantics-preserving: same bound either way *)
   let bcet_np, wcet_np =
     Analysis.estimated_bound { spec with Analysis.presolve = false }

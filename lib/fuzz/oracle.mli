@@ -5,6 +5,8 @@
     the oracle checks that:
 
     - the frontend accepts it and the analysis produces a bound;
+    - both bounds come with duality certificates that the trusted checker
+      ({!Ipet_cert.Checker}) accepts in exact rational arithmetic;
     - the ILP objective is identical with and without presolve;
     - a cold simulated run of [main] finishes and its cycle count lies
       inside the estimated bound [[BCET, WCET]] (Fig. 1);
@@ -24,6 +26,8 @@ type failure_kind =
   | Constraint_violation  (** measured counts break an ILP constraint *)
   | Optimizer_divergence  (** optimized and unoptimized runs observably differ *)
   | Presolve_divergence   (** presolve changed an ILP objective value *)
+  | Certificate_reject
+      (** the trusted checker refused a bound's duality certificate *)
   | Unexpected_exception
 
 val kind_name : failure_kind -> string

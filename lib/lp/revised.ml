@@ -290,6 +290,23 @@ let solve_primal ?upper ?refactor_every inst ~cost =
     | `Unbounded -> finish Unbounded
     | `Optimal -> finish (Optimal (extract st ~cost:cost_full))
 
+(* Row prices of a finished solve: y = B^-T c_B for the snapshot's basis,
+   one refactorization plus one BTRAN. This is the dual recovery the
+   certificate producer uses; it never runs during the solve itself. *)
+let duals inst ~cost (snap : snapshot) =
+  let m = inst.Sparse.nrows in
+  let fac = Basis.create m in
+  Basis.refactor fac
+    ~col_of:(fun j -> inst.Sparse.cols.(j))
+    ~basis:snap.sbasis;
+  let cost_full = full_cost inst cost in
+  let y = Array.make m Rat.zero in
+  for i = 0 to m - 1 do
+    y.(i) <- cost_full.(snap.sbasis.(i))
+  done;
+  Basis.btran fac y;
+  y
+
 let solve_dual ?refactor_every ?max_iters inst ~cost ~lower ~upper ~warm =
   let m = inst.Sparse.nrows and ncols = inst.Sparse.ncols in
   let nstruct = inst.Sparse.nstruct in
@@ -418,7 +435,16 @@ let solve_dual ?refactor_every ?max_iters inst ~cost ~lower ~upper ~warm =
           let bi = st.basis.(r) in
           let target =
             if above then
-              match st.up.(bi) with Some u -> u | None -> assert false
+              match st.up.(bi) with
+              | Some u -> u
+              | None ->
+                (* [above] promised an upper bound for the leaving basic;
+                   a warm snapshot that does not match the problem (stale
+                   bounds, wrong statuses) can break that promise. That is
+                   a bad warm start, not a proof of anything — give up on
+                   this start and let the caller fall back to a cold
+                   primal solve rather than abort the process *)
+                raise Stuck
             else st.lo.(bi)
           in
           let t = Rat.div (Rat.sub st.beta.(r) target) arq in

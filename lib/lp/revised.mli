@@ -44,8 +44,10 @@ type run = {
 }
 
 exception Stuck
-(** The dual simplex hit its iteration cap or the warm basis was
-    singular; the caller should fall back to a cold solve. *)
+(** The dual simplex hit its iteration cap, the warm basis was singular,
+    or the warm snapshot was inconsistent with the problem's bounds (a
+    leaving basic flagged as above an upper bound it does not have); the
+    caller should fall back to a cold solve. *)
 
 val solve_primal :
   ?upper:Rat.t option array ->
@@ -55,6 +57,14 @@ val solve_primal :
     costs are zero) over the instance. [upper], when given, has length
     [nstruct] and supplies finite upper bounds for structural variables
     (handled in the ratio test, never as rows); lower bounds are 0. *)
+
+val duals :
+  Sparse.t -> cost:Rat.t array -> snapshot -> Rat.t array
+(** Row prices [y = B⁻ᵀ c_B] of the basis in the snapshot, in row order
+    of the instance — the dual multipliers of a finished {!solve_primal}
+    run, recovered with one refactorization and one BTRAN. [cost] is the
+    structural objective, as for {!solve_primal}.
+    @raise Basis.Singular if the snapshot's basis is not a basis. *)
 
 val solve_dual :
   ?refactor_every:int ->

@@ -47,6 +47,18 @@ let read_file path =
   close_in ic;
   content
 
+(* a writer that crashed between open and rename leaves a stale "*.tmp"
+   behind; it is never a valid entry, so opening the cache sweeps them *)
+let sweep_tmp dir =
+  match Sys.readdir dir with
+  | files ->
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".tmp" then
+          try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      files
+  | exception Sys_error _ -> ()
+
 (* atomic-enough write: temp file in the same directory, then rename *)
 let write_file path content =
   let tmp = path ^ ".tmp" in
@@ -107,6 +119,7 @@ let load_index t =
 
 let create ~dir ~cap_bytes =
   mkdir_p dir;
+  sweep_tmp dir;
   let t =
     { dir;
       cap_bytes;
@@ -137,6 +150,13 @@ let drop t key e =
   Hashtbl.remove t.table key;
   t.bytes <- t.bytes - e.size;
   try Sys.remove (entry_path t key) with Sys_error _ -> ()
+
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+    drop t key e;
+    flush t
+  | None -> ()
 
 let miss t =
   t.misses <- t.misses + 1;

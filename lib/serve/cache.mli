@@ -16,7 +16,9 @@ type t
 
 val create : dir:string -> cap_bytes:int -> t
 (** Open (creating the directory if needed) a cache capped at [cap_bytes]
-    of entry-file bytes. *)
+    of entry-file bytes. Stale ["*.tmp"] files left by a crashed writer
+    are swept on open — they are rename-source temporaries, never valid
+    entries. *)
 
 val get : t -> string -> Json.t option
 (** Look up a key, refreshing its recency. *)
@@ -28,6 +30,11 @@ val put : t -> string -> Json.t -> unit
 
 val flush : t -> unit
 (** Persist the index file. Also called by {!put}. *)
+
+val remove : t -> string -> unit
+(** Delete an entry (no-op for an absent key). Used by the incremental
+    engine to drop a cached result whose stored certificate fails
+    validation, so the next lookup misses and re-solves. *)
 
 type stats = {
   entries : int;

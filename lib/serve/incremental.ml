@@ -9,6 +9,9 @@ module Simplex = Ipet_lp.Simplex
 module Rat = Ipet_num.Rat
 module A = Ipet.Analysis
 module Obs = Ipet_obs.Obs
+module Cert = Ipet_cert.Certificate
+module Checker = Ipet_cert.Checker
+module Certify = Ipet_cert.Certify
 
 exception Timeout
 
@@ -17,12 +20,16 @@ type stats = {
   units_cached : int;
   units_solved : int;
   ilp_solves : int;
+  certs_checked : int;
+  certs_rejected : int;
 }
 
 type counter = {
   mutable cached : int;
   mutable solved : int;
   mutable solves : int;
+  mutable cert_checks : int;
+  mutable cert_rejects : int;
 }
 
 let fail fmt = Printf.ksprintf (fun m -> raise (A.Analysis_error m)) fmt
@@ -32,11 +39,13 @@ let check_deadline = function
   | Some _ | None -> ()
 
 (* one per-function extreme: per-entry cycles, per-entry witness block
-   counts (zero counts omitted), origins of the binding constraints *)
+   counts (zero counts omitted), origins of the binding constraints, and
+   the serialized duality certificate proving the cycles *)
 type extreme_pe = {
   cycles_pe : int;
   counts_pe : (int * int) list;
   binding_pe : string list;
+  cert_pe : string;
 }
 
 type unit_result = { key : string; wcet : extreme_pe; bcet : extreme_pe }
@@ -51,15 +60,17 @@ let extreme_to_json e =
           (List.map
              (fun (b, c) -> Json.List [ Json.Int b; Json.Int c ])
              e.counts_pe) );
-      ("binding", Json.List (List.map (fun o -> Json.Str o) e.binding_pe)) ]
+      ("binding", Json.List (List.map (fun o -> Json.Str o) e.binding_pe));
+      ("cert", Json.Str e.cert_pe) ]
 
 let extreme_of_json j =
   match
     ( Option.bind (Json.member "cycles" j) Json.to_int,
       Option.bind (Json.member "counts" j) Json.to_list,
-      Option.bind (Json.member "binding" j) Json.to_list )
+      Option.bind (Json.member "binding" j) Json.to_list,
+      Option.bind (Json.member "cert" j) Json.to_str )
   with
-  | Some cycles_pe, Some counts, Some binding ->
+  | Some cycles_pe, Some counts, Some binding, Some cert_pe ->
     let count = function
       | Json.List [ Json.Int b; Json.Int c ] -> Some (b, c)
       | _ -> None
@@ -69,7 +80,7 @@ let extreme_of_json j =
     let binding_pe = List.filter_map origin binding in
     if List.length counts_pe = List.length counts
        && List.length binding_pe = List.length binding
-    then Some { cycles_pe; counts_pe; binding_pe }
+    then Some { cycles_pe; counts_pe; binding_pe; cert_pe }
     else None
   | _ -> None
 
@@ -88,14 +99,52 @@ let unit_of_json key j =
   | Some s, Some wcet, Some bcet when s = Key.schema -> Some { key; wcet; bcet }
   | _ -> None
 
+(* --- certificate validation ----------------------------------------------- *)
+
+(* a fresh solve must come with a checkable proof before it is cached or
+   reported; a cached entry must still carry one that checks against the
+   problem this request would solve — either way the trusted checker, not
+   the solver, has the last word on every bound the daemon hands out *)
+let checked_cert ~counter ~what problem cert =
+  counter.cert_checks <- counter.cert_checks + 1;
+  Obs.add "serve.cert.checked" 1;
+  match Checker.check problem cert with
+  | Checker.Valid _ -> ()
+  | Checker.Invalid reasons ->
+    counter.cert_rejects <- counter.cert_rejects + 1;
+    Obs.add "serve.cert.rejected" 1;
+    fail "%s certificate rejected by the checker: %s" what
+      (String.concat "; " reasons)
+
+(* validation of a cached extreme: parse the stored certificate, require it
+   to certify exactly the cached cycle count, and check it against the
+   problem rebuilt for this request. Failure is not fatal — the entry is
+   dropped and re-solved *)
+let cached_extreme_valid ~counter problem (e : extreme_pe) =
+  counter.cert_checks <- counter.cert_checks + 1;
+  Obs.add "serve.cert.checked" 1;
+  let ok =
+    match Cert.of_string e.cert_pe with
+    | Error _ -> false
+    | Ok cert ->
+      Rat.equal cert.Cert.bound (Rat.of_int e.cycles_pe)
+      && (match Checker.check problem cert with
+          | Checker.Valid _ -> true
+          | Checker.Invalid _ -> false)
+  in
+  if not ok then begin
+    counter.cert_rejects <- counter.cert_rejects + 1;
+    Obs.add "serve.cert.rejected" 1
+  end;
+  ok
+
 (* --- one per-function solve ---------------------------------------------- *)
 
-let solve_unit ~pool ~counter ~deadline (spec : A.spec) constraints ~objective
-    ~direction (func : P.func) =
+let solve_unit ~pool ~counter ~deadline (spec : A.spec) problem (func : P.func)
+    =
   check_deadline deadline;
   counter.solves <- counter.solves + 1;
   Obs.add "serve.ilp.solves" 1;
-  let problem = Lp.make direction objective constraints in
   match Ilp.solve ~presolve:spec.A.presolve ?pool problem with
   | Ilp.Optimal { value; assignment; _ } ->
     let env = Simplex.assignment_env assignment in
@@ -122,9 +171,19 @@ let solve_unit ~pool ~counter ~deadline (spec : A.spec) constraints ~objective
             if c.Lp.origin <> "" && Rat.is_zero (L.eval env c.Lp.expr) then
               Some c.Lp.origin
             else None)
-        constraints
+        problem.Lp.constraints
     in
-    { cycles_pe = Rat.to_int value; counts_pe; binding_pe }
+    let cert =
+      match Certify.certify problem ~witness:assignment ~bound:value with
+      | Ok c -> c
+      | Error m ->
+        fail "%s certificate production failed: %s" func.P.name m
+    in
+    checked_cert ~counter ~what:func.P.name problem cert;
+    { cycles_pe = Rat.to_int value;
+      counts_pe;
+      binding_pe;
+      cert_pe = Cert.to_string cert }
   | Ilp.Infeasible _ -> fail "per-entry ILP for %s is infeasible" func.P.name
   | Ilp.Unbounded _ -> fail "per-entry ILP for %s is unbounded" func.P.name
 
@@ -149,64 +208,69 @@ let analyze_func ~pool ~counter ~deadline (spec : A.spec) layout
     Key.func_key ~cache:spec.A.cache ~dcache:spec.A.dcache ~costs
       ~annotations:spec.A.loop_bounds ~callees func
   in
+  (* the unit's two ILPs are built eagerly — a cache hit needs them too,
+     to validate the stored certificates against exactly the problems this
+     request would otherwise solve. A hit implies the same annotations that
+     previously solved (they are part of the key), so the missing-bound
+     check cannot newly fire on the warm path *)
+  let inst =
+    { Ipet.Structural.ctx = Ipet.Flowvar.root_ctx; func; sites = [] }
+  in
+  let structural = Ipet.Structural.instance_constraints inst ~is_root:true in
+  let loop_cs, unbounded =
+    Ipet.Annotation.constraints spec.A.prog [ inst ] spec.A.loop_bounds
+  in
+  (match unbounded with
+   | [] -> ()
+   | us ->
+     let render (u : Ipet.Annotation.unbounded) =
+       if u.Ipet.Annotation.header_line > 0 then
+         Printf.sprintf "%s (header at line %d)" u.Ipet.Annotation.ufunc
+           u.Ipet.Annotation.header_line
+       else
+         Printf.sprintf "%s (header block %d)" u.Ipet.Annotation.ufunc
+           u.Ipet.Annotation.header_block
+     in
+     fail "missing loop bounds for: %s"
+       (String.concat ", " (List.map render us)));
+  let constraints = structural @ loop_cs in
+  let objective select_cost select_callee =
+    Array.fold_left
+      (fun acc (b : P.block) ->
+        let c =
+          List.fold_left
+            (fun acc g ->
+              acc + select_callee (Hashtbl.find done_units g))
+            (select_cost costs.(b.P.id))
+            (P.calls_of_block b)
+        in
+        if c = 0 then acc
+        else
+          L.add acc
+            (L.var ~coeff:(Rat.of_int c)
+               (Ipet.Flowvar.name
+                  (Ipet.Flowvar.Block
+                     { ctx = Ipet.Flowvar.root_ctx;
+                       func = func.P.name;
+                       block = b.P.id }))))
+      L.zero func.P.blocks
+  in
+  let wcet_problem =
+    Lp.make Lp.Maximize
+      (objective (fun c -> c.Cost.worst) (fun u -> u.wcet.cycles_pe))
+      constraints
+  in
+  let bcet_problem =
+    Lp.make Lp.Minimize
+      (objective (fun c -> c.Cost.best) (fun u -> u.bcet.cycles_pe))
+      constraints
+  in
   let solve () =
-    let inst =
-      { Ipet.Structural.ctx = Ipet.Flowvar.root_ctx; func; sites = [] }
-    in
-    let structural = Ipet.Structural.instance_constraints inst ~is_root:true in
-    let loop_cs, unbounded =
-      Ipet.Annotation.constraints spec.A.prog [ inst ] spec.A.loop_bounds
-    in
-    (match unbounded with
-     | [] -> ()
-     | us ->
-       let render (u : Ipet.Annotation.unbounded) =
-         if u.Ipet.Annotation.header_line > 0 then
-           Printf.sprintf "%s (header at line %d)" u.Ipet.Annotation.ufunc
-             u.Ipet.Annotation.header_line
-         else
-           Printf.sprintf "%s (header block %d)" u.Ipet.Annotation.ufunc
-             u.Ipet.Annotation.header_block
-       in
-       fail "missing loop bounds for: %s"
-         (String.concat ", " (List.map render us)));
-    let constraints = structural @ loop_cs in
-    let objective select_cost select_callee =
-      Array.fold_left
-        (fun acc (b : P.block) ->
-          let c =
-            List.fold_left
-              (fun acc g ->
-                acc + select_callee (Hashtbl.find done_units g))
-              (select_cost costs.(b.P.id))
-              (P.calls_of_block b)
-          in
-          if c = 0 then acc
-          else
-            L.add acc
-              (L.var ~coeff:(Rat.of_int c)
-                 (Ipet.Flowvar.name
-                    (Ipet.Flowvar.Block
-                       { ctx = Ipet.Flowvar.root_ctx;
-                         func = func.P.name;
-                         block = b.P.id }))))
-        L.zero func.P.blocks
-    in
-    let wcet =
-      solve_unit ~pool ~counter ~deadline spec constraints
-        ~objective:
-          (objective (fun c -> c.Cost.worst) (fun u -> u.wcet.cycles_pe))
-        ~direction:Lp.Maximize func
-    in
-    let bcet =
-      solve_unit ~pool ~counter ~deadline spec constraints
-        ~objective:
-          (objective (fun c -> c.Cost.best) (fun u -> u.bcet.cycles_pe))
-        ~direction:Lp.Minimize func
-    in
+    let wcet = solve_unit ~pool ~counter ~deadline spec wcet_problem func in
+    let bcet = solve_unit ~pool ~counter ~deadline spec bcet_problem func in
     { key; wcet; bcet }
   in
-  (key, solve)
+  (key, (wcet_problem, bcet_problem), solve)
 
 (* --- aggregation --------------------------------------------------------- *)
 
@@ -292,26 +356,73 @@ let unit_row ~name ~key ~bcet_pe ~wcet_pe ~bcet_entries ~wcet_entries =
 
 (* --- whole-program fallback ---------------------------------------------- *)
 
+(* a cached whole-program extreme is validated by rebuilding the monolithic
+   ILPs (one per surviving conjunctive set) and checking the stored
+   certificate against the set whose digest it names — the winning set of
+   the run that produced the entry *)
+let monolithic_extreme_valid ~counter problems (e : extreme_pe) =
+  counter.cert_checks <- counter.cert_checks + 1;
+  Obs.add "serve.cert.checked" 1;
+  let ok =
+    match Cert.of_string e.cert_pe with
+    | Error _ -> false
+    | Ok cert ->
+      Rat.equal cert.Cert.bound (Rat.of_int e.cycles_pe)
+      && List.exists
+           (fun p ->
+             String.equal (Cert.digest_problem p) cert.Cert.digest
+             && (match Checker.check p cert with
+                 | Checker.Valid _ -> true
+                 | Checker.Invalid _ -> false))
+           problems
+  in
+  if not ok then begin
+    counter.cert_rejects <- counter.cert_rejects + 1;
+    Obs.add "serve.cert.rejected" 1
+  end;
+  ok
+
 let monolithic ~pool ~cache ~deadline counter (spec : A.spec) =
   check_deadline deadline;
   let key =
     Key.program_key ~cache:spec.A.cache ~dcache:spec.A.dcache ~root:spec.A.root
       ~annotations:spec.A.loop_bounds ~functional:spec.A.functional spec.A.prog
   in
-  let prog_extreme (e : A.extreme) =
+  let prog_extreme (e : A.extreme) cert_pe =
     { cycles_pe = e.A.cycles;
       counts_pe = [];
-      binding_pe = e.A.binding }
+      binding_pe = e.A.binding;
+      cert_pe }
+  in
+  let cert_string what (c : A.certificate option) =
+    match c with
+    | None -> fail "monolithic analysis produced no %s certificate" what
+    | Some c ->
+      counter.cert_checks <- counter.cert_checks + 1;
+      (match c.A.verdict with
+       | Checker.Valid _ -> Cert.to_string c.A.cert
+       | Checker.Invalid reasons ->
+         counter.cert_rejects <- counter.cert_rejects + 1;
+         Obs.add "serve.cert.rejected" 1;
+         fail "%s certificate rejected by the checker: %s" what
+           (String.concat "; " reasons))
   in
   let cached = Option.bind cache (fun c -> Cache.get c key) in
-  let result =
+  let validated =
     match Option.bind cached (unit_of_json key) with
-    | Some u -> Some (u, None)
+    | Some u
+      when monolithic_extreme_valid ~counter (A.wcet_problems spec) u.wcet
+           && monolithic_extreme_valid ~counter (A.bcet_problems spec) u.bcet
+      ->
+      Some u
+    | Some _ ->
+      (match cache with Some c -> Cache.remove c key | None -> ());
+      None
     | None -> None
   in
-  let (u, counts), from_cache =
-    match result with
-    | Some (u, _) ->
+  let u, counts =
+    match validated with
+    | Some u ->
       counter.cached <- counter.cached + 1;
       (* whole-program counts round-trip through a side field *)
       let counts ext =
@@ -326,17 +437,19 @@ let monolithic ~pool ~cache ~deadline counter (spec : A.spec) =
                (Json.to_list j))
         | None -> []
       in
-      ((u, (counts "wcet_counts", counts "bcet_counts")), true)
+      (u, (counts "wcet_counts", counts "bcet_counts"))
     | None ->
       counter.solved <- counter.solved + 1;
-      let r = A.analyze ?pool spec in
+      let r = A.analyze ?pool ~certify:true spec in
       counter.solves <-
         counter.solves + r.A.wcet_stats.A.sets_solved
         + r.A.bcet_stats.A.sets_solved;
       Obs.add "serve.ilp.solves"
         (r.A.wcet_stats.A.sets_solved + r.A.bcet_stats.A.sets_solved);
       let u =
-        { key; wcet = prog_extreme r.A.wcet; bcet = prog_extreme r.A.bcet }
+        { key;
+          wcet = prog_extreme r.A.wcet (cert_string "wcet" r.A.wcet_cert);
+          bcet = prog_extreme r.A.bcet (cert_string "bcet" r.A.bcet_cert) }
       in
       let counts = (r.A.wcet.A.counts, r.A.bcet.A.counts) in
       (match cache with
@@ -352,9 +465,8 @@ let monolithic ~pool ~cache ~deadline counter (spec : A.spec) =
          in
          Cache.put c key with_counts
        | None -> ());
-      ((u, counts), false)
+      (u, counts)
   in
-  ignore from_cache;
   let wcet_counts, bcet_counts = counts in
   let rep =
     report ~root:spec.A.root ~unit_kind:"program" ~bcet:u.bcet.cycles_pe
@@ -369,7 +481,9 @@ let monolithic ~pool ~cache ~deadline counter (spec : A.spec) =
 (* --- entry point --------------------------------------------------------- *)
 
 let analyze ?pool ?cache ?deadline (spec : A.spec) =
-  let counter = { cached = 0; solved = 0; solves = 0 } in
+  let counter =
+    { cached = 0; solved = 0; solves = 0; cert_checks = 0; cert_rejects = 0 }
+  in
   let rep =
     if spec.A.functional <> [] || spec.A.first_miss_refinement then
       monolithic ~pool ~cache ~deadline counter spec
@@ -396,7 +510,7 @@ let analyze ?pool ?cache ?deadline (spec : A.spec) =
       List.iter
         (fun fname ->
           let func = P.find_func prog fname in
-          let key, solve =
+          let key, (wcet_problem, bcet_problem), solve =
             analyze_func ~pool ~counter ~deadline spec layout units func
           in
           let u =
@@ -405,10 +519,18 @@ let analyze ?pool ?cache ?deadline (spec : A.spec) =
                 (Option.bind cache (fun c -> Cache.get c key))
                 (unit_of_json key)
             with
-            | Some u ->
+            | Some u
+              when cached_extreme_valid ~counter wcet_problem u.wcet
+                   && cached_extreme_valid ~counter bcet_problem u.bcet ->
               counter.cached <- counter.cached + 1;
               u
-            | None ->
+            | cached_u ->
+              (* an entry whose certificate no longer checks is dropped and
+                 the unit re-solved — a cache can be corrupted or tampered
+                 with; the proof obligation cannot *)
+              (match (cached_u, cache) with
+               | Some _, Some c -> Cache.remove c key
+               | _ -> ());
               counter.solved <- counter.solved + 1;
               let u = solve () in
               (match cache with
@@ -446,4 +568,6 @@ let analyze ?pool ?cache ?deadline (spec : A.spec) =
     { units_total = counter.cached + counter.solved;
       units_cached = counter.cached;
       units_solved = counter.solved;
-      ilp_solves = counter.solves } )
+      ilp_solves = counter.solves;
+      certs_checked = counter.cert_checks;
+      certs_rejected = counter.cert_rejects } )

@@ -36,6 +36,14 @@ type stats = {
   units_cached : int;  (** served from the cache *)
   units_solved : int;  (** actually (re-)solved *)
   ilp_solves : int;    (** ILP solver invocations performed *)
+  certs_checked : int;
+      (** trusted-checker validations run — two per fresh solve (one per
+          extreme) and two per cache hit: every bound the engine returns
+          was just proven, whether it was computed or recalled *)
+  certs_rejected : int;
+      (** validations that failed. A rejected fresh certificate aborts the
+          request ({!Ipet.Analysis.Analysis_error}); a rejected cached one
+          drops the entry and re-solves, so it is self-healing *)
 }
 
 val analyze :

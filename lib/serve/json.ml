@@ -35,7 +35,10 @@ let rec write buf = function
       let s = Printf.sprintf "%.17g" f in
       let shorter = Printf.sprintf "%.15g" f in
       Buffer.add_string buf (if float_of_string shorter = f then shorter else s)
-    else Buffer.add_string buf "0"
+    else
+      (* JSON has no nan/infinity literal; "0" would silently pass a bogus
+         measurement off as a real one, so degrade to null instead *)
+      Buffer.add_string buf "null"
   | Str s ->
     Buffer.add_char buf '"';
     Buffer.add_string buf (escape s);

@@ -3,7 +3,7 @@ module Instr = Ipet_isa.Instr
 module Icache = Ipet_machine.Icache
 module Cost = Ipet_machine.Cost
 
-let schema = 1
+let schema = 2
 
 let add_cache buf (c : Icache.config) =
   Buffer.add_string buf

@@ -171,6 +171,8 @@ let analyze config req =
           ("units_cached", Json.Int stats.Incremental.units_cached);
           ("units_solved", Json.Int stats.Incremental.units_solved);
           ("ilp_solves", Json.Int stats.Incremental.ilp_solves);
+          ("certs_checked", Json.Int stats.Incremental.certs_checked);
+          ("certs_rejected", Json.Int stats.Incremental.certs_rejected);
           ("wall_ms", Json.Int wall_ms) ] ) ]
 
 (* --- dispatch ------------------------------------------------------------ *)

@@ -291,6 +291,58 @@ let test_lp_format_minimize () =
   check_bool "has minimize" true (contains ~needle:"Minimize" text);
   check_bool "rhs rendered" true (contains ~needle:">= 3" text)
 
+(* --- Revised: bad warm starts degrade to Stuck, never abort ------------- *)
+
+module Sparse = Ipet_lp.Sparse
+module R = Ipet_lp.Revised
+
+(* branch-and-bound relies on this contract: any warm start the dual
+   simplex cannot complete — iteration cap, singular or inconsistent
+   snapshot — raises [Stuck] (which {!Ilp.solve} answers with a cold
+   primal fallback) instead of asserting the process down *)
+let test_dual_stuck_fallback () =
+  let open L.Infix in
+  let problem =
+    lp_max (v "x" + v "y") [ P.le (v "x") (int 4); P.le (v "y") (int 3) ]
+  in
+  let inst = Sparse.build ~vars:(P.variables problem) problem in
+  let cost =
+    Array.map (fun v -> L.coeff problem.P.objective v) inst.Sparse.vars
+  in
+  let sol =
+    match (R.solve_primal inst ~cost).R.verdict with
+    | R.Optimal sol -> sol
+    | _ -> Alcotest.fail "primal solve should be optimal"
+  in
+  let nstruct = inst.Sparse.nstruct in
+  let lower = Array.make nstruct Rat.zero in
+  let upper = Array.make nstruct None in
+  let stuck f = match f () with exception R.Stuck -> true | _ -> false in
+  (* tightened bounds force at least one pivot, so a zero cap must trip *)
+  let upper_t = Array.map (fun _ -> Some (Rat.of_int 1)) upper in
+  check_bool "iteration cap raises Stuck" true
+    (stuck (fun () ->
+       R.solve_dual ~max_iters:0 inst ~cost ~lower ~upper:upper_t
+         ~warm:sol.R.snapshot));
+  (* a snapshot whose basis repeats one column is singular *)
+  let m = inst.Sparse.nrows in
+  let degenerate =
+    { R.sbasis = Array.make m sol.R.snapshot.R.sbasis.(0);
+      sstatus = Array.copy sol.R.snapshot.R.sstatus }
+  in
+  check_bool "singular warm basis raises Stuck" true
+    (stuck (fun () ->
+       R.solve_dual inst ~cost ~lower ~upper ~warm:degenerate));
+  (* and a sane warm start still re-optimizes under tightened bounds *)
+  match
+    (R.solve_dual inst ~cost ~lower ~upper:upper_t ~warm:sol.R.snapshot)
+      .R.verdict
+  with
+  | R.Optimal s ->
+    Alcotest.check rat_testable "tightened optimum" (Rat.of_int 2)
+      s.R.value
+  | _ -> Alcotest.fail "tightened re-optimization should stay optimal"
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [ prop_simplex_dominates; prop_ilp_matches_bruteforce ]
@@ -313,5 +365,7 @@ let suite =
     ("ilp infeasible", `Quick, test_ilp_infeasible);
     ("ilp unbounded", `Quick, test_ilp_unbounded);
     ("lp format export", `Quick, test_lp_format);
-    ("lp format minimize", `Quick, test_lp_format_minimize) ]
+    ("lp format minimize", `Quick, test_lp_format_minimize);
+    ("dual simplex: bad warm starts raise Stuck", `Quick,
+     test_dual_stuck_fallback) ]
   @ props

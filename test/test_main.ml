@@ -4,6 +4,7 @@ let () =
   Alcotest.run "ipet"
     [ ("num", Test_num.suite);
       ("lp", Test_lp.suite);
+      ("cert", Test_cert.suite);
       ("presolve", Test_presolve.suite);
       ("isa", Test_isa.suite);
       ("lang", Test_lang.suite);

@@ -64,6 +64,20 @@ let test_json_roundtrip () =
   check_bool "\\u escape decodes to UTF-8" true
     (J.parse {|"\u00e9 \ud83d\ude00"|} = Ok (J.Str "\xc3\xa9 \xf0\x9f\x98\x80"))
 
+let test_json_nonfinite () =
+  (* JSON has no nan/infinity literal; the printer must not pass a bogus
+     measurement off as a real zero, so non-finite degrades to null — and
+     the output must still parse *)
+  List.iter
+    (fun f ->
+      let printed = J.to_string (J.List [ J.Float f; J.Int 1 ]) in
+      check_string
+        (Printf.sprintf "%h prints as null" f)
+        "[null,1]" printed;
+      check_bool "printed form re-parses" true
+        (J.parse printed = Ok (J.List [ J.Null; J.Int 1 ])))
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
 let test_json_errors () =
   let rejects s = match J.parse s with Ok _ -> false | Error _ -> true in
   List.iter
@@ -328,6 +342,93 @@ let test_lru_eviction () =
   check_bool "entries are readable after reopen" true
     (Cache.get reopened (k 3) = Some (payload 3))
 
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let test_cert_self_heal () =
+  let cache =
+    Cache.create ~dir:(tmp_dir "serve-cert-heal") ~cap_bytes:(16 * 1024 * 1024)
+  in
+  let spec = edit_spec (edit_source 3) in
+  let cold_rep, cold = Incr.analyze ~cache spec in
+  check_int "cold run proves every bound it computed"
+    (2 * cold.Incr.units_solved) cold.Incr.certs_checked;
+  check_int "cold run rejects nothing" 0 cold.Incr.certs_rejected;
+  let warm_rep, warm = Incr.analyze ~cache spec in
+  check_int "warm run solves nothing" 0 warm.Incr.units_solved;
+  check_int "warm bounds are re-proven, not trusted"
+    (2 * warm.Incr.units_cached) warm.Incr.certs_checked;
+  check_int "warm run rejects nothing" 0 warm.Incr.certs_rejected;
+  check_string "warm report is byte-identical" (J.to_string cold_rep)
+    (J.to_string warm_rep);
+  (* tamper with one cached certificate: the engine must notice, drop the
+     entry, and re-solve — never serve a bound it cannot re-prove *)
+  let dir = Cache.dir cache in
+  let entry =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare |> List.hd
+  in
+  let path = Filename.concat dir entry in
+  let tamper = function
+    | J.Obj fields ->
+      J.Obj
+        (List.map
+           (function
+             | ("wcet", J.Obj wf) ->
+               ( "wcet",
+                 J.Obj
+                   (List.map
+                      (function
+                        | "cert", J.Str _ -> ("cert", J.Str "tampered")
+                        | kv -> kv)
+                      wf) )
+             | kv -> kv)
+           fields)
+    | _ -> Alcotest.fail "cache entry is not an object"
+  in
+  (match J.parse (read_file path) with
+   | Ok j -> write_file path (J.to_string (tamper j))
+   | Error m -> Alcotest.failf "unparsable cache entry: %s" m);
+  let healed_rep, healed = Incr.analyze ~cache spec in
+  check_bool "the tampered certificate was rejected" true
+    (healed.Incr.certs_rejected >= 1);
+  check_int "exactly the tampered unit was re-solved" 1
+    healed.Incr.units_solved;
+  check_string "the healed report is byte-identical" (J.to_string cold_rep)
+    (J.to_string healed_rep)
+
+let test_tmp_sweep () =
+  (* a writer that dies between open and rename leaves "*.tmp" files the
+     entry namespace can never reference; reopening the cache sweeps them
+     and keeps the real entries *)
+  let dir = tmp_dir "serve-tmp-sweep" in
+  let k i = Digest.to_hex (Digest.string (string_of_int i)) in
+  let cache = Cache.create ~dir ~cap_bytes:(1024 * 1024) in
+  Cache.put cache (k 1) (J.Obj [ ("n", J.Int 1) ]);
+  let orphan name =
+    let oc = open_out_bin (Filename.concat dir name) in
+    output_string oc "half-written";
+    close_out oc
+  in
+  orphan (k 2 ^ ".json.tmp");
+  orphan "index.tmp";
+  let reopened = Cache.create ~dir ~cap_bytes:(1024 * 1024) in
+  check_bool "orphaned entry temp was swept" false
+    (Sys.file_exists (Filename.concat dir (k 2 ^ ".json.tmp")));
+  check_bool "orphaned index temp was swept" false
+    (Sys.file_exists (Filename.concat dir "index.tmp"));
+  check_bool "real entries survive the sweep" true
+    (Cache.get reopened (k 1) = Some (J.Obj [ ("n", J.Int 1) ]))
+
 (* --- protocol ------------------------------------------------------------- *)
 
 let pconfig = { Protocol.pool = None; cache = None; default_timeout_ms = None }
@@ -483,6 +584,8 @@ let test_socket_e2e () =
 
 let suite =
   [ Alcotest.test_case "json: compound round trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json: non-finite floats print as null" `Quick
+      test_json_nonfinite;
     Alcotest.test_case "json: malformed inputs are rejected" `Quick
       test_json_errors;
     QCheck_alcotest.to_alcotest prop_json_roundtrip;
@@ -499,6 +602,10 @@ let suite =
       test_one_function_edit;
     Alcotest.test_case "cache: LRU eviction and restart" `Quick
       test_lru_eviction;
+    Alcotest.test_case "cache: orphaned temp files are swept on open" `Quick
+      test_tmp_sweep;
+    Alcotest.test_case "certificates: warm hits re-prove, tampering heals"
+      `Quick test_cert_self_heal;
     Alcotest.test_case "protocol: every failure is a structured error" `Quick
       test_protocol_errors;
     Alcotest.test_case "protocol: hello, analyze, shutdown" `Quick
