@@ -726,8 +726,10 @@ let export dir =
 module J = Ipet_serve.Json
 
 (* One analyze request line per paper benchmark (loop bounds only, like
-   [export]: the functional-constraint DSL has no textual serialization). *)
-let serve_requests ~use_cache =
+   [export]: the functional-constraint DSL has no textual serialization).
+   [tag] becomes the request's trace id prefix, so the daemon-side trace
+   shows every pass/benchmark pair as its own track. *)
+let serve_requests ~tag ~use_cache =
   List.map
     (fun (bench : Bspec.t) ->
       ( bench.Bspec.name,
@@ -736,15 +738,21 @@ let serve_requests ~use_cache =
              [ ("v", J.Int Ipet_serve.Protocol.version);
                ("op", J.Str "analyze");
                ("id", J.Str bench.Bspec.name);
+               ("trace", J.Str (tag ^ ":" ^ bench.Bspec.name));
                ("source", J.Str bench.Bspec.source);
                ("annotations", J.Str (render_ann bench));
                ("options", J.Obj [ ("use_cache", J.Bool use_cache) ]) ]) ))
     Ipet_suite.Suite.all
 
-let percentile sorted p =
-  match Array.length sorted with
-  | 0 -> 0.0
-  | n -> sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+(* client-side latency quantiles go through the same histogram the daemon
+   uses — one estimator, no ad-hoc sorting to disagree with it *)
+module M = Ipet_obs.Metrics
+
+let latency_quantiles latencies =
+  let reg = M.create () in
+  let h = M.histogram reg "latency_ms" in
+  List.iter (fun ms -> M.observe h ms) latencies;
+  (M.quantile h 0.50, M.quantile h 0.99)
 
 (* One client process: drive the whole request list sequentially over a
    single connection, appending "name ms" latency lines to [out]. *)
@@ -821,17 +829,16 @@ let serve_pass ~socket ~dir ~clients ~pass requests =
   (wall, latencies)
 
 let pass_json name wall latencies =
-  let sorted = Array.of_list latencies in
-  Array.sort compare sorted;
-  let n = Array.length sorted in
+  let n = List.length latencies in
   let rps = float_of_int n /. wall in
+  let p50, p99 = latency_quantiles latencies in
   Printf.printf
     "%s: %d analyses in %.2fs (%.1f/s), p50 %.1fms, p99 %.1fms\n" name n wall
-    rps (percentile sorted 0.50) (percentile sorted 0.99);
+    rps p50 p99;
   Printf.sprintf
     "  \"%s\": { \"analyses\": %d, \"wall_s\": %.4f, \"per_s\": %.2f, \
      \"p50_ms\": %.3f, \"p99_ms\": %.3f }"
-    name n wall rps (percentile sorted 0.50) (percentile sorted 0.99)
+    name n wall rps p50 p99
 
 (* Load-test the daemon: fork it (before any domain is spawned in this
    process — OCaml 5 domains and fork do not mix), run a cold pass with an
@@ -858,6 +865,7 @@ let bench_serve ~jobs ~check =
   | 0 ->
     (* daemon child: safe to spawn domains now *)
     Pool.set_default ~jobs;
+    Ipet_obs.Obs.enable ();
     (try
        Ipet_serve.Server.run
          { Ipet_serve.Server.socket_path = socket;
@@ -867,7 +875,18 @@ let bench_serve ~jobs ~check =
                (Ipet_serve.Cache.create ~dir:(Filename.concat dir "cache")
                   ~cap_bytes:(64 * 1024 * 1024));
            default_timeout_ms = None;
-           max_request_bytes = 16 * 1024 * 1024 }
+           max_request_bytes = 16 * 1024 * 1024;
+           access_log = None;
+           access_log_cap = 8 * 1024 * 1024;
+           flight_cap = 512;
+           flight_dump = None };
+       (* per-request tracks, one row per pass:benchmark trace id *)
+       let oc = open_out "BENCH_serve_trace.json" in
+       output_string oc
+         (Ipet_obs.Obs.Trace_event.to_string
+            ~track_names:(Ipet_obs.Obs.track_names ())
+            (Ipet_obs.Obs.spans ()));
+       close_out oc
      with e ->
        Printf.eprintf "serve bench daemon: %s\n%!" (Printexc.to_string e);
        Unix._exit 1);
@@ -892,12 +911,53 @@ let bench_serve ~jobs ~check =
        warm: every request is a cache hit *)
     let cold_wall, cold_lat =
       serve_pass ~socket ~dir ~clients ~pass:"cold"
-        (serve_requests ~use_cache:false)
+        (serve_requests ~tag:"cold" ~use_cache:false)
     in
-    let warm_requests = serve_requests ~use_cache:true in
-    let _ = serve_pass ~socket ~dir ~clients:1 ~pass:"fill" warm_requests in
+    let _, fill_lat =
+      serve_pass ~socket ~dir ~clients:1 ~pass:"fill"
+        (serve_requests ~tag:"fill" ~use_cache:true)
+    in
     let warm_wall, warm_lat =
-      serve_pass ~socket ~dir ~clients ~pass:"warm" warm_requests
+      serve_pass ~socket ~dir ~clients ~pass:"warm"
+        (serve_requests ~tag:"warm" ~use_cache:true)
+    in
+    (* cross-check: the daemon's own latency histogram must agree with
+       what the clients measured. The daemon times only the handler, the
+       clients also see queueing behind the single-threaded loop, so
+       daemon p99 <= client p99 modulo bucket width and wire overhead. *)
+    let daemon_p99_ms =
+      match
+        Ipet_serve.Client.one_shot ~socket
+          (J.to_string
+             (J.Obj
+                [ ("v", J.Int Ipet_serve.Protocol.version);
+                  ("op", J.Str "metrics") ]))
+      with
+      | None | exception Unix.Unix_error _ -> None
+      | Some response ->
+        (match J.parse response with
+         | Error _ -> None
+         | Ok j ->
+           Option.bind
+             (Option.bind
+                (Option.bind (J.member "metrics" j) (J.member "metrics"))
+                J.to_list)
+             (fun items ->
+               List.find_map
+                 (fun m ->
+                   match
+                     ( Option.bind (J.member "name" m) J.to_str,
+                       Option.bind
+                         (Option.bind (J.member "labels" m) (J.member "op"))
+                         J.to_str )
+                   with
+                   | Some "serve.latency_seconds", Some "analyze" ->
+                     (match J.member "p99" m with
+                      | Some (J.Float s) -> Some (s *. 1000.0)
+                      | Some (J.Int s) -> Some (float_of_int s *. 1000.0)
+                      | _ -> None)
+                   | _ -> None)
+                 items))
     in
     ignore
       (Ipet_serve.Client.one_shot ~socket
@@ -906,6 +966,23 @@ let bench_serve ~jobs ~check =
                [ ("v", J.Int Ipet_serve.Protocol.version);
                  ("op", J.Str "shutdown") ])));
     ignore (Unix.waitpid [] daemon);
+    let _, client_p99_ms =
+      latency_quantiles (cold_lat @ fill_lat @ warm_lat)
+    in
+    (match daemon_p99_ms with
+     | None ->
+       prerr_endline "serve bench: daemon metrics op returned no analyze p99";
+       exit 1
+     | Some d_p99 ->
+       Printf.printf "analyze p99: daemon-side %.1fms, client-side %.1fms\n"
+         d_p99 client_p99_ms;
+       if not (d_p99 > 0.0 && d_p99 <= (client_p99_ms *. 1.5) +. 5.0) then begin
+         Printf.printf
+           "serve bench: FAIL — daemon-side p99 %.1fms inconsistent with \
+            client-side %.1fms\n"
+           d_p99 client_p99_ms;
+         exit 1
+       end);
     let speedup = cold_wall /. warm_wall in
     let cold_json = pass_json "cold" cold_wall cold_lat in
     let warm_json = pass_json "warm" warm_wall warm_lat in

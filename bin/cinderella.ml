@@ -49,7 +49,8 @@ let setup_obs (trace_out, metrics_out, jobs) =
         Option.iter
           (fun path ->
             Obs.Sink.write_file path
-              (Obs.Trace_event.to_string (Obs.spans ())))
+              (Obs.Trace_event.to_string ~track_names:(Obs.track_names ())
+                 (Obs.spans ())))
           trace_out;
         Option.iter
           (fun path ->
@@ -662,18 +663,31 @@ let asm =
 
 (* --- serve / query -------------------------------------------------------- *)
 
-let serve_cmd obs socket cache_dir no_cache cache_cap timeout_ms =
+let serve_cmd obs socket cache_dir no_cache cache_cap timeout_ms access_log
+    access_log_cap flight_cap flight_dump =
   setup_obs obs;
   let cache =
     if no_cache then None
     else Some (Ipet_serve.Cache.create ~dir:cache_dir ~cap_bytes:cache_cap)
+  in
+  let flight_dump =
+    (* default next to the socket, so tmp-socket runs keep the dump
+       contained; --flight-dump "" disables it *)
+    match flight_dump with
+    | Some "" -> None
+    | Some path -> Some path
+    | None -> Some (socket ^ ".flight.jsonl")
   in
   let config =
     { Ipet_serve.Server.socket_path = socket;
       pool = Some (Pool.default ());
       cache;
       default_timeout_ms = timeout_ms;
-      max_request_bytes = 16 * 1024 * 1024 }
+      max_request_bytes = 16 * 1024 * 1024;
+      access_log;
+      access_log_cap;
+      flight_cap;
+      flight_dump }
   in
   Printf.eprintf "cinderella %s serving on %s (cache: %s)\n%!"
     Ipet_serve.Version.version socket
@@ -684,7 +698,12 @@ let serve_cmd obs socket cache_dir no_cache cache_cap timeout_ms =
 
 module J = Ipet_serve.Json
 
-let query_request source_path annot_path root timeout_ms no_cache =
+let trace_fields = function
+  | None -> []
+  | Some id -> [ ("trace", J.Str id) ]
+
+let query_request ?trace ~want_spans source_path annot_path root timeout_ms
+    no_cache =
   match source_path with
   | None ->
     Diag.fail ~code:Diag.exit_input "query needs SOURCE.mc, --op or --raw"
@@ -693,6 +712,7 @@ let query_request source_path annot_path root timeout_ms no_cache =
     let lang = if has_suffix ~suffix:".s" path then "asm" else "mc" in
     let options =
       (if no_cache then [ ("use_cache", J.Bool false) ] else [])
+      @ (if want_spans then [ ("trace_spans", J.Bool true) ] else [])
       @ (match timeout_ms with
          | Some ms -> [ ("timeout_ms", J.Int ms) ]
          | None -> [])
@@ -700,24 +720,127 @@ let query_request source_path annot_path root timeout_ms no_cache =
     J.to_string
       (J.Obj
          ([ ("v", J.Int Ipet_serve.Protocol.version);
-            ("op", J.Str "analyze");
-            ("lang", J.Str lang);
-            ("source", J.Str source) ]
+            ("op", J.Str "analyze") ]
+          @ trace_fields trace
+          @ [ ("lang", J.Str lang); ("source", J.Str source) ]
           @ (match annot_path with
              | Some p -> [ ("annotations", J.Str (read_file p)) ]
              | None -> [])
           @ (match root with Some r -> [ ("root", J.Str r) ] | None -> [])
           @ (if options = [] then [] else [ ("options", J.Obj options) ])))
 
-let query_cmd socket source_path annot_path root raw op timeout_ms no_cache =
+(* pull the request's span tree out of an analyze response and write it as
+   a Perfetto-loadable trace-event file (all spans on one track: the
+   daemon ran them on this request's track) *)
+let span_of_json j =
+  match
+    ( Option.bind (J.member "name" j) J.to_str,
+      Option.bind (J.member "start_us" j) J.to_int,
+      Option.bind (J.member "dur_us" j) J.to_int,
+      Option.bind (J.member "depth" j) J.to_int )
+  with
+  | Some name, Some start_us, Some dur_us, Some depth ->
+    let args =
+      match J.member "args" j with
+      | Some (J.Obj fields) ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun s -> (k, s)) (J.to_str v))
+          fields
+      | _ -> []
+    in
+    Some { Ipet_obs.Span.name; args; start_us; dur_us; depth; tid = 0 }
+  | _ -> None
+
+let write_query_trace ~trace path response =
+  match J.parse response with
+  | Error _ -> ()
+  | Ok j ->
+    let spans =
+      match Option.bind (J.member "trace_spans" j) J.to_list with
+      | Some l -> List.filter_map span_of_json l
+      | None -> []
+    in
+    let track_names =
+      match trace with Some id -> [ (0, "req:" ^ id) ] | None -> []
+    in
+    Obs.Sink.write_file path (Obs.Trace_event.to_string ~track_names spans);
+    Printf.eprintf "trace written to %s (%d spans)\n%!" path
+      (List.length spans)
+
+let rec pp_pretty ?(indent = 0) j =
+  match j with
+  | J.Obj fields ->
+    List.iter
+      (fun (k, v) ->
+        match v with
+        | J.Obj _ | J.List _ ->
+          Printf.printf "%*s%s:\n" indent "" k;
+          pp_pretty ~indent:(indent + 2) v
+        | _ -> Printf.printf "%*s%-16s %s\n" indent "" k (J.to_string v))
+      fields
+  | J.List items -> List.iter (fun v -> pp_pretty ~indent v) items
+  | _ -> Printf.printf "%*s%s\n" indent "" (J.to_string j)
+
+let number_field name j =
+  match J.member name j with
+  | Some (J.Float f) -> Some f
+  | Some (J.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let pretty_response response =
+  match J.parse response with
+  | Error _ -> print_endline response
+  | Ok j ->
+    (match Option.bind (J.member "op" j) J.to_str with
+     | Some "metrics" ->
+       (match Option.bind (J.member "prometheus" j) J.to_str with
+        | Some text -> print_string text
+        | None -> pp_pretty j)
+     | Some "recent" ->
+       (match Option.bind (J.member "events" j) J.to_list with
+        | Some events ->
+          Printf.printf "%6s  %-24s  %-8s  %9s  %s\n" "seq" "id" "op" "ms"
+            "status";
+          List.iter
+            (fun e ->
+              Printf.printf "%6d  %-24s  %-8s  %9.3f  %s\n"
+                (Option.value ~default:0
+                   (Option.bind (J.member "seq" e) J.to_int))
+                (Option.value ~default:"?"
+                   (Option.bind (J.member "id" e) J.to_str))
+                (Option.value ~default:"?"
+                   (Option.bind (J.member "op" e) J.to_str))
+                (Option.value ~default:0.0 (number_field "latency_ms" e))
+                (match Option.bind (J.member "error" e) J.to_str with
+                 | Some code -> "error:" ^ code
+                 | None -> "ok"))
+            events
+        | None -> pp_pretty j)
+     | _ -> pp_pretty j)
+
+let query_cmd socket source_path annot_path root raw op timeout_ms no_cache
+    pretty trace_id trace_out =
+  let trace =
+    match trace_id with
+    | Some _ -> trace_id
+    | None ->
+      Option.map
+        (fun _ -> Printf.sprintf "query-%d" (Unix.getpid ()))
+        trace_out
+  in
   let line =
     match (raw, op) with
     | Some s, _ -> s
-    | None, Some (("hello" | "stats" | "shutdown") as op) ->
+    | None, Some (("hello" | "stats" | "shutdown" | "metrics" | "recent") as op)
+      ->
       J.to_string
-        (J.Obj [ ("v", J.Int Ipet_serve.Protocol.version); ("op", J.Str op) ])
+        (J.Obj
+           ([ ("v", J.Int Ipet_serve.Protocol.version); ("op", J.Str op) ]
+            @ trace_fields trace))
     | None, Some op -> Diag.fail ~code:Diag.exit_input "unknown op %s" op
-    | None, None -> query_request source_path annot_path root timeout_ms no_cache
+    | None, None ->
+      query_request ?trace ~want_spans:(trace_out <> None) source_path
+        annot_path root timeout_ms no_cache
   in
   match Ipet_serve.Client.one_shot ~socket line with
   | exception Unix.Unix_error (e, _, _) ->
@@ -727,7 +850,8 @@ let query_cmd socket source_path annot_path root raw op timeout_ms no_cache =
     Diag.fail ~code:Diag.exit_analysis
       "server closed the connection without replying"
   | Some response ->
-    print_endline response;
+    if pretty then pretty_response response else print_endline response;
+    Option.iter (fun path -> write_query_trace ~trace path response) trace_out;
     let failure_code =
       match J.parse response with
       | Ok j ->
@@ -744,6 +868,110 @@ let query_cmd socket source_path annot_path root raw op timeout_ms no_cache =
       | Error _ -> Some Diag.exit_analysis
     in
     Option.iter exit failure_code
+
+(* --- top ------------------------------------------------------------------ *)
+
+(* refreshing operator view: totals and cache state from the stats op,
+   per-op latency quantiles from the daemon-side histograms in the
+   metrics op *)
+let top_cmd socket interval iters plain =
+  let send op =
+    let line =
+      J.to_string
+        (J.Obj [ ("v", J.Int Ipet_serve.Protocol.version); ("op", J.Str op) ])
+    in
+    match Ipet_serve.Client.one_shot ~socket line with
+    | exception Unix.Unix_error (e, _, _) ->
+      Diag.fail ~code:Diag.exit_input "cannot reach server at %s: %s" socket
+        (Unix.error_message e)
+    | None ->
+      Diag.fail ~code:Diag.exit_analysis
+        "server closed the connection without replying"
+    | Some response ->
+      (match J.parse response with
+       | Ok j -> j
+       | Error msg ->
+         Diag.fail ~code:Diag.exit_analysis "bad response from server: %s" msg)
+  in
+  let prev = ref None in
+  let latency_rows metrics =
+    match
+      Option.bind
+        (Option.bind (J.member "metrics" metrics) (J.member "metrics"))
+        J.to_list
+    with
+    | None -> []
+    | Some items ->
+      List.filter_map
+        (fun m ->
+          match Option.bind (J.member "name" m) J.to_str with
+          | Some "serve.latency_seconds" ->
+            let op =
+              Option.value ~default:"?"
+                (Option.bind
+                   (Option.bind (J.member "labels" m) (J.member "op"))
+                   J.to_str)
+            in
+            Some
+              ( op,
+                Option.value ~default:0
+                  (Option.bind (J.member "count" m) J.to_int),
+                Option.value ~default:0.0 (number_field "p50" m),
+                Option.value ~default:0.0 (number_field "p99" m) )
+          | _ -> None)
+        items
+  in
+  let tick () =
+    let stats = send "stats" in
+    let metrics = send "metrics" in
+    let now = Unix.gettimeofday () in
+    let requests =
+      Option.value ~default:0 (Option.bind (J.member "requests" stats) J.to_int)
+    in
+    let rate =
+      match !prev with
+      | Some (t0, r0) when now > t0 ->
+        float_of_int (requests - r0) /. (now -. t0)
+      | _ -> 0.0
+    in
+    prev := Some (now, requests);
+    if not plain then print_string "\027[H\027[2J";
+    Printf.printf "cinderella top — %s\n" socket;
+    Printf.printf "requests %d  (%.1f req/s)  errors %d  cert rejects %d\n"
+      requests rate
+      (Option.value ~default:0 (Option.bind (J.member "errors" stats) J.to_int))
+      (Option.value ~default:0
+         (Option.bind (J.member "certs_rejected" stats) J.to_int));
+    (match J.member "cache" stats with
+     | Some (J.Obj _ as cache) ->
+       let i name =
+         Option.value ~default:0 (Option.bind (J.member name cache) J.to_int)
+       in
+       let hits = i "hits" and misses = i "misses" in
+       let ratio =
+         if hits + misses = 0 then 0.0
+         else 100.0 *. float_of_int hits /. float_of_int (hits + misses)
+       in
+       Printf.printf
+         "cache    %d entries, %d bytes  hit %.1f%%  evicted %d bytes\n"
+         (i "entries") (i "bytes") ratio (i "eviction_bytes")
+     | _ -> print_endline "cache    disabled");
+    Printf.printf "%-10s %8s %10s %10s\n" "op" "count" "p50 ms" "p99 ms";
+    List.iter
+      (fun (op, count, p50, p99) ->
+        Printf.printf "%-10s %8d %10.3f %10.3f\n" op count (p50 *. 1000.)
+          (p99 *. 1000.))
+      (latency_rows metrics);
+    flush stdout
+  in
+  let rec loop n =
+    if iters = 0 || n < iters then begin
+      tick ();
+      if iters = 0 || n + 1 < iters then Unix.sleepf interval;
+      loop (n + 1)
+    end
+  in
+  loop 0
 
 (* --- fuzz ---------------------------------------------------------------- *)
 
@@ -820,14 +1048,42 @@ let timeout_ms_arg =
        & info [ "timeout-ms" ] ~docv:"MS"
            ~doc:"Per-request analysis deadline in milliseconds.")
 
+let access_log_arg =
+  Arg.(value & opt (some string) None
+       & info [ "access-log" ] ~docv:"FILE"
+           ~doc:"Append one JSON line per request (timestamp, request id, \
+                 op, outcome, latency); rotated once when the size cap is \
+                 reached.")
+
+let access_log_cap_arg =
+  Arg.(value & opt int (8 * 1024 * 1024)
+       & info [ "access-log-cap" ] ~docv:"BYTES"
+           ~doc:"Access-log rotation threshold.")
+
+let flight_cap_arg =
+  Arg.(value & opt int 512
+       & info [ "flight-cap" ] ~docv:"N"
+           ~doc:"Flight-recorder ring capacity (most recent N requests).")
+
+let flight_dump_arg =
+  Arg.(value & opt (some string) None
+       & info [ "flight-dump" ] ~docv:"FILE"
+           ~doc:"Where the flight recorder is dumped (JSONL) on shutdown \
+                 or crash. Default: SOCKET.flight.jsonl; an empty value \
+                 disables the dump.")
+
 let serve =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the analysis daemon: line-delimited JSON requests over a \
              unix-domain socket, with per-function incremental re-analysis \
-             backed by a persistent content-addressed cache.")
+             backed by a persistent content-addressed cache. Every request \
+             is recorded in an in-memory flight recorder (see the recent \
+             op and $(b,--flight-dump)) and timed into live latency \
+             histograms (see the metrics op and $(b,cinderella top)).")
     Term.(const serve_cmd $ obs_term $ socket_arg $ cache_dir_arg
-          $ no_cache_arg $ cache_cap_arg $ timeout_ms_arg)
+          $ no_cache_arg $ cache_cap_arg $ timeout_ms_arg $ access_log_arg
+          $ access_log_cap_arg $ flight_cap_arg $ flight_dump_arg)
 
 let query_source_arg =
   Arg.(value & pos 0 (some file) None & info [] ~docv:"SOURCE.mc")
@@ -840,7 +1096,31 @@ let raw_arg =
 let op_arg =
   Arg.(value & opt (some string) None
        & info [ "op" ] ~docv:"OP"
-           ~doc:"Send a bare request: hello, stats or shutdown.")
+           ~doc:"Send a bare request: hello, stats, metrics, recent or \
+                 shutdown.")
+
+let pretty_arg =
+  Arg.(value & flag
+       & info [ "pretty" ]
+           ~doc:"Render the response for humans instead of printing the raw \
+                 JSON line (stats: aligned fields; metrics: Prometheus \
+                 text; recent: a table).")
+
+let query_trace_id_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"ID"
+           ~doc:"Tag the request with this trace id; the daemon echoes it \
+                 in the response and records it in the flight recorder and \
+                 access log. Defaults to query-<pid> when $(b,--trace-out) \
+                 is given. Ignored with $(b,--raw) (put a trace field in \
+                 the raw JSON instead).")
+
+let query_trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Tag the request with a trace id, ask the daemon for the \
+                 request's span tree, and write it as a Chrome trace-event \
+                 file (needs a daemon running with span tracing enabled).")
 
 let query =
   Cmd.v
@@ -849,12 +1129,37 @@ let query =
              response line. Exit status follows the response: 0 on ok, \
              2 on protocol/input errors, 1 on analysis errors.")
     Term.(const query_cmd $ socket_arg $ query_source_arg $ annot_arg
-          $ root_arg $ raw_arg $ op_arg $ timeout_ms_arg $ no_cache_arg)
+          $ root_arg $ raw_arg $ op_arg $ timeout_ms_arg $ no_cache_arg
+          $ pretty_arg $ query_trace_id_arg $ query_trace_out_arg)
+
+let interval_arg =
+  Arg.(value & opt float 2.0
+       & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh period.")
+
+let top_iters_arg =
+  Arg.(value & opt int 0
+       & info [ "iters" ] ~docv:"N"
+           ~doc:"Stop after N refreshes (0: run until interrupted).")
+
+let plain_arg =
+  Arg.(value & flag
+       & info [ "plain" ]
+           ~doc:"Append refreshes instead of redrawing the screen (for \
+                 logs and CI).")
+
+let top =
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live daemon dashboard: request rate, error and \
+             certificate-reject counts, cache occupancy and hit ratio, \
+             and per-op p50/p99 latency from the daemon's own histograms.")
+    Term.(const top_cmd $ socket_arg $ interval_arg $ top_iters_arg
+          $ plain_arg)
 
 let main =
   Cmd.group
     (Cmd.info "cinderella" ~version:Ipet_serve.Version.version
        ~doc:"Static execution-time analysis by implicit path enumeration.")
-    [ analyze; listing; cfg; asm; sim; attribute; fuzz; serve; query ]
+    [ analyze; listing; cfg; asm; sim; attribute; fuzz; serve; query; top ]
 
 let () = exit (Cmd.eval main)

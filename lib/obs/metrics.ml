@@ -9,12 +9,36 @@ type labels = (string * string) list
    the cell lock (histograms). *)
 type counter = { c : int Atomic.t }
 type gauge = { g : float Atomic.t }
+
+(* Quantiles come from a fixed geometric bucket array: 16 buckets per
+   octave (each ~4.4% wide) covering 2^-30 .. 2^30, which spans sub-
+   microsecond latencies in seconds up to cycle counts in the billions.
+   An observation costs one array increment; a quantile read walks the
+   array once. Out-of-range and non-positive samples land in the edge
+   buckets — min/max still record them exactly, and quantile results are
+   clamped to [min, max] so small samples stay sharp. *)
+let nbuckets = 961
+let buckets_per_octave = 16.0
+let bucket_zero = 480 (* index of the bucket containing 1.0 *)
+
+let bucket_of x =
+  if x <= 0.0 || not (Float.is_finite x) then 0
+  else begin
+    let octaves = Float.log x /. Float.log 2.0 in
+    let i = bucket_zero + int_of_float (Float.floor (octaves *. buckets_per_octave)) in
+    if i < 0 then 0 else if i >= nbuckets then nbuckets - 1 else i
+  end
+
+let bucket_mid i =
+  Float.pow 2.0 ((float_of_int (i - bucket_zero) +. 0.5) /. buckets_per_octave)
+
 type hist = {
   h_lock : Lock.t;
   mutable h_count : int;
   mutable h_sum : float;
   mutable h_min : float;
   mutable h_max : float;
+  h_buckets : int array;
 }
 
 type histogram = hist
@@ -70,7 +94,8 @@ let histogram t ?(labels = []) name =
   find_or_add t name labels
     ~make:(fun () ->
       H { h_lock = Lock.create ();
-          h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity })
+          h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity;
+          h_buckets = Array.make nbuckets 0 })
     ~cast:(function
       | H h -> h
       | C _ | G _ -> invalid_arg (name ^ ": registered with another kind"))
@@ -80,7 +105,34 @@ let observe h x =
       h.h_count <- h.h_count + 1;
       h.h_sum <- h.h_sum +. x;
       if x < h.h_min then h.h_min <- x;
-      if x > h.h_max then h.h_max <- x)
+      if x > h.h_max then h.h_max <- x;
+      let b = bucket_of x in
+      h.h_buckets.(b) <- h.h_buckets.(b) + 1)
+
+(* rank = ceil(q * count), the same convention as sorting the samples and
+   taking the rank-th one (1-based); the answer is the midpoint of the
+   bucket holding that rank, clamped to the exact observed extremes *)
+let quantile h q =
+  Lock.with_lock h.h_lock (fun () ->
+      if h.h_count = 0 then 0.0
+      else begin
+        let rank =
+          let r = int_of_float (Float.ceil (q *. float_of_int h.h_count)) in
+          if r < 1 then 1 else if r > h.h_count then h.h_count else r
+        in
+        let idx = ref (nbuckets - 1) in
+        let cum = ref 0 in
+        (try
+           for i = 0 to nbuckets - 1 do
+             cum := !cum + h.h_buckets.(i);
+             if !cum >= rank then begin
+               idx := i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        Float.max h.h_min (Float.min h.h_max (bucket_mid !idx))
+      end)
 
 let items t =
   Lock.with_lock t.lock (fun () ->

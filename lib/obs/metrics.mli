@@ -51,5 +51,14 @@ val set_gauge_int : t -> ?labels:labels -> string -> int -> unit
 val histogram : t -> ?labels:labels -> string -> histogram
 val observe : histogram -> float -> unit
 
+val quantile : histogram -> float -> float
+(** [quantile h q] estimates the [q]-quantile (q in [0,1]) of the observed
+    samples from fixed geometric buckets (16 per octave, so each bucket is
+    ~4.4% wide, covering 2^-30..2^30). The rank convention matches sorting
+    the samples and taking entry [ceil(q*count)] (1-based); the estimate
+    is the holding bucket's midpoint clamped to the exact observed
+    [min]/[max], so for small sample counts the extremes are exact.
+    Returns 0.0 for an empty histogram. *)
+
 val items : t -> (string * labels * value) list
 (** All metrics, sorted by (name, labels); labels are sorted by key. *)

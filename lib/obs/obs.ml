@@ -12,15 +12,44 @@ let lock = Pc.Lock.create ()
 let engines : (int, Span.t) Hashtbl.t = Hashtbl.create 8
 let origin = ref (!clock ())
 
+(* Named tracks are extra span engines living in the same table under
+   synthetic tids (>= 1000, far above any real domain id), so they render
+   as their own rows in the trace export. While a track is active on a
+   domain, [overrides] redirects that domain's spans into the track's
+   engine — that is how the daemon lands each request's span tree on a
+   per-request row. *)
+let track_base = 1000
+let track_tids : (string, int) Hashtbl.t = Hashtbl.create 8
+let next_track = ref track_base
+let overrides : (int, Span.t) Hashtbl.t = Hashtbl.create 8
+
+let engine_for_tid tid =
+  match Hashtbl.find_opt engines tid with
+  | Some e -> e
+  | None ->
+    let e = Span.create ~origin:!origin ~tid ~clock:(fun () -> !clock ()) () in
+    Hashtbl.add engines tid e;
+    e
+
 let engine_for_caller () =
   let tid = Pc.domain_id () in
   Pc.Lock.with_lock lock (fun () ->
-      match Hashtbl.find_opt engines tid with
+      match Hashtbl.find_opt overrides tid with
       | Some e -> e
-      | None ->
-        let e = Span.create ~origin:!origin ~tid ~clock:(fun () -> !clock ()) () in
-        Hashtbl.add engines tid e;
-        e)
+      | None -> engine_for_tid tid)
+
+let track_engine name =
+  Pc.Lock.with_lock lock (fun () ->
+      let tid =
+        match Hashtbl.find_opt track_tids name with
+        | Some tid -> tid
+        | None ->
+          let tid = !next_track in
+          incr next_track;
+          Hashtbl.add track_tids name tid;
+          tid
+      in
+      engine_for_tid tid)
 
 let metrics = Metrics.create ()
 
@@ -31,6 +60,9 @@ let disable () = on := false
 let reset () =
   Pc.Lock.with_lock lock (fun () ->
       Hashtbl.reset engines;
+      Hashtbl.reset track_tids;
+      Hashtbl.reset overrides;
+      next_track := track_base;
       origin := !clock ());
   Metrics.reset metrics
 
@@ -51,6 +83,46 @@ let span ?args name f =
       Span.exit_ engine;
       raise e
   end
+
+let with_track name f =
+  if not !on then f ()
+  else begin
+    let did = Pc.domain_id () in
+    let e = track_engine name in
+    let prev =
+      Pc.Lock.with_lock lock (fun () ->
+          let p = Hashtbl.find_opt overrides did in
+          Hashtbl.replace overrides did e;
+          p)
+    in
+    let restore () =
+      Pc.Lock.with_lock lock (fun () ->
+          match prev with
+          | Some p -> Hashtbl.replace overrides did p
+          | None -> Hashtbl.remove overrides did)
+    in
+    match f () with
+    | v ->
+      restore ();
+      v
+    | exception ex ->
+      restore ();
+      raise ex
+  end
+
+let track_names () =
+  Pc.Lock.with_lock lock (fun () ->
+      Hashtbl.fold (fun name tid acc -> (tid, name) :: acc) track_tids [])
+  |> List.sort compare
+
+let track_spans name =
+  Pc.Lock.with_lock lock (fun () ->
+      match Hashtbl.find_opt track_tids name with
+      | None -> []
+      | Some tid ->
+        (match Hashtbl.find_opt engines tid with
+         | Some e -> Span.completed e
+         | None -> []))
 
 let timed f =
   let t0 = !clock () in
@@ -78,4 +150,5 @@ module Span = Span
 module Metrics = Metrics
 module Sink = Sink
 module Trace_event = Trace_event
+module Flight = Flight
 module Diag = Diag

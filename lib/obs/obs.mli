@@ -33,6 +33,23 @@ val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f] inside a span when enabled, exception-safely;
     when disabled it is [f ()]. *)
 
+val with_track : string -> (unit -> 'a) -> 'a
+(** [with_track name f] runs [f] with the calling domain's spans redirected
+    to the named track — a dedicated span engine rendered as its own
+    thread row (tid >= 1000) in the trace export, labeled [name] via
+    {!track_names}. Tracks nest (the previous redirection is restored on
+    exit, exception-safely) and are reused by name, so a daemon can land
+    every request's span tree on a per-request row of one shared trace.
+    When disabled it is [f ()] — the same single-branch cost as {!span}. *)
+
+val track_names : unit -> (int * string) list
+(** The (tid, name) pairs of every track created so far, sorted by tid —
+    feed to {!Trace_event.to_string}'s [track_names]. *)
+
+val track_spans : string -> Span.completed list
+(** Completed spans recorded on the named track, in completion order;
+    [[]] for an unknown track. *)
+
 val timed : (unit -> 'a) -> 'a * float
 (** [f ()] and its wall time in seconds, measured with the current clock
     (works whether or not observability is enabled). *)
@@ -61,4 +78,5 @@ module Span = Span
 module Metrics = Metrics
 module Sink = Sink
 module Trace_event = Trace_event
+module Flight = Flight
 module Diag = Diag

@@ -1,14 +1,19 @@
 (** Rendering a metrics registry (and span aggregates) for humans and
     machines.
 
-    Two formats share one source of truth:
+    Three formats share one source of truth:
     - {!human} — one [name{label=v,...} value] line per metric, sorted,
-      for terminal output ([--lp-stats] and friends);
+      for terminal output ([--lp-stats] and friends); histograms include
+      p50/p90/p99 quantile estimates (see {!Metrics.quantile});
     - {!metrics_json} — a versioned JSON document with every metric and
       optional per-span-name duration aggregates, written by
       [--metrics-out]. Keys are emitted in sorted order, so two runs of
       the same workload produce documents that differ only in the observed
-      values (and not at all under a deterministic clock). *)
+      values (and not at all under a deterministic clock);
+    - {!prometheus} — the Prometheus text exposition format, served by the
+      daemon's [metrics] op for scraping. Dotted names map to underscores;
+      histograms render as summaries (quantile-labeled samples plus
+      [_sum]/[_count]). *)
 
 val human : ?filter:(string -> bool) -> Metrics.t -> string
 (** Render the registry as text; [filter] selects metric names
@@ -19,6 +24,11 @@ val metrics_json :
 (** The machine document: [{"version": 1, "metrics": [...], "spans": [...]}].
     [span_totals] is {!Span.totals} output: per-name completion counts and
     total microseconds. *)
+
+val prometheus : Metrics.t -> string
+(** Render the registry in the Prometheus text exposition format: a
+    [# TYPE] line per metric family (counter/gauge/summary) followed by
+    its samples, in registry (sorted) order. *)
 
 val write_file : string -> string -> unit
 (** Create/truncate a file with the given content. *)

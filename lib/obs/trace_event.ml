@@ -22,7 +22,7 @@ let metadata ?(tid = 0) name value =
       ("tid", string_of_int tid);
       ("args", Jsonw.obj [ ("name", Jsonw.str value) ]) ]
 
-let to_string ?(process_name = "cinderella") spans =
+let to_string ?(process_name = "cinderella") ?(track_names = []) spans =
   let sorted =
     List.stable_sort
       (fun (a : Span.completed) b -> compare a.Span.start_us b.Span.start_us)
@@ -31,8 +31,13 @@ let to_string ?(process_name = "cinderella") spans =
   let tids =
     List.sort_uniq compare (List.map (fun (s : Span.completed) -> s.Span.tid) sorted)
   in
+  let track_name tid =
+    match List.assoc_opt tid track_names with
+    | Some name -> name
+    | None -> Printf.sprintf "domain-%d" tid
+  in
   let thread_names =
-    List.map (fun tid -> metadata ~tid "thread_name" (Printf.sprintf "domain-%d" tid)) tids
+    List.map (fun tid -> metadata ~tid "thread_name" (track_name tid)) tids
   in
   let events =
     (metadata "process_name" process_name :: thread_names) @ List.map event sorted

@@ -8,5 +8,12 @@
     Events are sorted by start timestamp, which is non-decreasing per
     domain by construction (see {!Span}). *)
 
-val to_string : ?process_name:string -> Span.completed list -> string
-(** The full trace document: [{"displayTimeUnit": ..., "traceEvents": [...]}]. *)
+val to_string :
+  ?process_name:string ->
+  ?track_names:(int * string) list ->
+  Span.completed list ->
+  string
+(** The full trace document: [{"displayTimeUnit": ..., "traceEvents": [...]}].
+    [track_names] overrides the thread-row label for the given tids —
+    {!Obs.track_names} supplies the per-request track labels; unlisted
+    tids keep the default ["domain-N"]. *)

@@ -1,0 +1,35 @@
+type t = {
+  path : string;
+  cap_bytes : int;
+  mutable oc : out_channel;
+  mutable bytes : int;
+}
+
+let open_channel path = open_out_gen [ Open_append; Open_creat ] 0o644 path
+
+let open_ ~path ~cap_bytes =
+  let oc = open_channel path in
+  let bytes = try out_channel_length oc with Sys_error _ -> 0 in
+  { path; cap_bytes = max 1024 cap_bytes; oc; bytes }
+
+let path t = t.path
+
+(* one rotation generation is enough for a flight-data log: the previous
+   file is the backstop, not an archive *)
+let rotate t =
+  close_out_noerr t.oc;
+  let old = t.path ^ ".1" in
+  (try Sys.remove old with Sys_error _ -> ());
+  (try Sys.rename t.path old with Sys_error _ -> ());
+  t.oc <- open_channel t.path;
+  t.bytes <- 0
+
+let write t line =
+  let len = String.length line + 1 in
+  if t.bytes > 0 && t.bytes + len > t.cap_bytes then rotate t;
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc;
+  t.bytes <- t.bytes + len
+
+let close t = close_out_noerr t.oc

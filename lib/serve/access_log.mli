@@ -1,0 +1,23 @@
+(** Size-rotated JSONL access log for the daemon.
+
+    One line per request, appended and flushed immediately (the log must
+    survive a crash right after the write). When appending a line would
+    push the file past the size cap, the current file is renamed to
+    [path.1] (replacing any previous one) and a fresh file is started —
+    so the disk footprint is bounded by roughly twice the cap and the most
+    recent requests are always on disk. *)
+
+type t
+
+val open_ : path:string -> cap_bytes:int -> t
+(** Open (creating or appending to) the log file. [cap_bytes] is clamped
+    to at least 1024. *)
+
+val write : t -> string -> unit
+(** Append one pre-rendered line (without the trailing newline), rotating
+    first if it would exceed the cap; a single line larger than the cap
+    still lands (alone) in a fresh file. Flushes. *)
+
+val path : t -> string
+
+val close : t -> unit

@@ -8,6 +8,7 @@ type stats = {
   hits : int;
   misses : int;
   evictions : int;
+  eviction_bytes : int;
 }
 
 type t = {
@@ -19,6 +20,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable eviction_bytes : int;
 }
 
 let index_magic = "cinderella-cache-index v1"
@@ -128,7 +130,8 @@ let create ~dir ~cap_bytes =
       bytes = 0;
       hits = 0;
       misses = 0;
-      evictions = 0 }
+      evictions = 0;
+      eviction_bytes = 0 }
   in
   load_index t;
   t
@@ -196,9 +199,12 @@ let evict_over_cap t ~keep =
     match victim with
     | None -> t.bytes <- min t.bytes t.cap_bytes (* only [keep] left *)
     | Some (key, e) ->
+      let freed = e.size in
       drop t key e;
       t.evictions <- t.evictions + 1;
-      Obs.add "serve.cache.evictions" 1
+      t.eviction_bytes <- t.eviction_bytes + freed;
+      Obs.add "serve.cache.evictions" 1;
+      Obs.add "serve.cache.eviction_bytes" freed
   done
 
 let put t key value =
@@ -222,7 +228,8 @@ let stats t : stats =
     bytes = t.bytes;
     hits = t.hits;
     misses = t.misses;
-    evictions = t.evictions }
+    evictions = t.evictions;
+    eviction_bytes = t.eviction_bytes }
 
 let dir t = t.dir
 let cap_bytes t = t.cap_bytes

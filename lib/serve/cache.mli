@@ -42,6 +42,7 @@ type stats = {
   hits : int;
   misses : int;
   evictions : int;
+  eviction_bytes : int;  (** entry-file bytes reclaimed by eviction *)
 }
 
 val stats : t -> stats

@@ -20,6 +20,8 @@ type stats = {
   units_cached : int;
   units_solved : int;
   ilp_solves : int;
+  warm_lp_hits : int;
+  simplex_pivots : int;
   certs_checked : int;
   certs_rejected : int;
 }
@@ -28,6 +30,8 @@ type counter = {
   mutable cached : int;
   mutable solved : int;
   mutable solves : int;
+  mutable warm : int;
+  mutable pivots : int;
   mutable cert_checks : int;
   mutable cert_rejects : int;
 }
@@ -146,7 +150,9 @@ let solve_unit ~pool ~counter ~deadline (spec : A.spec) problem (func : P.func)
   counter.solves <- counter.solves + 1;
   Obs.add "serve.ilp.solves" 1;
   match Ilp.solve ~presolve:spec.A.presolve ?pool problem with
-  | Ilp.Optimal { value; assignment; _ } ->
+  | Ilp.Optimal { value; assignment; stats } ->
+    counter.warm <- counter.warm + stats.Ilp.warm_hits;
+    counter.pivots <- counter.pivots + stats.Ilp.pivots;
     let env = Simplex.assignment_env assignment in
     let counts_pe =
       Array.to_list func.P.blocks
@@ -444,6 +450,12 @@ let monolithic ~pool ~cache ~deadline counter (spec : A.spec) =
       counter.solves <-
         counter.solves + r.A.wcet_stats.A.sets_solved
         + r.A.bcet_stats.A.sets_solved;
+      counter.warm <-
+        counter.warm + r.A.wcet_stats.A.warm_hits
+        + r.A.bcet_stats.A.warm_hits;
+      counter.pivots <-
+        counter.pivots + r.A.wcet_stats.A.simplex_pivots
+        + r.A.bcet_stats.A.simplex_pivots;
       Obs.add "serve.ilp.solves"
         (r.A.wcet_stats.A.sets_solved + r.A.bcet_stats.A.sets_solved);
       let u =
@@ -482,7 +494,8 @@ let monolithic ~pool ~cache ~deadline counter (spec : A.spec) =
 
 let analyze ?pool ?cache ?deadline (spec : A.spec) =
   let counter =
-    { cached = 0; solved = 0; solves = 0; cert_checks = 0; cert_rejects = 0 }
+    { cached = 0; solved = 0; solves = 0; warm = 0; pivots = 0;
+      cert_checks = 0; cert_rejects = 0 }
   in
   let rep =
     if spec.A.functional <> [] || spec.A.first_miss_refinement then
@@ -569,5 +582,7 @@ let analyze ?pool ?cache ?deadline (spec : A.spec) =
       units_cached = counter.cached;
       units_solved = counter.solved;
       ilp_solves = counter.solves;
+      warm_lp_hits = counter.warm;
+      simplex_pivots = counter.pivots;
       certs_checked = counter.cert_checks;
       certs_rejected = counter.cert_rejects } )

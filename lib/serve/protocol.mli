@@ -3,7 +3,11 @@
     Transport is line-delimited JSON over a unix-domain socket: one request
     per line, one response line per request, in order. Every request is an
     object with ["v"] (protocol version, currently [1]) and ["op"], plus an
-    optional ["id"] echoed verbatim in the response so clients can multiplex.
+    optional ["id"] echoed verbatim in the response so clients can multiplex,
+    and an optional ["trace"] string — a client-generated request id echoed
+    verbatim in {e every} response, including errors, and used to tag the
+    request's span track, flight-recorder event and access-log line. A
+    request without ["trace"] is tagged [req-N] (N = server request count).
 
     Operations:
     - [hello] — handshake; returns server name, {!Version.version},
@@ -14,8 +18,17 @@
       ["options"] object: [use_cache] (default true), [timeout_ms],
       [first_miss] (first-miss refinement), [icache]
       [{size_bytes, line_bytes, miss_penalty}] (default the paper's i960KB
-      configuration);
-    - [stats] — server counters and cache occupancy;
+      configuration), [trace_spans] (default false — when true and span
+      tracing is enabled on the server, the response carries the request's
+      completed span tree as ["trace_spans"]);
+    - [stats] — server totals (requests, errors, certificate checks and
+      rejections, flight-recorder event count) and cache occupancy
+      (entries, bytes, cap, hits, misses, evictions, eviction bytes);
+    - [metrics] — live registry snapshot: ["metrics"] (the
+      {!Ipet_obs.Sink.metrics_json} document, as JSON) and ["prometheus"]
+      (the text exposition, as one string);
+    - [recent] — the newest flight-recorder events (optional ["n"],
+      default 50), newest first, each with its monotonic ["seq"];
     - [shutdown] — acknowledge, then the server exits gracefully.
 
     A success response is [{"ok": true, "op": ..., ...}]; a failure is
@@ -23,14 +36,40 @@
     (malformed JSON / unknown op / bad version), [input] (program or
     annotations don't parse, unknown root — the CLI's exit-2 class),
     [analysis] (the analysis itself failed — exit-1 class), [timeout], or
-    [internal]. A request failure never terminates the server. *)
+    [internal]. A request failure never terminates the server.
+
+    Every request — success or failure — is timed into the
+    [serve.latency_seconds] histogram (labelled by op), recorded in the
+    flight recorder, and appended to the access log when one is
+    configured; none of that depends on span tracing being enabled. *)
+
+type totals = {
+  mutable requests : int;
+  mutable errors : int;
+  mutable certs_checked : int;
+  mutable certs_rejected : int;
+}
 
 type config = {
   pool : Ipet_par.Pool.t option;  (** shared solver pool *)
   cache : Cache.t option;         (** [None]: caching disabled *)
   default_timeout_ms : int option;
       (** applied to analyze requests that don't set [timeout_ms] *)
+  flight : Ipet_obs.Flight.t;    (** always-on per-request recorder *)
+  access : Access_log.t option;  (** JSONL access log, when configured *)
+  totals : totals;
 }
+
+val make :
+  ?pool:Ipet_par.Pool.t ->
+  ?cache:Cache.t ->
+  ?default_timeout_ms:int ->
+  ?access:Access_log.t ->
+  ?flight_cap:int ->
+  unit ->
+  config
+(** Build a config with a fresh flight recorder (ring capacity
+    [flight_cap], default 512) and zeroed totals. *)
 
 type outcome = Continue | Shutdown
 

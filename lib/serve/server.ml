@@ -6,6 +6,10 @@ type config = {
   cache : Cache.t option;
   default_timeout_ms : int option;
   max_request_bytes : int;
+  access_log : string option;
+  access_log_cap : int;
+  flight_cap : int;
+  flight_dump : string option;
 }
 
 type conn = {
@@ -62,9 +66,14 @@ let take_lines conn =
   split [] 0
 
 let protocol_config config =
-  { Protocol.pool = config.pool;
-    cache = config.cache;
-    default_timeout_ms = config.default_timeout_ms }
+  let access =
+    Option.map
+      (fun path -> Access_log.open_ ~path ~cap_bytes:config.access_log_cap)
+      config.access_log
+  in
+  Protocol.make ?pool:config.pool ?cache:config.cache
+    ?default_timeout_ms:config.default_timeout_ms ?access
+    ~flight_cap:config.flight_cap ()
 
 let serve_conn config pconfig conns conn =
   let chunk = Bytes.create 65536 in
@@ -116,6 +125,21 @@ let run config =
   Unix.listen sock 16;
   let conns : conn list ref = ref [] in
   let pconfig = protocol_config config in
+  (* cleanup runs on the graceful path and on an escaping exception alike:
+     the flight recorder's whole point is surviving a crash *)
+  let cleanup () =
+    List.iter
+      (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+      !conns;
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+    Option.iter Cache.flush config.cache;
+    Option.iter
+      (fun path -> Ipet_obs.Flight.write_dump pconfig.Protocol.flight path)
+      config.flight_dump;
+    Option.iter Access_log.close pconfig.Protocol.access
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
   while not !stop do
     let fds = sock :: List.map (fun c -> c.fd) !conns in
     match Unix.select fds [] [] 0.25 with
@@ -139,8 +163,4 @@ let run config =
             | None -> ())
         readable
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-  done;
-  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
-  (try Unix.close sock with Unix.Unix_error _ -> ());
-  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
-  Option.iter Cache.flush config.cache
+  done

@@ -9,9 +9,12 @@
 
     Shutdown is graceful on SIGINT, SIGTERM or a [shutdown] request:
     in-flight responses are written, the socket file is unlinked, the
-    cache index is flushed, and [run] returns (letting the caller's
-    [at_exit] observability sinks render). SIGPIPE is ignored; a client
-    that disappears mid-response just loses the response. *)
+    cache index is flushed, the flight recorder is dumped (when
+    [flight_dump] is set) and the access log is closed, and [run] returns
+    (letting the caller's [at_exit] observability sinks render). The same
+    cleanup runs when an exception escapes the serve loop — the flight
+    dump exists precisely to survive a crash. SIGPIPE is ignored; a
+    client that disappears mid-response just loses the response. *)
 
 type config = {
   socket_path : string;
@@ -22,6 +25,13 @@ type config = {
       (** a connection whose pending line exceeds this is sent a [proto]
           error and closed (guards daemon memory against a stuck or
           malicious writer) *)
+  access_log : string option;
+      (** path of the size-rotated JSONL access log; [None] disables it *)
+  access_log_cap : int;  (** rotation threshold in bytes *)
+  flight_cap : int;      (** flight-recorder ring capacity (events) *)
+  flight_dump : string option;
+      (** where the flight recorder is dumped (JSONL, oldest first) on
+          shutdown or crash; [None] disables the dump *)
 }
 
 val run : config -> unit

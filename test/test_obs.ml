@@ -299,6 +299,203 @@ let test_metrics_json_schema_stable () =
   let spans = as_arr (field "spans" json) in
   check_int "span totals present" 1 (List.length spans)
 
+let test_histogram_quantiles () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r "latency" in
+  Alcotest.(check (float 0.0)) "empty histogram quantile is 0" 0.0
+    (Metrics.quantile h 0.5);
+  List.iter (fun v -> Metrics.observe h v) [ 3.0; 1.0; 2.0 ];
+  let within tol expected actual =
+    Float.abs (actual -. expected) <= tol *. expected
+  in
+  check_bool "p50 of {1,2,3} is ~2" true
+    (within 0.05 2.0 (Metrics.quantile h 0.5));
+  Alcotest.(check (float 0.0)) "extreme quantile clamps to the exact max" 3.0
+    (Metrics.quantile h 0.99);
+  check_bool "low quantile lands at the min" true
+    (within 0.05 1.0 (Metrics.quantile h 0.01));
+  (* uniform 1..100: the geometric buckets are ~4.4% wide, so every
+     quantile must land within one bucket of the exact order statistic *)
+  let u = Metrics.histogram r "uniform" in
+  for i = 1 to 100 do
+    Metrics.observe u (float_of_int i)
+  done;
+  List.iter
+    (fun (q, expected) ->
+      check_bool
+        (Printf.sprintf "p%g of 1..100 is ~%g" (q *. 100.) expected)
+        true
+        (within 0.06 expected (Metrics.quantile u q)))
+    [ (0.5, 50.0); (0.9, 90.0); (0.99, 99.0) ];
+  Alcotest.(check (float 0.0)) "q=1 is the exact max" 100.0
+    (Metrics.quantile u 1.0);
+  check_bool "quantiles are monotone in q" true
+    (Metrics.quantile u 0.5 <= Metrics.quantile u 0.9
+     && Metrics.quantile u 0.9 <= Metrics.quantile u 0.99);
+  (* sub-microsecond observations stay positive (latencies near the
+     bottom of the bucket range must not collapse to zero) *)
+  let tiny = Metrics.histogram r "tiny" in
+  Metrics.observe tiny 1e-6;
+  check_bool "tiny values keep a positive quantile" true
+    (Metrics.quantile tiny 0.5 > 0.0)
+
+(* --- Prometheus exposition ------------------------------------------------ *)
+
+let test_prometheus_text () =
+  let r = Metrics.create () in
+  Metrics.set_gauge_int r "sim.cycles" 123;
+  let c = Metrics.counter r ~labels:[ ("op", "an\"a\nlyze") ] "serve.requests" in
+  Metrics.add c 7;
+  let h = Metrics.histogram r "serve.latency_seconds" in
+  Metrics.observe h 1.0;
+  Metrics.observe h 1.0;
+  let text = Sink.prometheus r in
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+  in
+  (* line-by-line: every line is a TYPE comment or a "name{labels} value"
+     sample whose name uses only legal characters and whose value is a
+     number *)
+  let is_name_char = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+    | _ -> false
+  in
+  List.iter
+    (fun line ->
+      if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; name; kind ] ->
+          check_bool ("legal family name: " ^ name) true
+            (String.for_all is_name_char name);
+          check_bool ("known kind: " ^ kind) true
+            (List.mem kind [ "counter"; "gauge"; "summary" ])
+        | _ -> Alcotest.failf "malformed TYPE line: %s" line
+      end
+      else begin
+        let space =
+          match String.rindex_opt line ' ' with
+          | Some i -> i
+          | None -> Alcotest.failf "sample line without value: %s" line
+        in
+        let name_part = String.sub line 0 space in
+        let value_part =
+          String.sub line (space + 1) (String.length line - space - 1)
+        in
+        let bare_name =
+          match String.index_opt name_part '{' with
+          | Some i -> String.sub name_part 0 i
+          | None -> name_part
+        in
+        check_bool ("legal metric name: " ^ bare_name) true
+          (bare_name <> "" && String.for_all is_name_char bare_name);
+        check_bool ("numeric value: " ^ value_part) true
+          (Float.is_finite (float_of_string value_part))
+      end)
+    lines;
+  let mem line = List.mem line lines in
+  (* dotted names are sanitized; label values escape quote and newline *)
+  check_bool "counter sample" true
+    (mem "serve_requests{op=\"an\\\"a\\nlyze\"} 7");
+  check_bool "gauge sample" true (mem "sim_cycles 123");
+  check_bool "counter TYPE" true (mem "# TYPE serve_requests counter");
+  check_bool "gauge TYPE" true (mem "# TYPE sim_cycles gauge");
+  check_bool "summary TYPE" true
+    (mem "# TYPE serve_latency_seconds summary");
+  (* the summary renders quantile samples plus _sum/_count; both
+     observations were 1.0, and clamping makes the quantiles exact *)
+  List.iter
+    (fun q ->
+      check_bool ("quantile sample " ^ q) true
+        (mem (Printf.sprintf "serve_latency_seconds{quantile=\"%s\"} 1" q)))
+    [ "0.5"; "0.9"; "0.99" ];
+  check_bool "sum sample" true (mem "serve_latency_seconds_sum 2");
+  check_bool "count sample" true (mem "serve_latency_seconds_count 2");
+  (* exactly one TYPE line per family, preceding its samples *)
+  check_int "one TYPE line per family" 1
+    (List.length
+       (List.filter (fun l -> l = "# TYPE serve_latency_seconds summary")
+          lines))
+
+(* --- request tracks ------------------------------------------------------- *)
+
+let test_request_tracks () =
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    (fun () ->
+      Obs.span "outside" (fun () -> ());
+      let r =
+        Obs.with_track "req:a" (fun () ->
+            Obs.span "inside-a" (fun () -> ());
+            17)
+      in
+      check_int "with_track returns the thunk result" 17 r;
+      Obs.with_track "req:b" (fun () -> Obs.span "inside-b" (fun () -> ()));
+      Obs.with_track "req:a" (fun () -> Obs.span "inside-a2" (fun () -> ()));
+      let names = Obs.track_names () in
+      check_int "one track per distinct name" 2 (List.length names);
+      List.iter
+        (fun (tid, _) ->
+          check_bool "track tids live above the domain tids" true (tid >= 1000))
+        names;
+      check_bool "both names registered" true
+        (List.sort compare (List.map snd names) = [ "req:a"; "req:b" ]);
+      (* a re-used trace id accumulates onto the same track *)
+      let a_names =
+        List.sort compare
+          (List.map (fun s -> s.Span.name) (Obs.track_spans "req:a"))
+      in
+      check_bool "track accumulates its requests' spans" true
+        (a_names = [ "inside-a"; "inside-a2" ]);
+      (match Obs.track_spans "req:b" with
+       | [ s ] ->
+         check_str "other track has its own span" "inside-b" s.Span.name;
+         check_bool "track span carries the track tid" true
+           (List.mem_assoc s.Span.tid names)
+       | other -> Alcotest.failf "expected 1 span, got %d" (List.length other));
+      check_bool "unknown track is empty" true (Obs.track_spans "req:?" = []);
+      (* track spans ride along in the global export, and the span recorded
+         outside any track stayed off the request tracks *)
+      let all = List.map (fun s -> s.Span.name) (Obs.spans ()) in
+      check_bool "spans() includes track spans" true
+        (List.mem "inside-a" all && List.mem "outside" all);
+      check_bool "outside span is not on a track" true
+        (not
+           (List.mem "outside"
+              (List.map (fun s -> s.Span.name)
+                 (Obs.track_spans "req:a" @ Obs.track_spans "req:b")))));
+  (* disabled: with_track is a transparent single-branch no-op *)
+  check_int "disabled with_track runs the thunk" 5
+    (Obs.with_track "req:x" (fun () -> 5));
+  check_bool "disabled with_track allocates nothing" true
+    (Obs.track_names () = [])
+
+let test_trace_event_track_labels () =
+  let t = ref 0.0 in
+  let e = Span.create ~tid:1000 ~clock:(fun () -> !t) () in
+  Span.enter e "req-span";
+  t := 0.00001;
+  Span.exit_ e;
+  let doc =
+    Trace_event.to_string ~track_names:[ (1000, "req:a") ] (Span.completed e)
+  in
+  let events = as_arr (field "traceEvents" (parse_json doc)) in
+  let thread_label =
+    List.find_map
+      (fun ev ->
+        if as_str (field "ph" ev) = "M"
+           && as_str (field "name" ev) = "thread_name"
+           && int_of_float (as_num (field "tid" ev)) = 1000
+        then Some (as_str (field "name" (field "args" ev)))
+        else None)
+      events
+  in
+  check_bool "thread row is labelled with the track name" true
+    (thread_label = Some "req:a")
+
 (* --- diagnostics --------------------------------------------------------- *)
 
 let test_diag_rendering () =
@@ -413,6 +610,10 @@ let suite =
     ("trace-event document", `Quick, test_trace_event_document);
     ("metrics registry", `Quick, test_metrics_registry);
     ("metrics JSON schema stable", `Quick, test_metrics_json_schema_stable);
+    ("histogram quantiles", `Quick, test_histogram_quantiles);
+    ("prometheus exposition", `Quick, test_prometheus_text);
+    ("request tracks", `Quick, test_request_tracks);
+    ("trace-event track labels", `Quick, test_trace_event_track_labels);
     ("diagnostics rendering", `Quick, test_diag_rendering);
     ("profiled simulator attribution", `Quick, test_profile_attribution_exact);
     ("attribution report", `Quick, test_attribution_report) ]

@@ -431,7 +431,7 @@ let test_tmp_sweep () =
 
 (* --- protocol ------------------------------------------------------------- *)
 
-let pconfig = { Protocol.pool = None; cache = None; default_timeout_ms = None }
+let pconfig = Protocol.make ()
 
 let response_code response =
   match J.parse response with
@@ -525,6 +525,217 @@ let test_protocol_requests () =
   let _, outcome = handle {|{"v":1,"op":"shutdown"}|} in
   check_bool "shutdown stops the server" true (outcome = Protocol.Shutdown)
 
+(* --- trace propagation ----------------------------------------------------- *)
+
+let trace_of response =
+  match J.parse response with
+  | Ok j -> Option.bind (J.member "trace" j) J.to_str
+  | Error _ -> None
+
+let test_trace_roundtrip () =
+  let pc = Protocol.make () in
+  let handle line = fst (Protocol.handle_line pc line) in
+  let echoed name line expected_code =
+    let response = handle line in
+    check_string (name ^ " outcome") expected_code (response_code response);
+    check_bool (name ^ " echoes the trace id") true
+      (trace_of response = Some ("t-" ^ name))
+  in
+  echoed "hello" {|{"v":1,"op":"hello","trace":"t-hello"}|} "ok";
+  echoed "error" {|{"v":1,"op":"frobnicate","trace":"t-error"}|} "proto";
+  echoed "version"
+    {|{"v":99,"op":"hello","trace":"t-version"}|} "proto";
+  echoed "timeout"
+    (analyze_request "int main() {\n  return 1;\n}\n"
+       ~extra:
+         [ ("trace", J.Str "t-timeout");
+           ("root", J.Str "main");
+           ("options", J.Obj [ ("timeout_ms", J.Int 0) ]) ])
+    "timeout";
+  (* a request without a trace field gets no trace echo *)
+  check_bool "no trace in, no trace out" true
+    (trace_of (handle {|{"v":1,"op":"hello"}|}) = None)
+
+(* --- metrics / recent / stats ops ------------------------------------------ *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let test_observability_ops () =
+  let pc = Protocol.make () in
+  let handle line = fst (Protocol.handle_line pc line) in
+  ignore (handle {|{"v":1,"op":"hello"}|});
+  ignore (handle {|{"v":1,"op":"frobnicate","trace":"bad-req"}|});
+  (* recent: newest first, with the failed request's error taxonomy code *)
+  (match J.parse (handle {|{"v":1,"op":"recent"}|}) with
+   | Error _ -> Alcotest.fail "unparsable recent response"
+   | Ok j ->
+     let events =
+       Option.get (Option.bind (J.member "events" j) J.to_list)
+     in
+     check_bool "recent reports the recorded requests" true
+       (List.length events >= 2);
+     let seqs =
+       List.map
+         (fun e -> Option.get (Option.bind (J.member "seq" e) J.to_int))
+         events
+     in
+     check_bool "events are newest-first" true
+       (List.sort (fun a b -> compare b a) seqs = seqs);
+     let bad =
+       List.find_opt
+         (fun e -> J.member "id" e = Some (J.Str "bad-req"))
+         events
+     in
+     (match bad with
+      | None -> Alcotest.fail "failed request missing from recent"
+      | Some e ->
+        check_bool "failed request carries its error code" true
+          (J.member "error" e = Some (J.Str "proto"));
+        check_bool "event carries its op" true
+          (J.member "op" e = Some (J.Str "frobnicate"))));
+  (* metrics: a JSON registry snapshot plus the Prometheus text *)
+  (match J.parse (handle {|{"v":1,"op":"metrics"}|}) with
+   | Error _ -> Alcotest.fail "unparsable metrics response"
+   | Ok j ->
+     let prom =
+       Option.get (Option.bind (J.member "prometheus" j) J.to_str)
+     in
+     check_bool "prometheus text exposes the latency histogram" true
+       (contains prom "serve_latency_seconds");
+     check_bool "metrics payload is structured JSON" true
+       (match Option.bind (J.member "metrics" j) (J.member "metrics") with
+        | Some (J.List _) -> true
+        | _ -> false));
+  (* stats: uniform totals, flight occupancy and cache placeholder *)
+  match J.parse (handle {|{"v":1,"op":"stats"}|}) with
+  | Error _ -> Alcotest.fail "unparsable stats response"
+  | Ok j ->
+    let int name = Option.bind (J.member name j) J.to_int in
+    check_bool "stats counts every request including itself" true
+      (match int "requests" with Some n -> n >= 4 | None -> false);
+    check_bool "stats counts errors" true
+      (match int "errors" with Some n -> n >= 1 | None -> false);
+    check_bool "stats reports flight occupancy" true
+      (match int "flight_recorded" with Some n -> n >= 3 | None -> false);
+    check_bool "stats reports cert counters" true
+      (int "certs_checked" = Some 0 && int "certs_rejected" = Some 0);
+    check_bool "cache is null when disabled" true
+      (J.member "cache" j = Some J.Null)
+
+(* --- flight recorder -------------------------------------------------------- *)
+
+module Flight = Ipet_obs.Flight
+
+let flight_event i =
+  { Flight.time = float_of_int i;
+    id = Printf.sprintf "req-%d" i;
+    op = "analyze";
+    root = "main";
+    digests = [ "abc" ];
+    units_total = 2;
+    units_cached = 1;
+    units_solved = 1;
+    warm_hits = 3;
+    pivots = 40;
+    certs_checked = 2;
+    certs_rejected = 0;
+    latency_ms = 1.5;
+    error = (if i mod 2 = 0 then None else Some "analysis") }
+
+let test_flight_ring_wrap () =
+  let t = Flight.create ~cap:4 () in
+  check_int "empty recorder has no events" 0 (List.length (Flight.recent t));
+  for i = 0 to 9 do
+    Flight.record t (flight_event i)
+  done;
+  check_int "total counts every record" 10 (Flight.total t);
+  let recent = Flight.recent t in
+  check_bool "only the last cap events survive, newest first" true
+    (List.map fst recent = [ 9; 8; 7; 6 ]);
+  check_bool "newest event is the last recorded" true
+    ((List.hd recent |> snd).Flight.id = "req-9");
+  check_bool "recent ~n clips" true
+    (List.map fst (Flight.recent ~n:2 t) = [ 9; 8 ]);
+  (* the dump is oldest-first JSONL, one parseable object per line *)
+  let lines =
+    Flight.dump t |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  check_int "dump holds one line per surviving event" 4 (List.length lines);
+  List.iter
+    (fun line ->
+      match J.parse line with
+      | Ok (J.Obj _) -> ()
+      | _ -> Alcotest.failf "dump line is not a JSON object: %s" line)
+    lines;
+  (match J.parse (List.hd lines) with
+   | Ok j ->
+     check_bool "dump is oldest-first" true
+       (J.member "id" j = Some (J.Str "req-6"));
+     check_bool "error events keep their taxonomy code" true
+       (J.member "error" j = None || J.member "error" j = Some (J.Str "analysis"))
+   | Error m -> Alcotest.failf "unparsable dump line: %s" m);
+  (* write_dump lands the same content on disk *)
+  let path = Filename.concat (tmp_dir "serve-flight") "dump.jsonl" in
+  Flight.write_dump t path;
+  check_string "write_dump writes the dump" (Flight.dump t) (read_file path)
+
+(* --- access log ------------------------------------------------------------- *)
+
+let test_access_log_rotation () =
+  let module Al = Ipet_serve.Access_log in
+  let dir = tmp_dir "serve-access" in
+  let path = Filename.concat dir "access.jsonl" in
+  let log = Al.open_ ~path ~cap_bytes:1024 in
+  let line i =
+    J.to_string
+      (J.Obj
+         [ ("id", J.Str (Printf.sprintf "req-%03d" i));
+           ("pad", J.Str (String.make 80 'x')) ])
+  in
+  for i = 0 to 29 do
+    Al.write log (line i)
+  done;
+  Al.close log;
+  check_bool "current file exists" true (Sys.file_exists path);
+  check_bool "rotation produced the .1 generation" true
+    (Sys.file_exists (path ^ ".1"));
+  let parse_lines p =
+    read_file p |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+    |> List.map (fun l ->
+           match J.parse l with
+           | Ok j -> Option.get (Option.bind (J.member "id" j) J.to_str)
+           | Error m -> Alcotest.failf "unparsable access line %S: %s" l m)
+  in
+  let current = parse_lines path and previous = parse_lines (path ^ ".1") in
+  check_bool "both generations hold whole lines" true
+    (current <> [] && previous <> []);
+  (* the newest entry is always in the current file, and nothing was lost
+     across the last rotation boundary *)
+  check_string "last write is in the current file" "req-029"
+    (List.nth current (List.length current - 1));
+  let boundary = List.hd current in
+  let last_prev = List.nth previous (List.length previous - 1) in
+  check_string "rotation loses no line"
+    (Printf.sprintf "req-%03d"
+       (int_of_string (String.sub last_prev 4 3) + 1))
+    boundary;
+  (* reopening appends to the current generation *)
+  let log = Al.open_ ~path ~cap_bytes:(1024 * 1024) in
+  Al.write log (line 30);
+  Al.close log;
+  check_string "reopen appends" "req-030"
+    (let all = parse_lines path in
+     List.nth all (List.length all - 1))
+
 (* --- spawned daemon over a real socket ------------------------------------ *)
 
 let await_file path =
@@ -582,6 +793,77 @@ let test_socket_e2e () =
        | _ -> Alcotest.fail "daemon did not exit cleanly");
       check_bool "socket file was removed" false (Sys.file_exists socket))
 
+(* graceful SIGTERM must flush every sink: trace-out, metrics-out, the
+   access log and the flight-recorder dump *)
+let test_sigterm_flush () =
+  let exe =
+    Filename.concat (Filename.dirname Sys.executable_name)
+      "../bin/cinderella.exe"
+  in
+  let dir = tmp_dir "serve-sigterm" in
+  let socket = Filename.concat dir "serve.sock" in
+  let trace_out = Filename.concat dir "trace.json" in
+  let metrics_out = Filename.concat dir "metrics.json" in
+  let access = Filename.concat dir "access.jsonl" in
+  let flight = Filename.concat dir "flight.jsonl" in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process exe
+      [| exe; "serve"; "--socket"; socket; "--cache-dir";
+         Filename.concat dir "cache"; "-j"; "1"; "--trace-out"; trace_out;
+         "--metrics-out"; metrics_out; "--access-log"; access;
+         "--flight-dump"; flight |]
+      devnull devnull devnull
+  in
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+    (fun () ->
+      await_file socket;
+      let response =
+        Option.get
+          (Client.one_shot ~socket
+             (analyze_request (edit_source 3)
+                ~extra:
+                  [ ("trace", J.Str "sig-1");
+                    ("annotations", J.Str edit_annotations) ]))
+      in
+      check_string "analyze over the socket" "ok" (response_code response);
+      check_bool "daemon echoes the trace id" true
+        (trace_of response = Some "sig-1");
+      Unix.kill pid Sys.sigterm;
+      (match Unix.waitpid [] pid with
+       | _, Unix.WEXITED 0 -> ()
+       | _ -> Alcotest.fail "daemon did not exit cleanly on SIGTERM");
+      check_bool "socket file was removed" false (Sys.file_exists socket);
+      (* every sink must exist and parse *)
+      let jsonl_ids path =
+        read_file path |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+        |> List.map (fun l ->
+               match J.parse l with
+               | Ok j -> Option.bind (J.member "id" j) J.to_str
+               | Error m ->
+                 Alcotest.failf "unparsable line in %s: %s" path m)
+      in
+      check_bool "access log recorded the request" true
+        (List.mem (Some "sig-1") (jsonl_ids access));
+      check_bool "flight dump recorded the request" true
+        (List.mem (Some "sig-1") (jsonl_ids flight));
+      (match J.parse (read_file metrics_out) with
+       | Ok j ->
+         check_bool "metrics-out is a versioned document" true
+           (J.member "version" j = Some (J.Int 1))
+       | Error m -> Alcotest.failf "unparsable metrics-out: %s" m);
+      match J.parse (read_file trace_out) with
+      | Ok j ->
+        check_bool "trace-out holds trace events" true
+          (match J.member "traceEvents" j with
+           | Some (J.List _) -> true
+           | _ -> false)
+      | Error m -> Alcotest.failf "unparsable trace-out: %s" m)
+
 let suite =
   [ Alcotest.test_case "json: compound round trip" `Quick test_json_roundtrip;
     Alcotest.test_case "json: non-finite floats print as null" `Quick
@@ -610,4 +892,14 @@ let suite =
       test_protocol_errors;
     Alcotest.test_case "protocol: hello, analyze, shutdown" `Quick
       test_protocol_requests;
-    Alcotest.test_case "daemon: socket round trip" `Quick test_socket_e2e ]
+    Alcotest.test_case "protocol: trace ids echo on every outcome" `Quick
+      test_trace_roundtrip;
+    Alcotest.test_case "protocol: metrics, recent and stats ops" `Quick
+      test_observability_ops;
+    Alcotest.test_case "flight recorder: ring wrap and JSONL dump" `Quick
+      test_flight_ring_wrap;
+    Alcotest.test_case "access log: size rotation keeps whole lines" `Quick
+      test_access_log_rotation;
+    Alcotest.test_case "daemon: socket round trip" `Quick test_socket_e2e;
+    Alcotest.test_case "daemon: SIGTERM flushes every sink" `Quick
+      test_sigterm_flush ]
