@@ -209,12 +209,13 @@ let fig6 () =
 (* --- tables ------------------------------------------------------------- *)
 
 let rows = ref None
+let table_mach = ref Ipet_machine.Machine.e32
 
 let all_rows () =
   match !rows with
   | Some r -> r
   | None ->
-    let r = E.run_all () in
+    let r = E.run_all ~mach:!table_mach () in
     rows := Some r;
     r
 
@@ -1443,8 +1444,8 @@ let rec run_target = function
     usage ();
     exit 1
 
-(* strip --jobs N / -j N anywhere on the command line; the remaining
-   arguments dispatch as before *)
+(* strip --jobs N / -j N and --mach ID anywhere on the command line; the
+   remaining arguments dispatch as before *)
 let parse_jobs argv =
   let jobs = ref (Ipet_par.Par_compat.recommended_domain_count ()) in
   let rest = ref [] in
@@ -1456,6 +1457,13 @@ let parse_jobs argv =
           | Some n when n >= 1 -> jobs := n
           | Some _ | None ->
             prerr_endline "--jobs expects a positive integer";
+            exit 2);
+         go (i + 2) |> ignore
+       | "--mach" when i + 1 < Array.length argv ->
+         (match Ipet_machine.Machine.of_string argv.(i + 1) with
+          | Ok m -> table_mach := m
+          | Error msg ->
+            prerr_endline msg;
             exit 2);
          go (i + 2) |> ignore
        | a -> rest := a :: !rest; go (i + 1) |> ignore)

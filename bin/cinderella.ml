@@ -19,6 +19,7 @@ module P = Ipet_isa.Prog
 module Frontend = Ipet_lang.Frontend
 module Compile = Ipet_lang.Compile
 module Icache = Ipet_machine.Icache
+module Machine = Ipet_machine.Machine
 module Obs = Ipet_obs.Obs
 module Diag = Ipet_obs.Diag
 module Pool = Ipet_par.Pool
@@ -177,9 +178,16 @@ let finish_certificates ?cert_out (result : Ipet.Analysis.result) =
       | None -> ())
     sides
 
+(* the cache flags override the machine's own fetch geometry field-wise *)
+let resolve_cache mach cache_size line_size miss_penalty =
+  let d = Machine.fetch mach in
+  { Icache.size_bytes = Option.value ~default:d.Icache.size_bytes cache_size;
+    line_bytes = Option.value ~default:d.Icache.line_bytes line_size;
+    miss_penalty = Option.value ~default:d.Icache.miss_penalty miss_penalty }
+
 (* --- analyze ------------------------------------------------------------- *)
 
-let analyze_cmd obs source_path annot_path root_flag cache_size line_size
+let analyze_cmd obs source_path annot_path root_flag mach cache_size line_size
     miss_penalty verbose auto_bounds dump_lp sensitivity no_presolve lp_stats
     certify cert_out =
   setup_obs obs;
@@ -188,14 +196,12 @@ let analyze_cmd obs source_path annot_path root_flag cache_size line_size
   let root = resolve_root root_flag annotations in
   let prog = compiled.Compile.prog in
   ignore (require_func prog root);
-  let cache =
-    { Icache.size_bytes = cache_size; line_bytes = line_size; miss_penalty }
-  in
+  let cache = resolve_cache mach cache_size line_size miss_penalty in
   let inferred =
     if auto_bounds then infer_bounds ~verbose source_path src else []
   in
   let spec =
-    Ipet.Analysis.spec ~cache ~presolve:(not no_presolve)
+    Ipet.Analysis.spec ~mach ~cache ~presolve:(not no_presolve)
       ~loop_bounds:(annotations.Ipet.Constraint_parser.loop_bounds @ inferred)
       ~functional:annotations.Ipet.Constraint_parser.functional ~root prog
   in
@@ -268,8 +274,8 @@ let listing_cmd obs source_path func =
       print_string (Ipet.Report.annotated_source ~source:src prog ~func:f))
     funcs
 
-let cfg_cmd obs source_path func annot_path root_flag auto_bounds cache_size
-    line_size miss_penalty certify =
+let cfg_cmd obs source_path func annot_path root_flag auto_bounds mach
+    cache_size line_size miss_penalty certify =
   setup_obs obs;
   let src, compiled = load_program source_path in
   let prog = compiled.Compile.prog in
@@ -290,14 +296,12 @@ let cfg_cmd obs source_path func annot_path root_flag auto_bounds cache_size
        witness count and per-block cost bounds, and fill the blocks on the
        worst-case path *)
     ignore (require_func prog root);
-    let cache =
-      { Icache.size_bytes = cache_size; line_bytes = line_size; miss_penalty }
-    in
+    let cache = resolve_cache mach cache_size line_size miss_penalty in
     let inferred =
       if auto_bounds then infer_bounds ~verbose:false source_path src else []
     in
     let spec =
-      Ipet.Analysis.spec ~cache
+      Ipet.Analysis.spec ~mach ~cache
         ~loop_bounds:(annotations.Ipet.Constraint_parser.loop_bounds @ inferred)
         ~functional:annotations.Ipet.Constraint_parser.functional ~root prog
     in
@@ -392,14 +396,14 @@ let record_sim_metrics m =
       (Ipet_sim.Interp.icache_line_stats m)
   end
 
-let sim_cmd obs source_path root args sets flush profile =
+let sim_cmd obs source_path root args sets flush profile mach =
   setup_obs obs;
   let _, compiled = load_program source_path in
   let prog = compiled.Compile.prog in
   (* per-line i-cache metrics need the profiled machine; the hot loop is
      only instrumented when asked for *)
   let m =
-    Ipet_sim.Interp.create ~profile:(profile || Obs.enabled ()) prog
+    Ipet_sim.Interp.create ~mach ~profile:(profile || Obs.enabled ()) prog
       ~init:compiled.Compile.init_data
   in
   apply_sets m sets;
@@ -436,28 +440,26 @@ let sim_cmd obs source_path root args sets flush profile =
    witness count x worst-case cost against measured count and self
    cycles. *)
 let attribute_cmd obs source_path annot_path root_flag args sets flush
-    auto_bounds cache_size line_size miss_penalty certify =
+    auto_bounds mach cache_size line_size miss_penalty certify =
   setup_obs obs;
   let src, compiled = load_program source_path in
   let annotations = load_annotations annot_path in
   let root = resolve_root root_flag annotations in
   let prog = compiled.Compile.prog in
   ignore (require_func prog root);
-  let cache =
-    { Icache.size_bytes = cache_size; line_bytes = line_size; miss_penalty }
-  in
+  let cache = resolve_cache mach cache_size line_size miss_penalty in
   let inferred =
     if auto_bounds then infer_bounds ~verbose:false source_path src else []
   in
   let spec =
-    Ipet.Analysis.spec ~cache
+    Ipet.Analysis.spec ~mach ~cache
       ~loop_bounds:(annotations.Ipet.Constraint_parser.loop_bounds @ inferred)
       ~functional:annotations.Ipet.Constraint_parser.functional ~root prog
   in
   let result = run_analysis ~certify spec in
   if Obs.enabled () then Ipet.Report.record_lp_metrics Obs.metrics result;
   let m =
-    Ipet_sim.Interp.create ~cache ~profile:true prog
+    Ipet_sim.Interp.create ~mach ~cache ~profile:true prog
       ~init:compiled.Compile.init_data
   in
   apply_sets m sets;
@@ -513,17 +515,37 @@ let func_req_arg =
   Arg.(required & opt (some string) None
        & info [ "f"; "function" ] ~docv:"FUNC" ~doc:"Function to dump.")
 
+let mach_conv =
+  let parse s =
+    match Machine.of_string s with
+    | Ok m -> Ok m
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf m = Format.pp_print_string ppf (Machine.id m) in
+  Arg.conv (parse, print)
+
+let mach_arg =
+  Arg.(value & opt mach_conv Machine.e32
+       & info [ "mach" ] ~docv:"MACH"
+           ~doc:"Machine model the costs and the simulator target: \
+                 $(b,e32) (the paper's i960KB-style core, default) or \
+                 $(b,m7) (an ARMv7-M-style core with wait-state flash \
+                 behind a prefetch buffer).")
+
 let cache_size_arg =
-  Arg.(value & opt int Icache.i960kb.Icache.size_bytes
-       & info [ "cache-size" ] ~docv:"BYTES" ~doc:"Instruction cache capacity.")
+  Arg.(value & opt (some int) None
+       & info [ "cache-size" ] ~docv:"BYTES"
+           ~doc:"Instruction cache capacity (default: the machine's own).")
 
 let line_size_arg =
-  Arg.(value & opt int Icache.i960kb.Icache.line_bytes
-       & info [ "line-size" ] ~docv:"BYTES" ~doc:"Cache line size.")
+  Arg.(value & opt (some int) None
+       & info [ "line-size" ] ~docv:"BYTES"
+           ~doc:"Cache line size (default: the machine's own).")
 
 let miss_penalty_arg =
-  Arg.(value & opt int Icache.i960kb.Icache.miss_penalty
-       & info [ "miss-penalty" ] ~docv:"CYCLES" ~doc:"Cache line fill penalty.")
+  Arg.(value & opt (some int) None
+       & info [ "miss-penalty" ] ~docv:"CYCLES"
+           ~doc:"Cache line fill penalty (default: the machine's own).")
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print derived constraints.")
@@ -592,7 +614,8 @@ let cert_out_arg =
 
 let analyze_term =
   Term.(const analyze_cmd $ obs_term $ source_arg $ annot_arg $ root_arg
-        $ cache_size_arg $ line_size_arg $ miss_penalty_arg $ verbose_arg
+        $ mach_arg $ cache_size_arg $ line_size_arg $ miss_penalty_arg
+        $ verbose_arg
         $ auto_bounds_arg $ dump_lp_arg $ sensitivity_arg $ no_presolve_arg
         $ lp_stats_arg $ certify_arg $ cert_out_arg)
 
@@ -628,7 +651,7 @@ let sim =
     (Cmd.info "sim"
        ~doc:"Execute a function on the cycle-accurate simulator.")
     Term.(const sim_cmd $ obs_term $ source_arg $ root_req_arg $ args_arg
-          $ set_arg $ flush_arg $ profile_arg)
+          $ set_arg $ flush_arg $ profile_arg $ mach_arg)
 
 let attribute =
   Cmd.v
@@ -637,8 +660,8 @@ let attribute =
              per basic block, witness count x worst-case cost versus the \
              measured count and cycles, ranked by contribution.")
     Term.(const attribute_cmd $ obs_term $ source_arg $ annot_arg $ root_arg
-          $ args_arg $ set_arg $ flush_arg $ auto_bounds_arg $ cache_size_arg
-          $ line_size_arg $ miss_penalty_arg $ certify_arg)
+          $ args_arg $ set_arg $ flush_arg $ auto_bounds_arg $ mach_arg
+          $ cache_size_arg $ line_size_arg $ miss_penalty_arg $ certify_arg)
 
 let listing =
   Cmd.v
@@ -653,8 +676,8 @@ let cfg =
              WCET witness counts and cost bounds, and worst-case-path \
              blocks are filled.")
     Term.(const cfg_cmd $ obs_term $ source_arg $ func_req_arg $ annot_arg
-          $ root_arg $ auto_bounds_arg $ cache_size_arg $ line_size_arg
-          $ miss_penalty_arg $ certify_arg)
+          $ root_arg $ auto_bounds_arg $ mach_arg $ cache_size_arg
+          $ line_size_arg $ miss_penalty_arg $ certify_arg)
 
 let asm =
   Cmd.v
@@ -702,8 +725,8 @@ let trace_fields = function
   | None -> []
   | Some id -> [ ("trace", J.Str id) ]
 
-let query_request ?trace ~want_spans source_path annot_path root timeout_ms
-    no_cache =
+let query_request ?trace ~want_spans source_path annot_path root mach
+    timeout_ms no_cache =
   match source_path with
   | None ->
     Diag.fail ~code:Diag.exit_input "query needs SOURCE.mc, --op or --raw"
@@ -722,7 +745,8 @@ let query_request ?trace ~want_spans source_path annot_path root timeout_ms
          ([ ("v", J.Int Ipet_serve.Protocol.version);
             ("op", J.Str "analyze") ]
           @ trace_fields trace
-          @ [ ("lang", J.Str lang); ("source", J.Str source) ]
+          @ [ ("mach", J.Str (Machine.id mach));
+              ("lang", J.Str lang); ("source", J.Str source) ]
           @ (match annot_path with
              | Some p -> [ ("annotations", J.Str (read_file p)) ]
              | None -> [])
@@ -818,8 +842,8 @@ let pretty_response response =
         | None -> pp_pretty j)
      | _ -> pp_pretty j)
 
-let query_cmd socket source_path annot_path root raw op timeout_ms no_cache
-    pretty trace_id trace_out =
+let query_cmd socket source_path annot_path root mach raw op timeout_ms
+    no_cache pretty trace_id trace_out =
   let trace =
     match trace_id with
     | Some _ -> trace_id
@@ -840,7 +864,7 @@ let query_cmd socket source_path annot_path root raw op timeout_ms no_cache
     | None, Some op -> Diag.fail ~code:Diag.exit_input "unknown op %s" op
     | None, None ->
       query_request ?trace ~want_spans:(trace_out <> None) source_path
-        annot_path root timeout_ms no_cache
+        annot_path root mach timeout_ms no_cache
   in
   match Ipet_serve.Client.one_shot ~socket line with
   | exception Unix.Unix_error (e, _, _) ->
@@ -975,12 +999,12 @@ let top_cmd socket interval iters plain =
 
 (* --- fuzz ---------------------------------------------------------------- *)
 
-let fuzz_cmd obs seed iters no_shrink shrink_attempts quiet =
+let fuzz_cmd obs seed iters no_shrink shrink_attempts quiet mach =
   setup_obs obs;
   let log line = if not quiet then Printf.eprintf "%s\n%!" line in
   let outcome =
-    Ipet_fuzz.Driver.run ~log ~shrink:(not no_shrink) ~shrink_attempts ~seed
-      ~iters ()
+    Ipet_fuzz.Driver.run ~log ~shrink:(not no_shrink) ~shrink_attempts ~mach
+      ~seed ~iters ()
   in
   match outcome.Ipet_fuzz.Driver.report with
   | None ->
@@ -1020,7 +1044,7 @@ let fuzz =
              simulated-vs-estimated bound checks, constraint validation, \
              optimizer and presolve equivalence.")
     Term.(const fuzz_cmd $ obs_term $ seed_arg $ iters_arg $ no_shrink_arg
-          $ shrink_attempts_arg $ quiet_arg)
+          $ shrink_attempts_arg $ quiet_arg $ mach_arg)
 
 (* --- serve / query terms -------------------------------------------------- *)
 
@@ -1129,8 +1153,9 @@ let query =
              response line. Exit status follows the response: 0 on ok, \
              2 on protocol/input errors, 1 on analysis errors.")
     Term.(const query_cmd $ socket_arg $ query_source_arg $ annot_arg
-          $ root_arg $ raw_arg $ op_arg $ timeout_ms_arg $ no_cache_arg
-          $ pretty_arg $ query_trace_id_arg $ query_trace_out_arg)
+          $ root_arg $ mach_arg $ raw_arg $ op_arg $ timeout_ms_arg
+          $ no_cache_arg $ pretty_arg $ query_trace_id_arg
+          $ query_trace_out_arg)
 
 let interval_arg =
   Arg.(value & opt float 2.0

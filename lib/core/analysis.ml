@@ -2,6 +2,7 @@ module P = Ipet_isa.Prog
 module Layout = Ipet_isa.Layout
 module Cost = Ipet_machine.Cost
 module Icache = Ipet_machine.Icache
+module Machine = Ipet_machine.Machine
 module L = Ipet_lp.Linexpr
 module Lp = Ipet_lp.Lp_problem
 module Ilp = Ipet_lp.Ilp
@@ -16,6 +17,7 @@ let fail fmt = Format.kasprintf (fun s -> raise (Analysis_error s)) fmt
 type spec = {
   prog : P.t;
   root : string;
+  mach : Machine.t;
   cache : Icache.config;
   dcache : Icache.config option;
   loop_bounds : Annotation.t list;
@@ -24,10 +26,12 @@ type spec = {
   presolve : bool;
 }
 
-let spec ?(cache = Icache.i960kb) ?dcache ?(loop_bounds = []) ?(functional = [])
-    ?(first_miss_refinement = false) ?(presolve = true) ~root prog =
-  { prog; root; cache; dcache; loop_bounds; functional; first_miss_refinement;
-    presolve }
+let spec ?(mach = Machine.e32) ?cache ?dcache ?(loop_bounds = [])
+    ?(functional = []) ?(first_miss_refinement = false) ?(presolve = true)
+    ~root prog =
+  let cache = match cache with Some c -> c | None -> Machine.fetch mach in
+  { prog; root; mach; cache; dcache; loop_bounds; functional;
+    first_miss_refinement; presolve }
 
 type solver_stats = {
   sets_total : int;
@@ -77,7 +81,8 @@ let structural_constraints spec =
 
 let block_costs spec ~func =
   let layout = Layout.make spec.prog in
-  Cost.func_bounds ?dcache:spec.dcache ~prog:spec.prog spec.cache layout (P.find_func spec.prog func)
+  Cost.func_bounds ~mach:spec.mach ?dcache:spec.dcache ~prog:spec.prog
+    spec.cache layout (P.find_func spec.prog func)
 
 (* The Section IV refinement: inside a loop whose code provably stays
    resident (region fits the cache, hence no self-conflicts, and the loop
@@ -102,7 +107,8 @@ let refinement_plan spec layout (func : P.func) =
           if addr + size > !hi_addr then hi_addr := addr + size
         end)
       l.Ipet_cfg.Loops.body;
-    !no_calls && !hi_addr - !lo_addr <= spec.cache.Icache.size_bytes
+    let (module M : Machine.MACHINE) = spec.mach in
+    !no_calls && M.resident_ok ~fetch:spec.cache ~lo:!lo_addr ~hi:!hi_addr
   in
   let eligible_loops = List.filter eligible loops in
   (* for each block, the outermost (smallest depth) eligible loop holding it *)
@@ -129,8 +135,8 @@ let objective spec insts ~select =
     | Some c -> c
     | None ->
       let c =
-        Cost.func_bounds ?dcache:spec.dcache ~prog:spec.prog spec.cache layout
-          (P.find_func spec.prog fname)
+        Cost.func_bounds ~mach:spec.mach ?dcache:spec.dcache ~prog:spec.prog
+          spec.cache layout (P.find_func spec.prog fname)
       in
       Hashtbl.replace cost_table fname c;
       c
@@ -161,7 +167,10 @@ let refined_wcet_objective spec insts =
     | Some v -> v
     | None ->
       let func = P.find_func spec.prog fname in
-      let costs = Cost.func_bounds ?dcache:spec.dcache ~prog:spec.prog spec.cache layout func in
+      let costs =
+        Cost.func_bounds ~mach:spec.mach ?dcache:spec.dcache ~prog:spec.prog
+          spec.cache layout func
+      in
       let cfg, plan = refinement_plan spec layout func in
       let v = (func, costs, cfg, plan) in
       Hashtbl.replace table fname v;

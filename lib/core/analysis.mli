@@ -21,6 +21,10 @@ exception Analysis_error of string
 type spec = {
   prog : Ipet_isa.Prog.t;
   root : string;
+  mach : Ipet_machine.Machine.t;
+      (** the target micro-architecture supplying issue/stall/terminator
+          timings, the default fetch configuration, and the first-miss
+          residency predicate (default {!Ipet_machine.Machine.e32}) *)
   cache : Ipet_machine.Icache.config;
   dcache : Ipet_machine.Icache.config option;
       (** when set, loads are bounded by data-cache hit/miss times instead
@@ -40,6 +44,7 @@ type spec = {
 }
 
 val spec :
+  ?mach:Ipet_machine.Machine.t ->
   ?cache:Ipet_machine.Icache.config ->
   ?dcache:Ipet_machine.Icache.config ->
   ?loop_bounds:Annotation.t list ->
@@ -49,6 +54,9 @@ val spec :
   root:string ->
   Ipet_isa.Prog.t ->
   spec
+(** [cache] defaults to the machine's own fetch configuration
+    ({!Ipet_machine.Machine.fetch}); passing it explicitly overrides the
+    geometry while keeping the machine's timings. *)
 
 type solver_stats = {
   sets_total : int;      (** conjunctive sets after DNF expansion *)

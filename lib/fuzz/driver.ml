@@ -4,6 +4,7 @@ module Pool = Ipet_par.Pool
 type failure_report = {
   case_seed : int;
   failure : Oracle.failure;
+  mach : Ipet_machine.Machine.t;
   cache : Ipet_machine.Icache.config;
   source : string;
   shrunk_source : string option;
@@ -19,14 +20,15 @@ type outcome = {
 
 let null_log _ = ()
 
-let check_case (case : Gen.case) =
-  Oracle.check ~cache:case.Gen.cache (Render.program case.Gen.prog)
+let check_case ~mach (case : Gen.case) =
+  Oracle.check ~mach ~cache:case.Gen.cache (Render.program case.Gen.prog)
 
-let shrink_case ~(case : Gen.case) ~(failure : Oracle.failure) ~max_attempts =
+let shrink_case ~mach ~(case : Gen.case) ~(failure : Oracle.failure)
+    ~max_attempts =
   let attempts = ref 0 in
   let same_failure prog =
     incr attempts;
-    match Oracle.check ~cache:case.Gen.cache (Render.program prog) with
+    match Oracle.check ~mach ~cache:case.Gen.cache (Render.program prog) with
     | Oracle.Fail f -> f.Oracle.kind = failure.Oracle.kind
     | Oracle.Pass _ -> false
   in
@@ -35,8 +37,8 @@ let shrink_case ~(case : Gen.case) ~(failure : Oracle.failure) ~max_attempts =
 
 let replay_hint seed = Printf.sprintf "replay: cinderella fuzz --seed %d --iters 1" seed
 
-let run ?(log = null_log) ?(shrink = true) ?(shrink_attempts = 2000) ?pool ~seed
-    ~iters () =
+let run ?(log = null_log) ?(shrink = true) ?(shrink_attempts = 2000) ?pool
+    ?(mach = Ipet_machine.Machine.e32) ~seed ~iters () =
   let pool =
     match pool with Some p -> p | None -> Ipet_par.Pool.default ()
   in
@@ -50,7 +52,7 @@ let run ?(log = null_log) ?(shrink = true) ?(shrink_attempts = 2000) ?pool ~seed
     if i > Atomic.get min_fail then None
     else begin
       let case = Gen.case (seed + i) in
-      let r = check_case case in
+      let r = check_case ~mach case in
       (match r with
        | Oracle.Fail _ ->
          let rec publish () =
@@ -93,7 +95,7 @@ let run ?(log = null_log) ?(shrink = true) ?(shrink_attempts = 2000) ?pool ~seed
           if shrink then begin
             log "shrinking...";
             let src, n =
-              shrink_case ~case ~failure ~max_attempts:shrink_attempts
+              shrink_case ~mach ~case ~failure ~max_attempts:shrink_attempts
             in
             (Some src, n)
           end
@@ -106,6 +108,7 @@ let run ?(log = null_log) ?(shrink = true) ?(shrink_attempts = 2000) ?pool ~seed
             Some
               { case_seed;
                 failure;
+                mach;
                 cache = case.Gen.cache;
                 source = Render.program case.Gen.prog;
                 shrunk_source;
@@ -115,11 +118,12 @@ let run ?(log = null_log) ?(shrink = true) ?(shrink_attempts = 2000) ?pool ~seed
 
 let pp_report ppf (r : failure_report) =
   let cache = r.cache in
-  Format.fprintf ppf "@[<v>seed %d failed: %s@,%s@,%s@,cache: %dB, %dB lines, %d-cycle miss@,@,--- program ---@,%s"
+  Format.fprintf ppf "@[<v>seed %d failed: %s@,%s@,%s@,mach: %s@,cache: %dB, %dB lines, %d-cycle miss@,@,--- program ---@,%s"
     r.case_seed
     (Oracle.kind_name r.failure.Oracle.kind)
     r.failure.Oracle.detail
     (replay_hint r.case_seed)
+    (Ipet_machine.Machine.id r.mach)
     cache.Ipet_machine.Icache.size_bytes cache.Ipet_machine.Icache.line_bytes
     cache.Ipet_machine.Icache.miss_penalty r.source;
   (match r.shrunk_source with

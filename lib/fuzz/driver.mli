@@ -6,6 +6,7 @@
 type failure_report = {
   case_seed : int;          (** the exact seed that regenerates this case *)
   failure : Oracle.failure;
+  mach : Ipet_machine.Machine.t;  (** the machine model the run targeted *)
   cache : Ipet_machine.Icache.config;
   source : string;          (** the failing program, rendered *)
   shrunk_source : string option;
@@ -24,6 +25,7 @@ val run :
   ?shrink:bool ->
   ?shrink_attempts:int ->
   ?pool:Ipet_par.Pool.t ->
+  ?mach:Ipet_machine.Machine.t ->
   seed:int ->
   iters:int ->
   unit ->
@@ -33,7 +35,10 @@ val run :
     lines. [pool] (default {!Ipet_par.Pool.default}) shards the seeds
     across domains; the outcome — including which seed is reported when
     several fail, the pass/worst-WCET tallies, and the log stream — is
-    that of the sequential loop at any job count. *)
+    that of the sequential loop at any job count. [mach] (default
+    {!Ipet_machine.Machine.e32}) is the machine model every case —
+    including the shrink runs — is checked against; the generated cache
+    geometry still varies per case. *)
 
 val replay_hint : int -> string
 (** The command line that replays one case. *)

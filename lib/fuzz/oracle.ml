@@ -4,6 +4,7 @@ module P = Isa.Prog
 module I = Isa.Instr
 module V = Isa.Value
 module Icache = Ipet_machine.Icache
+module Machine = Ipet_machine.Machine
 module Interp = Ipet_sim.Interp
 module Analysis = Ipet.Analysis
 module Annotation = Ipet.Annotation
@@ -144,12 +145,13 @@ let compare_observables ~(prog : P.t) m_ref m_opt ret_ref ret_opt =
 
 (* --- the oracle ---------------------------------------------------------- *)
 
-let run cache source =
+let run mach cache source =
   let ast, _env = parse source in
   let compiled = compile ~optimize:false source in
   let bounds = Autobound.infer ast in
   let spec =
-    Analysis.spec ~cache ~loop_bounds:bounds ~root:"main" compiled.Lang.Compile.prog
+    Analysis.spec ~mach ~cache ~loop_bounds:bounds ~root:"main"
+      compiled.Lang.Compile.prog
   in
   (* the certifying run: every bound comes with an exact duality
      certificate, validated by the trusted checker — a reject here means
@@ -185,7 +187,7 @@ let run cache source =
   (* measured run: fresh machine, cold cache — the configuration the WCET
      analysis models *)
   let machine =
-    Interp.create ~cache compiled.Lang.Compile.prog
+    Interp.create ~mach ~cache compiled.Lang.Compile.prog
       ~init:compiled.Lang.Compile.init_data
   in
   let ret =
@@ -215,7 +217,8 @@ let run cache source =
      same final global memory *)
   let opt = compile ~optimize:true source in
   let machine_opt =
-    Interp.create ~cache opt.Lang.Compile.prog ~init:opt.Lang.Compile.init_data
+    Interp.create ~mach ~cache opt.Lang.Compile.prog
+      ~init:opt.Lang.Compile.init_data
   in
   let ret_opt =
     try Interp.call machine_opt "main" [] with
@@ -226,8 +229,9 @@ let run cache source =
     ret_opt;
   Pass { bcet; wcet; cycles; instructions = Interp.instructions machine }
 
-let check ?(cache = Icache.i960kb) source =
-  match run cache source with
+let check ?(mach = Machine.e32) ?cache source =
+  let cache = match cache with Some c -> c | None -> Machine.fetch mach in
+  match run mach cache source with
   | verdict -> verdict
   | exception Reject f -> Fail f
   | exception e ->

@@ -38,6 +38,12 @@ type stats = { bcet : int; wcet : int; cycles : int; instructions : int }
 
 type verdict = Pass of stats | Fail of failure
 
-val check : ?cache:Ipet_machine.Icache.config -> string -> verdict
+val check :
+  ?mach:Ipet_machine.Machine.t ->
+  ?cache:Ipet_machine.Icache.config ->
+  string ->
+  verdict
 (** Run every check on an MC source text (root function [main], no
-    arguments). Defaults to the paper's i960KB cache. Never raises. *)
+    arguments). [mach] (default {!Ipet_machine.Machine.e32}) selects the
+    machine model for both the analysis and the simulator; [cache]
+    defaults to the machine's own fetch configuration. Never raises. *)

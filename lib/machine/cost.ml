@@ -5,13 +5,14 @@ type bounds = { best : int; worst : int; worst_warm : int }
 
 (* per-instruction cost bounds: identical except for loads when a data
    cache is modelled (best assumes hits, worst assumes misses) *)
-let instr_bounds ?dcache instr =
+let instr_bounds ?(mach = Machine.e32) ?dcache instr =
+  let (module M : Machine.MACHINE) = mach in
   match (instr, dcache) with
   | Ipet_isa.Instr.Load _, Some d ->
-    let base = Timing.load_base in
+    let base = M.issue ~dcache:true instr in
     (base, base + d.Icache.miss_penalty)
   | _, (Some _ | None) ->
-    let c = Timing.issue instr in
+    let c = M.issue ~dcache:false instr in
     (c, c)
 
 module Int_set = Set.Make (Int)
@@ -105,16 +106,18 @@ let call_split_extra cfg ~callee_slots ~addr ~size (block : P.block) =
     block.P.instrs;
   !extra
 
-let block_bounds ?dcache ?callee_slots cfg layout ~func (block : P.block) =
+let block_bounds ?(mach = Machine.e32) ?dcache ?callee_slots cfg layout ~func
+    (block : P.block) =
+  let (module M : Machine.MACHINE) = mach in
   let best_body, worst_body =
     Array.fold_left
       (fun (b, w) i ->
-        let ib, iw = instr_bounds ?dcache i in
+        let ib, iw = instr_bounds ~mach ?dcache i in
         (b + ib, w + iw))
       (0, 0) block.P.instrs
   in
-  let stalls = Pipeline.block_stalls block.P.instrs in
-  let term_best, term_worst = Timing.term_bounds block.P.term in
+  let stalls = Machine.block_stalls mach block.P.instrs in
+  let term_best, term_worst = M.term_bounds block.P.term in
   let addr = Layout.block_addr layout ~func ~block:block.P.id in
   let size = Layout.block_size_bytes layout ~func ~block:block.P.id in
   let lines = Icache.lines_spanned cfg ~addr ~size in
@@ -129,8 +132,9 @@ let block_bounds ?dcache ?callee_slots cfg layout ~func (block : P.block) =
       worst_body + stalls + term_worst
       + ((lines + refetches) * cfg.Icache.miss_penalty) }
 
-let func_bounds ?dcache ?prog cfg layout (func : P.func) =
+let func_bounds ?mach ?dcache ?prog cfg layout (func : P.func) =
   let callee_slots = Option.map (reachable_slots cfg layout) prog in
   Array.map
-    (fun b -> block_bounds ?dcache ?callee_slots cfg layout ~func:func.P.name b)
+    (fun b ->
+      block_bounds ?mach ?dcache ?callee_slots cfg layout ~func:func.P.name b)
     func.P.blocks

@@ -24,6 +24,7 @@ val reachable_slots :
     block can fetch all of this before control returns. *)
 
 val block_bounds :
+  ?mach:Machine.t ->
   ?dcache:Icache.config ->
   ?callee_slots:(string -> Int_set.t) ->
   Icache.config ->
@@ -31,7 +32,10 @@ val block_bounds :
   func:string ->
   Ipet_isa.Prog.block ->
   bounds
-(** [dcache] switches loads from the flat-latency memory model to
+(** [mach] supplies the issue/stall/terminator timings (default
+    {!Machine.e32}, byte-identical to the historical hard-wired model).
+
+    [dcache] switches loads from the flat-latency memory model to
     hit-in-the-best-case / miss-in-the-worst-case data-cache bounds.
 
     [callee_slots] (from {!reachable_slots}) enables the mid-block call
@@ -43,6 +47,7 @@ val block_bounds :
     (unsound) whenever callee code conflicts with the caller's lines. *)
 
 val func_bounds :
+  ?mach:Machine.t ->
   ?dcache:Icache.config ->
   ?prog:Ipet_isa.Prog.t ->
   Icache.config ->

@@ -2,6 +2,7 @@ module P = Ipet_isa.Prog
 module Layout = Ipet_isa.Layout
 module Callgraph = Ipet_cfg.Callgraph
 module Cost = Ipet_machine.Cost
+module Machine = Ipet_machine.Machine
 module L = Ipet_lp.Linexpr
 module Lp = Ipet_lp.Lp_problem
 module Ilp = Ipet_lp.Ilp
@@ -196,8 +197,8 @@ let solve_unit ~pool ~counter ~deadline (spec : A.spec) problem (func : P.func)
 let analyze_func ~pool ~counter ~deadline (spec : A.spec) layout
     (done_units : (string, unit_result) Hashtbl.t) (func : P.func) =
   let costs =
-    Cost.func_bounds ?dcache:spec.A.dcache ~prog:spec.A.prog spec.A.cache
-      layout func
+    Cost.func_bounds ~mach:spec.A.mach ?dcache:spec.A.dcache ~prog:spec.A.prog
+      spec.A.cache layout func
   in
   (* direct callees in call order (duplicates kept: the key only needs to be
      a deterministic function of everything the solve reads) *)
@@ -211,8 +212,9 @@ let analyze_func ~pool ~counter ~deadline (spec : A.spec) layout
         (P.calls_of_block b))
   in
   let key =
-    Key.func_key ~cache:spec.A.cache ~dcache:spec.A.dcache ~costs
-      ~annotations:spec.A.loop_bounds ~callees func
+    Key.func_key ~mach:(Machine.id spec.A.mach) ~cache:spec.A.cache
+      ~dcache:spec.A.dcache ~costs ~annotations:spec.A.loop_bounds ~callees
+      func
   in
   (* the unit's two ILPs are built eagerly — a cache hit needs them too,
      to validate the stored certificates against exactly the problems this
@@ -391,7 +393,8 @@ let monolithic_extreme_valid ~counter problems (e : extreme_pe) =
 let monolithic ~pool ~cache ~deadline counter (spec : A.spec) =
   check_deadline deadline;
   let key =
-    Key.program_key ~cache:spec.A.cache ~dcache:spec.A.dcache ~root:spec.A.root
+    Key.program_key ~mach:(Machine.id spec.A.mach) ~cache:spec.A.cache
+      ~dcache:spec.A.dcache ~root:spec.A.root
       ~annotations:spec.A.loop_bounds ~functional:spec.A.functional spec.A.prog
   in
   let prog_extreme (e : A.extreme) cert_pe =

@@ -3,14 +3,16 @@ module Instr = Ipet_isa.Instr
 module Icache = Ipet_machine.Icache
 module Cost = Ipet_machine.Cost
 
-let schema = 2
+(* v3: the machine id joined the cost model (machine-parametric analysis) *)
+let schema = 3
 
 let add_cache buf (c : Icache.config) =
   Buffer.add_string buf
     (Printf.sprintf "cache %d %d %d\n" c.Icache.size_bytes c.Icache.line_bytes
        c.Icache.miss_penalty)
 
-let add_cost_model buf ~cache ~dcache =
+let add_cost_model buf ~mach ~cache ~dcache =
+  Buffer.add_string buf (Printf.sprintf "mach %s\n" mach);
   add_cache buf cache;
   match dcache with
   | None -> Buffer.add_string buf "dcache none\n"
@@ -65,25 +67,27 @@ let add_callees buf callees =
         (Printf.sprintf "callee %s [%d,%d]\n" name bcet_pe wcet_pe))
     callees
 
-let func_bytes ~cache ~dcache ~costs ~annotations ~callees (f : P.func) =
+let func_bytes ~mach ~cache ~dcache ~costs ~annotations ~callees (f : P.func) =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "ipet-serve-key v%d unit=func\n" schema);
-  add_cost_model buf ~cache ~dcache;
+  add_cost_model buf ~mach ~cache ~dcache;
   add_func buf f;
   add_costs buf costs;
   add_annotations buf f.P.name annotations;
   add_callees buf callees;
   Buffer.contents buf
 
-let func_key ~cache ~dcache ~costs ~annotations ~callees f =
+let func_key ~mach ~cache ~dcache ~costs ~annotations ~callees f =
   Digest.to_hex
-    (Digest.string (func_bytes ~cache ~dcache ~costs ~annotations ~callees f))
+    (Digest.string
+       (func_bytes ~mach ~cache ~dcache ~costs ~annotations ~callees f))
 
-let program_key ~cache ~dcache ~root ~annotations ~functional (prog : P.t) =
+let program_key ~mach ~cache ~dcache ~root ~annotations ~functional
+    (prog : P.t) =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf "ipet-serve-key v%d unit=program root=%s\n" schema root);
-  add_cost_model buf ~cache ~dcache;
+  add_cost_model buf ~mach ~cache ~dcache;
   Array.iter
     (fun (f : P.func) ->
       add_func buf f;

@@ -6,8 +6,9 @@
     - the function's compiled form (blocks, instructions, terminators,
       source lines — renames and literal edits change it; formatting of
       the MC source does not, since the key hashes compiled code);
-    - the cost-model identity (i-cache and optional d-cache configuration)
-      and the per-block cost bounds the objective will use. Costs capture
+    - the cost-model identity (machine id, i-cache and optional d-cache
+      configuration) and the per-block cost bounds the objective will
+      use. Costs capture
       every cross-function influence on the local ILP — code layout,
       line-split refetch penalties from transitively reachable callees —
       so a change elsewhere in the program invalidates this function
@@ -25,6 +26,7 @@ val schema : int
     part of every key, so stale cache dirs miss instead of mis-hit. *)
 
 val func_key :
+  mach:string ->
   cache:Ipet_machine.Icache.config ->
   dcache:Ipet_machine.Icache.config option ->
   costs:Ipet_machine.Cost.bounds array ->
@@ -32,12 +34,15 @@ val func_key :
   callees:(string * int * int) list ->
   Ipet_isa.Prog.func ->
   string
-(** Hex digest for one function's per-entry analysis unit. [annotations]
+(** Hex digest for one function's per-entry analysis unit. [mach] is the
+    machine id ({!Ipet_machine.Machine.id}) — two machines never share a
+    cache entry even when their timings happen to agree. [annotations]
     may be the request's full list — only those naming the function are
     hashed. [callees] are [(name, wcet_per_entry, bcet_per_entry)] for the
     function's direct callees in call-site order. *)
 
 val program_key :
+  mach:string ->
   cache:Ipet_machine.Icache.config ->
   dcache:Ipet_machine.Icache.config option ->
   root:string ->
@@ -50,6 +55,7 @@ val program_key :
     functions and a per-function decomposition would be unsound. *)
 
 val func_bytes :
+  mach:string ->
   cache:Ipet_machine.Icache.config ->
   dcache:Ipet_machine.Icache.config option ->
   costs:Ipet_machine.Cost.bounds array ->

@@ -1,6 +1,7 @@
 module Frontend = Ipet_lang.Frontend
 module Compile = Ipet_lang.Compile
 module Icache = Ipet_machine.Icache
+module Machine = Ipet_machine.Machine
 module P = Ipet_isa.Prog
 module Obs = Ipet_obs.Obs
 module Flight = Ipet_obs.Flight
@@ -108,9 +109,17 @@ let report_digests report =
 
 (* --- analyze ------------------------------------------------------------- *)
 
-let parse_icache options =
+let parse_mach req =
+  match str_field req "mach" with
+  | None -> Machine.e32
+  | Some s ->
+    (match Machine.of_string s with
+     | Ok m -> m
+     | Error msg -> reject "proto" "%s" msg)
+
+let parse_icache ~mach options =
   match Option.bind options (Json.member "icache") with
-  | None -> Icache.i960kb
+  | None -> Machine.fetch mach
   | Some j ->
     (match (opt_int j "size_bytes", opt_int j "line_bytes",
             opt_int j "miss_penalty")
@@ -194,7 +203,8 @@ let analyze config ~req_id ~(note : note) req =
   let prog = compile_source ~lang source in
   if P.find_func_opt prog root = None then
     reject "input" "unknown function %s" root;
-  let cache_config = parse_icache options in
+  let mach = parse_mach req in
+  let cache_config = parse_icache ~mach options in
   let first_miss =
     Option.value ~default:false
       (Option.bind options (fun o -> opt_bool o "first_miss"))
@@ -213,7 +223,7 @@ let analyze config ~req_id ~(note : note) req =
     | None -> config.default_timeout_ms
   in
   let spec =
-    Ipet.Analysis.spec ~cache:cache_config
+    Ipet.Analysis.spec ~mach ~cache:cache_config
       ~loop_bounds:annotations.Ipet.Constraint_parser.loop_bounds
       ~functional:annotations.Ipet.Constraint_parser.functional
       ~first_miss_refinement:first_miss ~root prog

@@ -13,14 +13,16 @@
     - [hello] — handshake; returns server name, {!Version.version},
       protocol version and cache-key {!Key.schema};
     - [analyze] — ["source"] (MC program text, or an assembly listing when
-      ["lang"] is ["asm"]), optional ["annotations"] (annotation-file text:
-      [root]/[loop]/[constr] lines), optional ["root"] override, optional
-      ["options"] object: [use_cache] (default true), [timeout_ms],
-      [first_miss] (first-miss refinement), [icache]
-      [{size_bytes, line_bytes, miss_penalty}] (default the paper's i960KB
-      configuration), [trace_spans] (default false — when true and span
-      tracing is enabled on the server, the response carries the request's
-      completed span tree as ["trace_spans"]);
+      ["lang"] is ["asm"]), optional ["mach"] (machine-model id, [e32] by
+      default; an unknown id is a [proto] error), optional ["annotations"]
+      (annotation-file text: [root]/[loop]/[constr] lines), optional
+      ["root"] override, optional ["options"] object: [use_cache] (default
+      true), [timeout_ms], [first_miss] (first-miss refinement), [icache]
+      [{size_bytes, line_bytes, miss_penalty}] (default the machine's own
+      fetch configuration — the paper's i960KB cache for [e32]),
+      [trace_spans] (default false — when true and span tracing is
+      enabled on the server, the response carries the request's completed
+      span tree as ["trace_spans"]);
     - [stats] — server totals (requests, errors, certificate checks and
       rejections, flight-recorder event count) and cache occupancy
       (entries, bytes, cap, hits, misses, evictions, eviction bytes);

@@ -3,8 +3,7 @@ module P = Ipet_isa.Prog
 module V = Ipet_isa.Value
 module Layout = Ipet_isa.Layout
 module Icache = Ipet_machine.Icache
-module Timing = Ipet_machine.Timing
-module Pipeline = Ipet_machine.Pipeline
+module Machine = Ipet_machine.Machine
 
 exception Runtime_error of string
 exception Out_of_fuel
@@ -128,8 +127,10 @@ let intern table next key =
     incr next;
     slot
 
-let decode_block ~cache_cfg ~dcache ~layout ~func_index ~block_slot ~edge_slot
-    ~call_slot ~next_block ~next_edge ~next_call (f : P.func) (b : P.block) =
+let decode_block ~mach ~cache_cfg ~dcache ~layout ~func_index ~block_slot
+    ~edge_slot ~call_slot ~next_block ~next_edge ~next_call (f : P.func)
+    (b : P.block) =
+  let (module M : Machine.MACHINE) = mach in
   let fname = f.P.name in
   let n = Array.length b.P.instrs in
   let base = Layout.block_addr layout ~func:fname ~block:b.P.id in
@@ -140,8 +141,8 @@ let decode_block ~cache_cfg ~dcache ~layout ~func_index ~block_slot ~edge_slot
     fetch_idx.(i) <- index;
     fetch_line.(i) <- line
   done;
-  let issue = Timing.issue_table ~dcache b.P.instrs in
-  let stall = Pipeline.stall_table b.P.instrs in
+  let issue = Machine.issue_table mach ~dcache b.P.instrs in
+  let stall = Machine.stall_table mach b.P.instrs in
   let cost = Array.init n (fun i -> issue.(i) + stall.(i)) in
   let calls = ref [] in
   Array.iter
@@ -164,14 +165,14 @@ let decode_block ~cache_cfg ~dcache ~layout ~func_index ~block_slot ~edge_slot
   let term, taken, nottaken =
     match b.P.term with
     | I.Jump tgt ->
-      let c = Timing.term_actual b.P.term ~taken:true in
+      let c = M.term_actual b.P.term ~taken:true in
       (D_jump (tgt, edge tgt), c, c)
     | I.Branch (r, t, f_) ->
       ( D_branch (r, t, edge t, f_, edge f_),
-        Timing.term_actual b.P.term ~taken:true,
-        Timing.term_actual b.P.term ~taken:false )
+        M.term_actual b.P.term ~taken:true,
+        M.term_actual b.P.term ~taken:false )
     | I.Return op ->
-      let c = Timing.term_actual b.P.term ~taken:true in
+      let c = M.term_actual b.P.term ~taken:true in
       (D_return op, c, c)
   in
   { b_slot = intern block_slot next_block (fname, b.P.id);
@@ -194,7 +195,7 @@ let max_reg (f : P.func) =
     f.P.blocks;
   !m
 
-let decode ~cache_cfg ~dcache ~layout (prog : P.t) =
+let decode ~mach ~cache_cfg ~dcache ~layout (prog : P.t) =
   let func_index = Hashtbl.create 16 in
   Array.iteri
     (fun i (f : P.func) ->
@@ -215,8 +216,9 @@ let decode ~cache_cfg ~dcache ~layout (prog : P.t) =
           d_nregs = max_reg f + 1;
           d_blocks =
             Array.map
-              (decode_block ~cache_cfg ~dcache ~layout ~func_index ~block_slot
-                 ~edge_slot ~call_slot ~next_block ~next_edge ~next_call f)
+              (decode_block ~mach ~cache_cfg ~dcache ~layout ~func_index
+                 ~block_slot ~edge_slot ~call_slot ~next_block ~next_edge
+                 ~next_call f)
               f.P.blocks })
       prog.P.funcs
   in
@@ -232,14 +234,15 @@ let new_ctx m =
     x_entries = Array.make (Array.length m.dfuncs) 0;
     x_children = Array.make m.ncalls None }
 
-let create ?(cache = Icache.i960kb) ?dcache ?(stack_words = 1 lsl 16)
+let create ?(mach = Machine.e32) ?cache ?dcache ?(stack_words = 1 lsl 16)
     ?(fuel = 50_000_000) ?(profile = false) (prog : P.t) ~init =
+  let cache = match cache with Some c -> c | None -> Machine.fetch mach in
   let memory = Array.make (prog.P.globals_words + stack_words) V.zero in
   List.iter (fun (addr, v) -> memory.(addr) <- v) init;
   let layout = Layout.make prog in
   let ( dfuncs, func_index, block_slot, edge_slot, call_slot, block_key,
         nblocks, nedges, ncalls ) =
-    decode ~cache_cfg:cache ~dcache:(dcache <> None) ~layout prog
+    decode ~mach ~cache_cfg:cache ~dcache:(dcache <> None) ~layout prog
   in
   let icache = Icache.create cache in
   let itags = Icache.tag_array icache in

@@ -31,6 +31,7 @@ exception Out_of_fuel
 type t
 
 val create :
+  ?mach:Ipet_machine.Machine.t ->
   ?cache:Ipet_machine.Icache.config ->
   ?dcache:Ipet_machine.Icache.config ->
   ?stack_words:int ->
@@ -39,7 +40,10 @@ val create :
   Ipet_isa.Prog.t ->
   init:(int * Ipet_isa.Value.t) list ->
   t
-(** Build a machine with initialized global memory. [fuel] bounds the number
+(** Build a machine with initialized global memory. [mach] (default
+    {!Ipet_machine.Machine.e32}) supplies the issue/stall/terminator
+    timings the decode tables are built from; [cache] defaults to the
+    machine's own fetch configuration. [fuel] bounds the number
     of executed basic blocks (default 50 million). Without [dcache], data
     accesses cost a flat latency; with it, loads are cached (write-through,
     no-allocate stores bypass it). With [profile] (default off), the machine

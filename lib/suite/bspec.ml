@@ -67,7 +67,7 @@ let compile t =
         Hashtbl.replace cache_table t.name c);
     c
 
-let spec ?cache ?dcache t =
+let spec ?mach ?cache ?dcache t =
   let compiled = compile t in
-  Ipet.Analysis.spec ?cache ?dcache ~loop_bounds:t.loop_bounds
+  Ipet.Analysis.spec ?mach ?cache ?dcache ~loop_bounds:t.loop_bounds
     ~functional:t.functional ~root:t.root compiled.Ipet_lang.Compile.prog

@@ -50,8 +50,11 @@ val compile : t -> Ipet_lang.Compile.t
 (** Compile the benchmark source (memoized per benchmark). *)
 
 val spec :
+  ?mach:Ipet_machine.Machine.t ->
   ?cache:Ipet_machine.Icache.config ->
   ?dcache:Ipet_machine.Icache.config ->
   t ->
   Ipet.Analysis.spec
-(** The analysis specification for the benchmark. *)
+(** The analysis specification for the benchmark. [mach] selects the
+    machine model (default {!Ipet_machine.Machine.e32}); [cache] defaults
+    to the machine's own fetch configuration. *)

@@ -29,10 +29,10 @@ let pessimism ~estimated ~reference =
   (lo, hi)
 
 (* run one data set and return (block counts, cycle-accurate time) *)
-let simulate ?cache ?dcache compiled (bench : Bspec.t) (data : Bspec.dataset)
-    ~flush ~warm =
+let simulate ?mach ?cache ?dcache compiled (bench : Bspec.t)
+    (data : Bspec.dataset) ~flush ~warm =
   let machine =
-    Interp.create ?cache ?dcache compiled.Compile.prog
+    Interp.create ?mach ?cache ?dcache compiled.Compile.prog
       ~init:compiled.Compile.init_data
   in
   if warm then begin
@@ -61,18 +61,20 @@ let calculated_cost spec counts ~select =
     (fun acc ((func, block), count) -> acc + (count * select (costs func).(block)))
     0 counts
 
-let run ?cache ?dcache ?pool (bench : Bspec.t) =
+let run ?mach ?cache ?dcache ?pool (bench : Bspec.t) =
   let compiled = Bspec.compile bench in
-  let spec = Bspec.spec ?cache ?dcache bench in
+  let spec = Bspec.spec ?mach ?cache ?dcache bench in
   let result = Analysis.analyze ?pool spec in
   let worst_runs =
     List.map
-      (fun d -> simulate ?cache ?dcache compiled bench d ~flush:true ~warm:false)
+      (fun d ->
+        simulate ?mach ?cache ?dcache compiled bench d ~flush:true ~warm:false)
       bench.Bspec.worst_data
   in
   let best_runs =
     List.map
-      (fun d -> simulate ?cache ?dcache compiled bench d ~flush:false ~warm:true)
+      (fun d ->
+        simulate ?mach ?cache ?dcache compiled bench d ~flush:false ~warm:true)
       bench.Bspec.best_data
   in
   let max_list = List.fold_left max min_int in
@@ -115,11 +117,13 @@ let run ?cache ?dcache ?pool (bench : Bspec.t) =
    the same pool for its inner fan-outs (helping awaits make the nesting
    safe). Results come back in suite order regardless of completion
    order, so the row list is identical at any job count. *)
-let run_all ?cache ?dcache ?pool () =
+let run_all ?mach ?cache ?dcache ?pool () =
   let pool =
     match pool with Some p -> p | None -> Ipet_par.Pool.default ()
   in
-  Ipet_par.Pool.map_list pool (fun b -> run ?cache ?dcache ~pool b) Suite.all
+  Ipet_par.Pool.map_list pool
+    (fun b -> run ?mach ?cache ?dcache ~pool b)
+    Suite.all
 
 (* --- table rendering ------------------------------------------------------ *)
 

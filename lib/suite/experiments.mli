@@ -30,16 +30,20 @@ val pessimism : estimated:interval -> reference:interval -> float * float
     [( (Cl - El) / Cl, (Eu - Cu) / Cu )]. *)
 
 val run :
+  ?mach:Ipet_machine.Machine.t ->
   ?cache:Ipet_machine.Icache.config ->
   ?dcache:Ipet_machine.Icache.config ->
   ?pool:Ipet_par.Pool.t ->
   Bspec.t ->
   row
-(** Analyze, simulate and measure one benchmark; [dcache] enables the
-    data-cache model in both the analysis and the simulation. [pool]
-    (default {!Ipet_par.Pool.default}) parallelizes the analysis. *)
+(** Analyze, simulate and measure one benchmark; [mach] selects the
+    machine model for both the analysis and the simulation (default
+    {!Ipet_machine.Machine.e32}); [dcache] enables the data-cache model
+    in both. [pool] (default {!Ipet_par.Pool.default}) parallelizes the
+    analysis. *)
 
 val run_all :
+  ?mach:Ipet_machine.Machine.t ->
   ?cache:Ipet_machine.Icache.config ->
   ?dcache:Ipet_machine.Icache.config ->
   ?pool:Ipet_par.Pool.t ->

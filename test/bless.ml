@@ -1,13 +1,16 @@
-(* Regenerates the golden files checked by [test_golden.ml].
+(* Regenerates the golden files checked by [test_golden.ml] and
+   [test_machine.ml].
 
    Run from the repository root:
 
-     dune exec test/bless.exe            # writes test/golden/*.txt
-     dune exec test/bless.exe -- DIR     # writes DIR/*.txt
+     dune exec test/bless.exe                  # writes test/golden/*.txt
+     dune exec test/bless.exe -- --mach m7     # writes the m7 variants
+     dune exec test/bless.exe -- DIR           # writes DIR/*.txt
 
    [dune exec] runs the binary from the invocation directory, so the
    default relative path lands in the source tree, not in _build. *)
 
+module Machine = Ipet_machine.Machine
 module E = Ipet_suite.Experiments
 
 let write path contents =
@@ -17,12 +20,24 @@ let write path contents =
     (fun () -> output_string oc contents)
 
 let () =
-  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else
-      Filename.concat "test" "golden"
+  let mach = ref Machine.e32 in
+  let dir = ref (Filename.concat "test" "golden") in
+  let rec parse i =
+    if i < Array.length Sys.argv then
+      match Sys.argv.(i) with
+      | "--mach" when i + 1 < Array.length Sys.argv ->
+        (match Machine.of_string Sys.argv.(i + 1) with
+         | Ok m -> mach := m
+         | Error msg -> prerr_endline msg; exit 2);
+        parse (i + 2)
+      | d -> dir := d; parse (i + 1)
   in
-  let rows = E.run_all () in
-  let table2 = Filename.concat dir "table2.txt" in
-  let table3 = Filename.concat dir "table3.txt" in
+  parse 1;
+  (* e32 owns the unsuffixed names the seed goldens were blessed under *)
+  let suffix = if Machine.id !mach = "e32" then "" else "_" ^ Machine.id !mach in
+  let rows = E.run_all ~mach:!mach () in
+  let table2 = Filename.concat !dir (Printf.sprintf "table2%s.txt" suffix) in
+  let table3 = Filename.concat !dir (Printf.sprintf "table3%s.txt" suffix) in
   write table2 (E.render_table2 rows);
   write table3 (E.render_table3 rows);
   Printf.printf "blessed %s and %s\n" table2 table3

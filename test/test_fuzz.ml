@@ -12,6 +12,7 @@ module Ast = Ipet_lang.Ast
 module I = Ipet_isa.Instr
 module V = Ipet_isa.Value
 module Icache = Ipet_machine.Icache
+module Machine = Ipet_machine.Machine
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -26,17 +27,32 @@ let read_file path =
   close_in ic;
   content
 
-(* a leading [// cache: SIZE LINE PENALTY] comment selects the cache the
-   failure needed; everything else replays on the paper's i960KB *)
+(* replay metadata lives in leading comment lines: [// cache: SIZE LINE
+   PENALTY] selects the cache the failure needed, [// mach: ID] the
+   machine model; anything unstated falls back to the machine's own
+   defaults (e32, its i960KB cache) *)
+let corpus_header source =
+  String.split_on_char '\n' source |> List.filteri (fun i _ -> i < 4)
+
 let corpus_cache source =
-  match String.index_opt source '\n' with
-  | None -> Icache.i960kb
-  | Some eol ->
-    let first = String.sub source 0 eol in
-    (try
-       Scanf.sscanf first "// cache: %d %d %d" (fun size_bytes line_bytes miss_penalty ->
-           { Icache.size_bytes; line_bytes; miss_penalty })
-     with Scanf.Scan_failure _ | Failure _ | End_of_file -> Icache.i960kb)
+  List.find_map
+    (fun line ->
+      try
+        Scanf.sscanf line "// cache: %d %d %d"
+          (fun size_bytes line_bytes miss_penalty ->
+            Some { Icache.size_bytes; line_bytes; miss_penalty })
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)
+    (corpus_header source)
+
+let corpus_mach source =
+  List.find_map
+    (fun line ->
+      try
+        Scanf.sscanf line "// mach: %s" (fun id ->
+            match Machine.of_string id with Ok m -> Some m | Error _ -> None)
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)
+    (corpus_header source)
+  |> Option.value ~default:Machine.e32
 
 (* cwd is test/ under [dune runtest] but the project root under
    [dune exec test/test_main.exe] *)
@@ -50,19 +66,30 @@ let corpus_files () =
   |> List.sort compare
   |> List.map (fun f -> Filename.concat dir f)
 
+let replay ~mach path source =
+  match Oracle.check ~mach ?cache:(corpus_cache source) source with
+  | Oracle.Pass _ -> ()
+  | Oracle.Fail f ->
+    Alcotest.fail
+      (Printf.sprintf "%s on %s: %s: %s" path (Machine.id mach)
+         (Oracle.kind_name f.Oracle.kind) f.Oracle.detail)
+
 let test_corpus_replay () =
   let files = corpus_files () in
   check_bool "corpus is not empty" true (files <> []);
   List.iter
     (fun path ->
       let source = read_file path in
-      match Oracle.check ~cache:(corpus_cache source) source with
-      | Oracle.Pass _ -> ()
-      | Oracle.Fail f ->
-        Alcotest.fail
-          (Printf.sprintf "%s: %s: %s" path (Oracle.kind_name f.Oracle.kind)
-             f.Oracle.detail))
+      replay ~mach:(corpus_mach source) path source)
     files
+
+(* every finding — whatever machine it was found on — must also hold as a
+   passing case on the other target: the oracle's invariants are
+   machine-independent *)
+let test_corpus_replay_m7 () =
+  List.iter
+    (fun path -> replay ~mach:Machine.m7 path (read_file path))
+    (corpus_files ())
 
 (* --- deterministic generation -------------------------------------------- *)
 
@@ -128,17 +155,24 @@ let test_oracle_classifies () =
 
 (* --- a short live run ----------------------------------------------------- *)
 
-let test_fuzz_run () =
-  let outcome = Driver.run ~shrink:false ~seed:90001 ~iters:25 () in
+let fuzz_run ~mach ~seed ~iters =
+  let outcome = Driver.run ~mach ~shrink:false ~seed ~iters () in
   (match outcome.Driver.report with
    | None -> ()
    | Some r ->
      Alcotest.fail
-       (Printf.sprintf "seed %d: %s: %s" r.Driver.case_seed
+       (Printf.sprintf "seed %d on %s: %s: %s" r.Driver.case_seed
+          (Machine.id mach)
           (Oracle.kind_name r.Driver.failure.Oracle.kind)
           r.Driver.failure.Oracle.detail));
-  check_int "all iterations ran" 25 outcome.Driver.iters_run;
-  check_int "all passed" 25 outcome.Driver.passed
+  check_int "all iterations ran" iters outcome.Driver.iters_run;
+  check_int "all passed" iters outcome.Driver.passed
+
+let test_fuzz_run () = fuzz_run ~mach:Machine.e32 ~seed:90001 ~iters:25
+
+(* the same seeds generate the same programs; only the oracle's machine
+   changes, so this exercises the full m7 analysis+sim+cert pipeline *)
+let test_fuzz_run_m7 () = fuzz_run ~mach:Machine.m7 ~seed:90001 ~iters:25
 
 (* --- shrinking ------------------------------------------------------------ *)
 
@@ -243,12 +277,14 @@ let props =
 
 let suite =
   [ ("corpus replay", `Quick, test_corpus_replay);
+    ("corpus replay on m7", `Quick, test_corpus_replay_m7);
     ("splitmix64 reference stream", `Quick, test_rng_reference_stream);
     ("rng ranges", `Quick, test_rng_ranges);
     ("deterministic generation", `Quick, test_generation_deterministic);
     ("render/reparse fixpoint", `Quick, test_render_reparse_fixpoint);
     ("oracle classification", `Quick, test_oracle_classifies);
     ("25-case fuzz run", `Slow, test_fuzz_run);
+    ("25-case fuzz run on m7", `Slow, test_fuzz_run_m7);
     ("shrinker minimizes", `Quick, test_shrinker_minimizes);
     ("ALU differential, exhaustive shifts", `Quick,
      test_alu_differential_exhaustive_shifts) ]

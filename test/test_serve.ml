@@ -161,10 +161,12 @@ let record_key bytes key =
 
 let func_key_checked ~cache ~costs f =
   let bytes =
-    Key.func_bytes ~cache ~dcache:None ~costs ~annotations:[] ~callees:[] f
+    Key.func_bytes ~mach:"e32" ~cache ~dcache:None ~costs ~annotations:[]
+      ~callees:[] f
   in
   record_key bytes
-    (Key.func_key ~cache ~dcache:None ~costs ~annotations:[] ~callees:[] f)
+    (Key.func_key ~mach:"e32" ~cache ~dcache:None ~costs ~annotations:[]
+       ~callees:[] f)
 
 (* the single-edit property: changing one immediate in one function changes
    that function's key and nobody else's *)
@@ -194,6 +196,31 @@ let prop_single_edit_invalidation =
             else func_key_checked ~cache ~costs:(costs f) f = key)
           keys)
 
+(* changing only the machine id changes every digest the run hashes —
+   holding the program, costs, cache geometry, annotations and callees
+   fixed — so two machines can never share a cache entry even when their
+   timings happen to agree on the program at hand *)
+let prop_mach_changes_every_key =
+  QCheck.Test.make
+    ~name:"changing only the machine id changes every key" ~count:25
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let cache, prog = compile_case seed in
+      let layout = Layout.make prog in
+      let func_key ~mach (f : P.func) =
+        let costs = Cost.func_bounds ~prog cache layout f in
+        Key.func_key ~mach ~cache ~dcache:None ~costs ~annotations:[]
+          ~callees:[] f
+      in
+      let program_key ~mach =
+        Key.program_key ~mach ~cache ~dcache:None ~root:"main"
+          ~annotations:[] ~functional:[] prog
+      in
+      Array.for_all
+        (fun f -> func_key ~mach:"e32" f <> func_key ~mach:"m7" f)
+        prog.P.funcs
+      && program_key ~mach:"e32" <> program_key ~mach:"m7")
+
 let test_key_callee_interval () =
   let _, prog = compile_case 3 in
   let cache = Icache.i960kb in
@@ -201,7 +228,8 @@ let test_key_callee_interval () =
   let f = prog.P.funcs.(0) in
   let costs = Cost.func_bounds ~prog cache layout f in
   let key callees =
-    Key.func_key ~cache ~dcache:None ~costs ~annotations:[] ~callees f
+    Key.func_key ~mach:"e32" ~cache ~dcache:None ~costs ~annotations:[]
+      ~callees f
   in
   check_bool "callee interval is part of the key" true
     (key [ ("g", 10, 2) ] <> key [ ("g", 11, 2) ]);
@@ -793,6 +821,90 @@ let test_socket_e2e () =
        | _ -> Alcotest.fail "daemon did not exit cleanly");
       check_bool "socket file was removed" false (Sys.file_exists socket))
 
+(* one daemon session, the same source under both machine models: the
+   bounds differ, each machine's warm run is served from its own cache
+   entries, and neither machine's cold run ever hits the other's *)
+let test_socket_both_machines () =
+  let exe =
+    Filename.concat (Filename.dirname Sys.executable_name)
+      "../bin/cinderella.exe"
+  in
+  let dir = tmp_dir "serve-two-machines" in
+  let socket = Filename.concat dir "serve.sock" in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process exe
+      [| exe; "serve"; "--socket"; socket; "--cache-dir";
+         Filename.concat dir "cache"; "-j"; "1" |]
+      devnull devnull devnull
+  in
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+    (fun () ->
+      await_file socket;
+      let t = Client.connect socket in
+      let analyze label mach =
+        let response =
+          Option.get
+            (Client.request t
+               (analyze_request (edit_source 3)
+                  ~extra:
+                    [ ("mach", J.Str mach);
+                      ("annotations", J.Str edit_annotations) ]))
+        in
+        check_string (label ^ " analyze succeeds") "ok"
+          (response_code response);
+        match J.parse response with
+        | Ok j ->
+          let stat name =
+            Option.get
+              (Option.bind
+                 (Option.bind (J.member "stats" j) (J.member name))
+                 J.to_int)
+          in
+          ( Option.get (J.member "report" j),
+            stat "units_cached",
+            stat "units_solved" )
+        | Error _ -> Alcotest.failf "unparsable %s response" label
+      in
+      let e32_cold, e32_cold_hits, _ = analyze "e32 cold" "e32" in
+      let m7_cold, m7_cold_hits, m7_cold_solved = analyze "m7 cold" "m7" in
+      check_bool "the two machines bound the program differently" true
+        (bounds_of_report e32_cold <> bounds_of_report m7_cold);
+      check_int "e32 cold run hits nothing" 0 e32_cold_hits;
+      check_int "m7 cold run never hits the e32 entries" 0 m7_cold_hits;
+      check_bool "m7 cold run solves its own units" true (m7_cold_solved > 0);
+      let e32_warm, e32_warm_hits, e32_warm_solved =
+        analyze "e32 warm" "e32"
+      in
+      let m7_warm, m7_warm_hits, m7_warm_solved = analyze "m7 warm" "m7" in
+      check_string "e32 warm report is byte-identical"
+        (J.to_string e32_cold) (J.to_string e32_warm);
+      check_string "m7 warm report is byte-identical"
+        (J.to_string m7_cold) (J.to_string m7_warm);
+      check_bool "e32 warm run is served from its own entries" true
+        (e32_warm_hits > 0 && e32_warm_solved = 0);
+      check_bool "m7 warm run is served from its own entries" true
+        (m7_warm_hits > 0 && m7_warm_solved = 0);
+      (* an unknown machine id is a protocol error, not a crash *)
+      check_string "unknown machine id" "proto"
+        (response_code
+           (Option.get
+              (Client.request t
+                 (analyze_request (edit_source 3)
+                    ~extra:
+                      [ ("mach", J.Str "z80");
+                        ("annotations", J.Str edit_annotations) ]))));
+      Client.close t;
+      check_string "shutdown request" "ok"
+        (response_code
+           (Option.get (Client.one_shot ~socket {|{"v":1,"op":"shutdown"}|})));
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "daemon did not exit cleanly")
+
 (* graceful SIGTERM must flush every sink: trace-out, metrics-out, the
    access log and the flight-recorder dump *)
 let test_sigterm_flush () =
@@ -872,6 +984,7 @@ let suite =
       test_json_errors;
     QCheck_alcotest.to_alcotest prop_json_roundtrip;
     QCheck_alcotest.to_alcotest prop_single_edit_invalidation;
+    QCheck_alcotest.to_alcotest prop_mach_changes_every_key;
     Alcotest.test_case "key: callee intervals are hashed" `Quick
       test_key_callee_interval;
     Alcotest.test_case "incremental bounds match the monolithic analysis"
@@ -901,5 +1014,7 @@ let suite =
     Alcotest.test_case "access log: size rotation keeps whole lines" `Quick
       test_access_log_rotation;
     Alcotest.test_case "daemon: socket round trip" `Quick test_socket_e2e;
+    Alcotest.test_case "daemon: both machines in one session" `Quick
+      test_socket_both_machines;
     Alcotest.test_case "daemon: SIGTERM flushes every sink" `Quick
       test_sigterm_flush ]
